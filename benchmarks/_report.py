@@ -1,0 +1,33 @@
+"""Shared reporting helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures as a text table.
+Tables are printed (visible with ``pytest -s``) *and* persisted under
+``benchmarks/results/`` so a default ``pytest benchmarks/
+--benchmark-only`` run leaves the regenerated series on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(figure: str, title: str, lines: Iterable[str]) -> None:
+    """Print a figure's regenerated series and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join([f"== {figure}: {title} ==", *lines, ""])
+    print("\n" + body)
+    (RESULTS_DIR / f"{figure}.txt").write_text(body)
+
+
+def table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> list[str]:
+    """Format rows as a fixed-width text table."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    return [fmt.format(*header), *(fmt.format(*row) for row in rows)]

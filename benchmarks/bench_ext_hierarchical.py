@@ -1,0 +1,91 @@
+"""Extension: hierarchical vs centralized dispatch at scale (Section IX).
+
+The paper flags the centralized capper's scalability as future work.
+This benchmark dispatches one hour across a growing number of sites
+both ways and reports bill optimality (hierarchical / centralized) and
+solve time. Expected shape: the hierarchical bill stays within a few
+percent of the centralized optimum while its coordinator stays small.
+"""
+
+import time
+
+import pytest
+
+from repro.core import CostMinimizer, HierarchicalDispatcher, Region, SiteHour
+
+from _report import report, table
+
+
+def _replicated_sites(world, n_sites: int, t: int = 40) -> list[SiteHour]:
+    out = []
+    for i in range(n_sites):
+        base = world.sites[i % 3].hour(t)
+        out.append(
+            SiteHour(
+                name=f"{base.name}-{i}",
+                affine=base.affine,
+                policy=base.policy,
+                background_mw=base.background_mw * (0.85 + 0.03 * (i % 9)),
+                power_cap_mw=base.power_cap_mw,
+                max_rate_rps=base.max_rate_rps,
+            )
+        )
+    return out
+
+
+def _regions_of(sites: list[SiteHour], per_region: int) -> list[Region]:
+    return [
+        Region(f"region{r}", tuple(sites[r : r + per_region]))
+        for r in range(0, len(sites), per_region)
+    ]
+
+
+def test_ext_hierarchical_scaling(benchmark, world):
+    rows = []
+    quality = {}
+    for n_sites in (6, 12, 24):
+        sites = _replicated_sites(world, n_sites)
+        lam = 0.45 * sum(s.max_rate_rps for s in sites)
+
+        t0 = time.perf_counter()
+        central = CostMinimizer().solve(sites, lam)
+        t_central = time.perf_counter() - t0
+
+        disp = HierarchicalDispatcher(samples_per_region=8)
+        regions = _regions_of(sites, per_region=3)
+        t0 = time.perf_counter()
+        hier = disp.solve(regions, lam)
+        t_hier = time.perf_counter() - t0
+
+        ratio = hier.predicted_cost / central.predicted_cost
+        quality[n_sites] = ratio
+        rows.append(
+            (
+                n_sites,
+                f"{central.predicted_cost:,.0f}",
+                f"{hier.predicted_cost:,.0f}",
+                f"{ratio:.4f}",
+                f"{t_central * 1e3:.0f}",
+                f"{t_hier * 1e3:.0f}",
+            )
+        )
+
+    # Microbenchmark the 24-site hierarchical solve itself.
+    sites = _replicated_sites(world, 24)
+    lam = 0.45 * sum(s.max_rate_rps for s in sites)
+    disp = HierarchicalDispatcher(samples_per_region=8)
+    regions = _regions_of(sites, 3)
+    benchmark.pedantic(lambda: disp.solve(regions, lam), rounds=3, iterations=1)
+
+    report(
+        "ext_hierarchical",
+        "hierarchical vs centralized dispatch",
+        table(
+            ("sites", "central $", "hier $", "hier/central", "t_c ms", "t_h ms"),
+            rows,
+        ),
+    )
+
+    for n_sites, ratio in quality.items():
+        assert ratio >= 1.0 - 1e-6, "hierarchy cannot beat the centralized optimum"
+        assert ratio <= 1.10, f"hierarchy too suboptimal at {n_sites} sites"

@@ -1,0 +1,81 @@
+"""Extension: day-ahead battery arbitrage against stepped prices.
+
+Related-work extension (Urgaonkar et al., Govindan et al.): a battery
+at each site shifts grid draw from expensive to cheap price levels.
+Shape asserted: the planned bill never exceeds the no-battery baseline,
+the plan is energy-neutral, bigger batteries save at least as much, and
+with flat (Policy 0) prices there is nothing to arbitrage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_storage_schedule
+from repro.datacenter import Battery
+from repro.experiments import paper_world
+
+from _report import report, table
+
+
+def _day_profile(world, site_index=0, day_start=24):
+    site = world.sites[site_index]
+    hours = [site.hour(t) for t in range(day_start, day_start + 24)]
+    base = np.array(
+        [
+            site.datacenter.power_mw(float(world.workload.rates_rps[t]) / 3.0)
+            for t in range(day_start, day_start + 24)
+        ]
+    )
+    return hours, base
+
+
+def test_ext_storage_arbitrage(benchmark, world):
+    hours, base = _day_profile(world)
+
+    batteries = {
+        "small (20 MWh / 5 MW)": Battery(20.0, 5.0, 5.0, 0.92, 0.92),
+        "medium (60 MWh / 12 MW)": Battery(60.0, 12.0, 12.0, 0.92, 0.92),
+        "large (150 MWh / 30 MW)": Battery(150.0, 30.0, 30.0, 0.92, 0.92),
+    }
+    plans = {}
+    for name, battery in batteries.items():
+        plans[name] = plan_storage_schedule(hours, base, battery)
+
+    benchmark.pedantic(
+        lambda: plan_storage_schedule(hours, base, batteries["medium (60 MWh / 12 MW)"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        (
+            name,
+            f"{plan.baseline_cost:,.0f}",
+            f"{plan.planned_cost:,.0f}",
+            f"{plan.planned_saving:.1%}",
+        )
+        for name, plan in plans.items()
+    ]
+    report(
+        "ext_storage",
+        "daily bill with day-ahead battery arbitrage (DC1)",
+        table(("battery", "no-battery $", "with battery $", "saving"), rows),
+    )
+
+    savings = [p.planned_saving for p in plans.values()]
+    # Arbitrage never loses money and grows with battery size.
+    for s in savings:
+        assert s >= -1e-9
+    assert savings == sorted(savings)
+    assert savings[-1] > 0.01  # the large battery must find real arbitrage
+    # Plans are energy-neutral.
+    for plan in plans.values():
+        assert plan.soc_mwh[-1] >= plan.soc_mwh[0] - 1e-6
+
+    # Flat prices (Policy 0): no arbitrage opportunity for a lossy battery.
+    flat_world = paper_world(0, max_servers=world.datacenters[0].max_servers)
+    flat_hours, flat_base = _day_profile(flat_world)
+    flat_plan = plan_storage_schedule(
+        flat_hours, flat_base, batteries["large (150 MWh / 30 MW)"]
+    )
+    assert flat_plan.planned_saving == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,5 @@
+"""Setup shim so `python setup.py develop` works on offline machines
+where pip's PEP 660 editable path is unavailable (no `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Electricity Bill Capping for Cloud-Scale
+Data Centers that Impact the Power Markets" (ICPP 2012).
+
+Subpackages
+-----------
+- :mod:`repro.solver` — self-contained LP/MILP optimization stack;
+- :mod:`repro.powermarket` — grids, DC-OPF/LMP, stepped pricing;
+- :mod:`repro.datacenter` — server/queueing/network/cooling models;
+- :mod:`repro.workload` — traces, synthetic generation, prediction;
+- :mod:`repro.core` — the bill-capping algorithms and baselines;
+- :mod:`repro.sim` — month-scale simulation;
+- :mod:`repro.experiments` — the paper's Section VI setup.
+
+The most common entry points are re-exported here.
+"""
+
+from .core import (
+    BillCapper,
+    Budgeter,
+    CostMinimizer,
+    MinOnlyDispatcher,
+    PriceMode,
+    Site,
+    ThroughputMaximizer,
+)
+from .experiments import PaperWorld, paper_world
+from .sim import SimulationResult, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BillCapper",
+    "Budgeter",
+    "CostMinimizer",
+    "ThroughputMaximizer",
+    "MinOnlyDispatcher",
+    "PriceMode",
+    "Site",
+    "Simulator",
+    "SimulationResult",
+    "PaperWorld",
+    "paper_world",
+    "__version__",
+]

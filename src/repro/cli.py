@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``lmp-sweep``
+    Print the PJM five-bus LMP step curves (the paper's Figure 1).
+``simulate``
+    Simulate a strategy over the paper world and print the summary.
+``compare``
+    Run Cost Capping and the Min-Only baselines side by side.
+``headroom``
+    LMPs plus single-solve load-growth headroom per consumer bus.
+``study``
+    Multi-seed robustness of the capping-vs-baseline savings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_lmp_sweep(args: argparse.Namespace) -> int:
+    from .powermarket import DcOpf, LOAD_SHARES, pjm5bus
+
+    opf = DcOpf(pjm5bus())
+    loads = np.arange(args.step, args.max_load + args.step / 2, args.step)
+    sweep = opf.lmp_sweep(LOAD_SHARES, loads)
+    print(f"{'system MW':>10} {'LMP B':>8} {'LMP C':>8} {'LMP D':>8}")
+    for i, load in enumerate(loads):
+        vals = [sweep[bus][i] for bus in ("B", "C", "D")]
+        cells = " ".join(f"{v:8.2f}" if np.isfinite(v) else "     inf" for v in vals)
+        print(f"{load:>10.0f} {cells}")
+    return 0
+
+
+def _build_world(args: argparse.Namespace):
+    from .experiments import paper_world
+
+    return paper_world(args.policy, seed=args.seed)
+
+
+def _print_summary(name: str, result) -> None:
+    s = result.summary()
+    print(f"\n[{name}]")
+    print(f"  total cost:          ${s['total_cost']:,.0f}")
+    print(f"  mean hourly cost:    ${s['mean_hourly_cost']:,.0f}")
+    print(f"  premium throughput:  {s['premium_throughput']:.2%}")
+    print(f"  ordinary throughput: {s['ordinary_throughput']:.2%}")
+    print(f"  hours over budget:   {int(s['hours_over_budget'])}")
+    print(f"  peak power:          {s['peak_power_mw']:.1f} MW")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core import PriceMode
+    from .sim import Simulator
+
+    world = _build_world(args)
+    sim = Simulator(world.sites, world.workload, world.mix)
+    if args.strategy == "capping":
+        budgeter = None
+        if args.budget_fraction is not None:
+            anchor = sim.run_capping(hours=args.hours)
+            monthly = (
+                anchor.total_cost * world.hours / args.hours * args.budget_fraction
+            )
+            print(f"monthly budget: ${monthly:,.0f} "
+                  f"({args.budget_fraction:.0%} of uncapped spend)")
+            budgeter = world.budgeter(monthly)
+        result = sim.run_capping(budgeter, hours=args.hours)
+    else:
+        mode = PriceMode(args.strategy.removeprefix("min-only-"))
+        result = sim.run_min_only(mode, hours=args.hours)
+    _print_summary(args.strategy, result)
+    return 0
+
+
+def _cmd_headroom(args: argparse.Namespace) -> int:
+    from .powermarket import DcOpf, LOAD_BUSES, pjm5bus
+
+    opf = DcOpf(pjm5bus())
+    loads = {b: args.load / 3.0 for b in LOAD_BUSES}
+    base = opf.dispatch(loads)
+    if not base.feasible:
+        print(f"system load {args.load} MW is infeasible")
+        return 1
+    print(f"PJM 5-bus at {args.load:.0f} MW system load "
+          f"({args.load / 3:.0f} MW per consumer bus):")
+    print(f"{'bus':>4} {'LMP $/MWh':>10} {'headroom MW':>12}")
+    for bus in LOAD_BUSES:
+        headroom = opf.load_growth_headroom(loads, bus)
+        print(f"{bus:>4} {base.lmp_at(bus):>10.2f} {headroom:>12.2f}")
+    print("\nheadroom = extra load at that bus alone before any LMP can "
+          "change\n(single-solve simplex RHS ranging; conservative)")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .sim import savings_study
+
+    study = savings_study(
+        seeds=tuple(range(args.seeds)),
+        hours=args.hours,
+        policy_id=args.policy,
+    )
+    print(study)
+    print(
+        f"\nCost Capping beats Min-Only (Avg) on "
+        f"{(study.values > 0).sum()}/{study.values.size} seeds."
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core import PriceMode
+    from .sim import Simulator
+
+    world = _build_world(args)
+    sim = Simulator(world.sites, world.workload, world.mix)
+    capping = sim.run_capping(hours=args.hours)
+    _print_summary("cost-capping (uncapped)", capping)
+    for mode in (PriceMode.AVG, PriceMode.LOW, PriceMode.CURRENT):
+        res = sim.run_min_only(mode, hours=args.hours)
+        _print_summary(f"min-only-{mode.value}", res)
+        saving = 1 - capping.total_cost / res.total_cost
+        print(f"  -> capping saves {saving:.1%} vs this baseline")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Electricity bill capping for cloud-scale data centers "
+        "(ICPP 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lmp = sub.add_parser("lmp-sweep", help="PJM 5-bus LMP step curves (Fig. 1)")
+    p_lmp.add_argument("--max-load", type=float, default=900.0)
+    p_lmp.add_argument("--step", type=float, default=25.0)
+    p_lmp.set_defaults(func=_cmd_lmp_sweep)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--policy", type=int, default=1, choices=(0, 1, 2, 3))
+    common.add_argument("--hours", type=int, default=168)
+    common.add_argument("--seed", type=int, default=7)
+
+    p_sim = sub.add_parser("simulate", parents=[common], help="run one strategy")
+    p_sim.add_argument(
+        "--strategy",
+        default="capping",
+        choices=("capping", "min-only-avg", "min-only-low", "min-only-current"),
+    )
+    p_sim.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=None,
+        help="monthly budget as a fraction of the uncapped spend "
+        "(capping only; omit for pure cost minimization)",
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser(
+        "compare", parents=[common], help="capping vs all baselines"
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_head = sub.add_parser(
+        "headroom", help="LMPs + load-growth headroom on the 5-bus system"
+    )
+    p_head.add_argument("--load", type=float, default=450.0,
+                        help="system load in MW")
+    p_head.set_defaults(func=_cmd_headroom)
+
+    p_study = sub.add_parser(
+        "study", parents=[common], help="multi-seed robustness of the savings"
+    )
+    p_study.add_argument("--seeds", type=int, default=3)
+    p_study.set_defaults(func=_cmd_study)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

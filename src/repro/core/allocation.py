@@ -1,0 +1,92 @@
+"""Result types shared by the hourly dispatch algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["CappingStep", "Allocation", "HourlyDecision"]
+
+
+class CappingStep(Enum):
+    """Which branch of the bill-capping algorithm produced a decision."""
+
+    COST_MIN = "cost-min"  # step 1 sufficed (cost within budget)
+    THROUGHPUT_MAX = "throughput-max"  # step 2, ordinary load throttled
+    PREMIUM_ONLY = "premium-only"  # budget insufficient even for premium
+    BASELINE = "baseline"  # produced by a Min-Only baseline
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Dispatch decision for one site in one invocation period.
+
+    ``rate_rps`` is the request rate routed to the site;
+    ``predicted_power_mw``/``predicted_price``/``predicted_cost`` come
+    from the optimizer's *decision* model (affine power, selected price
+    segment) — the simulator separately evaluates realized values with
+    the exact models.
+    """
+
+    site: str
+    rate_rps: float
+    predicted_power_mw: float
+    predicted_price: float
+    predicted_cost: float
+
+
+@dataclass(frozen=True)
+class HourlyDecision:
+    """Outcome of one invocation period of a dispatch algorithm.
+
+    Attributes
+    ----------
+    step:
+        Which algorithm branch decided this hour.
+    allocations:
+        Per-site dispatch (one entry per site, zero-rate included).
+    served_premium_rps / served_ordinary_rps:
+        Rates admitted per customer class.
+    demand_premium_rps / demand_ordinary_rps:
+        Offered load per class.
+    predicted_cost:
+        The optimizer's estimate of the hourly bill ($).
+    budget:
+        The hourly budget in force (``inf`` for pure cost
+        minimization and the baselines).
+    """
+
+    step: CappingStep
+    allocations: tuple[Allocation, ...]
+    served_premium_rps: float
+    served_ordinary_rps: float
+    demand_premium_rps: float
+    demand_ordinary_rps: float
+    predicted_cost: float
+    budget: float = float("inf")
+
+    @property
+    def served_total_rps(self) -> float:
+        return self.served_premium_rps + self.served_ordinary_rps
+
+    @property
+    def demand_total_rps(self) -> float:
+        return self.demand_premium_rps + self.demand_ordinary_rps
+
+    @property
+    def ordinary_admission_rate(self) -> float:
+        """Fraction of ordinary demand admitted (1.0 when no demand)."""
+        if self.demand_ordinary_rps <= 0:
+            return 1.0
+        return self.served_ordinary_rps / self.demand_ordinary_rps
+
+    @property
+    def premium_fully_served(self) -> bool:
+        return self.served_premium_rps >= self.demand_premium_rps * (1 - 1e-9)
+
+    def rate_for(self, site: str) -> float:
+        """Dispatched rate for ``site`` (0.0 when absent)."""
+        for alloc in self.allocations:
+            if alloc.site == site:
+                return alloc.rate_rps
+        raise KeyError(f"no allocation for site {site!r}")

@@ -1,0 +1,278 @@
+"""Hierarchical bill capping (the paper's Section IX scalability extension).
+
+The paper's centralized capper solves one MILP over every site; its
+complexity grows with sites x price levels, and Section IX names a
+hierarchical architecture as future work: "the computational complexity
+... may not scale well for much larger-scale data center networks.
+Extending the electricity bill capping architecture to work in a
+hierarchical way is our future work."
+
+This module implements that architecture with a classic two-level
+price/quantity decomposition:
+
+1. **Regions bid cost curves.** Each region (a group of sites sharing a
+   regional dispatcher) evaluates its own cost-minimization value
+   function ``V_r(lambda)`` at a handful of sample rates — every sample
+   is a small regional MILP.
+2. **The coordinator splits the load.** A compact MILP over the sampled
+   curves (piecewise-linear interpolation with one binary per sampled
+   segment, since value functions of stepped markets are not convex)
+   assigns each region a rate.
+3. **Regions dispatch locally.** Each region runs its own
+   :class:`~repro.core.cost_min.CostMinimizer` for its assignment.
+
+Budget capping composes on top: the achievable-throughput function of
+the hierarchy is monotone in the admitted load, so
+:class:`HierarchicalBillCapper` bisects the ordinary-customer admission
+rate against the hourly budget — premium customers are always admitted,
+exactly like the flat capper's Section V semantics.
+
+Accuracy/speed trade-off: with ``samples_per_region ~ 8`` the
+hierarchical bill lands within a few percent of the centralized optimum
+while the coordinator MILP stays tiny regardless of how many sites each
+region contains (benchmarked in ``bench_ext_hierarchical.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solver import InfeasibleError, Model, quicksum
+from .allocation import Allocation, CappingStep, HourlyDecision
+from .cost_min import CostMinimizer
+from .site import SiteHour
+
+__all__ = ["Region", "RegionalBid", "HierarchicalDispatcher", "HierarchicalBillCapper"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named group of sites under one regional dispatcher."""
+
+    name: str
+    sites: tuple[SiteHour, ...]
+
+    def __post_init__(self):
+        if not self.sites:
+            raise ValueError(f"region {self.name!r} has no sites")
+
+    @property
+    def capacity_rps(self) -> float:
+        return sum(s.max_rate_rps for s in self.sites)
+
+
+@dataclass(frozen=True)
+class RegionalBid:
+    """A region's sampled cost curve: ``cost[i] = V_r(rates[i])``."""
+
+    region: Region
+    rates: np.ndarray
+    costs: np.ndarray
+
+    def __post_init__(self):
+        if self.rates.shape != self.costs.shape or self.rates.size < 2:
+            raise ValueError("bid needs matching rate/cost samples (>= 2)")
+
+
+@dataclass
+class HierarchicalDispatcher:
+    """Two-level cost minimization over regions of sites.
+
+    Parameters
+    ----------
+    samples_per_region:
+        Sample points per regional cost curve (including 0 and the
+        regional capacity). More samples, tighter coordination.
+    backend:
+        Solver backend for the regional MILPs and the coordinator.
+    """
+
+    samples_per_region: int = 8
+    backend: object | None = None
+    _solver: CostMinimizer = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.samples_per_region < 2:
+            raise ValueError("need at least 2 samples per region")
+        self._solver = CostMinimizer(backend=self.backend)
+
+    # -- level 1: regional bids -------------------------------------------------
+
+    def bid(self, region: Region) -> RegionalBid:
+        """Sample the region's cost-minimization value function."""
+        capacity = region.capacity_rps
+        rates = np.linspace(0.0, capacity, self.samples_per_region)
+        costs = np.empty_like(rates)
+        for i, lam in enumerate(rates):
+            costs[i] = self._solver.solve(list(region.sites), float(lam)).predicted_cost
+        return RegionalBid(region, rates, costs)
+
+    # -- level 2: coordination -----------------------------------------------------
+
+    def coordinate(
+        self, bids: list[RegionalBid], total_rate_rps: float
+    ) -> dict[str, float]:
+        """Split ``total_rate_rps`` across regions using their bids.
+
+        Piecewise-linear interpolation of each (possibly non-convex)
+        sampled curve, with one binary per sampled segment; the
+        coordinator MILP has ``regions x samples`` variables regardless
+        of the number of underlying sites.
+        """
+        capacity = sum(b.region.capacity_rps for b in bids)
+        if total_rate_rps > capacity * (1 + 1e-9):
+            raise InfeasibleError(
+                f"offered load {total_rate_rps:.3e} exceeds hierarchical "
+                f"capacity {capacity:.3e}"
+            )
+        m = Model("coordinator")
+        rate_exprs = []
+        cost_exprs = []
+        for b in bids:
+            # Lambda method on each segment: rate = sum over segments of
+            # interpolated point; binaries pick exactly one segment.
+            n_seg = b.rates.size - 1
+            ys = [m.binary(f"y[{b.region.name},{k}]") for k in range(n_seg)]
+            # theta in [0,1] positions the point inside the active segment.
+            thetas = [
+                m.var(f"th[{b.region.name},{k}]", lb=0.0, ub=1.0) for k in range(n_seg)
+            ]
+            for th, y in zip(thetas, ys):
+                m.add(th <= 1.0 * y)
+            m.add(quicksum(ys) == 1.0)
+            scale = 1e-6  # coordinator works in Mrps for conditioning
+            rate = quicksum(
+                (b.rates[k] * scale) * ys[k]
+                + ((b.rates[k + 1] - b.rates[k]) * scale) * thetas[k]
+                for k in range(n_seg)
+            )
+            cost = quicksum(
+                b.costs[k] * ys[k] + (b.costs[k + 1] - b.costs[k]) * thetas[k]
+                for k in range(n_seg)
+            )
+            rate_exprs.append((b.region.name, rate))
+            cost_exprs.append(cost)
+        m.add(
+            quicksum(expr for _, expr in rate_exprs) == total_rate_rps * 1e-6,
+            name="serve_all",
+        )
+        m.minimize(quicksum(cost_exprs))
+        res = m.solve(backend=self.backend, raise_on_failure=True)
+        return {
+            name: max(0.0, res.value(expr)) * 1e6 for name, expr in rate_exprs
+        }
+
+    # -- full pipeline ---------------------------------------------------------------
+
+    def solve(self, regions: list[Region], total_rate_rps: float) -> HourlyDecision:
+        """Hierarchical cost minimization for one invocation period."""
+        if total_rate_rps < 0:
+            raise ValueError("total rate must be >= 0")
+        bids = [self.bid(r) for r in regions]
+        assignment = self.coordinate(bids, total_rate_rps)
+        allocations: list[Allocation] = []
+        total_cost = 0.0
+        for region in regions:
+            lam_r = assignment[region.name]
+            decision = self._solver.solve(list(region.sites), lam_r)
+            allocations.extend(decision.allocations)
+            total_cost += decision.predicted_cost
+        served = sum(a.rate_rps for a in allocations)
+        return HourlyDecision(
+            step=CappingStep.COST_MIN,
+            allocations=tuple(allocations),
+            served_premium_rps=served,
+            served_ordinary_rps=0.0,
+            demand_premium_rps=served,
+            demand_ordinary_rps=0.0,
+            predicted_cost=total_cost,
+        )
+
+
+@dataclass
+class HierarchicalBillCapper:
+    """Budget capping on top of the hierarchical dispatcher.
+
+    Premium demand is always admitted; the ordinary admission rate is
+    bisected against the hourly budget (the hierarchy's cost is
+    monotone in admitted load). Mirrors the flat
+    :class:`~repro.core.bill_capper.BillCapper` semantics including the
+    mandatory-premium violation case.
+    """
+
+    dispatcher: HierarchicalDispatcher = field(default_factory=HierarchicalDispatcher)
+    bisection_steps: int = 12
+    budget_safety: float = 0.98
+
+    def decide(
+        self,
+        regions: list[Region],
+        premium_rps: float,
+        ordinary_rps: float,
+        budget: float,
+    ) -> HourlyDecision:
+        if premium_rps < 0 or ordinary_rps < 0:
+            raise ValueError("offered rates must be >= 0")
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        capacity = sum(r.capacity_rps for r in regions)
+        premium_rps = min(premium_rps, capacity)
+        ordinary_rps = min(ordinary_rps, capacity - premium_rps)
+        effective = budget * self.budget_safety
+
+        full = self.dispatcher.solve(regions, premium_rps + ordinary_rps)
+        if full.predicted_cost <= effective:
+            return self._classed(
+                full, CappingStep.COST_MIN, premium_rps,
+                served_ordinary=ordinary_rps, demand_ordinary=ordinary_rps,
+                budget=budget,
+            )
+
+        premium_only = self.dispatcher.solve(regions, premium_rps)
+        if premium_only.predicted_cost > effective:
+            # Budget cannot even cover premium: violate it knowingly.
+            return self._classed(
+                premium_only, CappingStep.PREMIUM_ONLY, premium_rps,
+                served_ordinary=0.0, demand_ordinary=ordinary_rps,
+                budget=budget,
+            )
+
+        # Bisect the ordinary admission rate in (0, 1).
+        lo, hi = 0.0, 1.0
+        best = premium_only
+        best_admission = 0.0
+        for _ in range(self.bisection_steps):
+            mid = 0.5 * (lo + hi)
+            trial = self.dispatcher.solve(
+                regions, premium_rps + mid * ordinary_rps
+            )
+            if trial.predicted_cost <= effective:
+                best, best_admission = trial, mid
+                lo = mid
+            else:
+                hi = mid
+        return self._classed(
+            best,
+            CappingStep.THROUGHPUT_MAX,
+            premium_rps,
+            served_ordinary=best_admission * ordinary_rps,
+            demand_ordinary=ordinary_rps,
+            budget=budget,
+        )
+
+    @staticmethod
+    def _classed(
+        decision, step, premium, *, served_ordinary, demand_ordinary, budget
+    ) -> HourlyDecision:
+        return HourlyDecision(
+            step=step,
+            allocations=decision.allocations,
+            served_premium_rps=premium,
+            served_ordinary_rps=served_ordinary,
+            demand_premium_rps=premium,
+            demand_ordinary_rps=demand_ordinary,
+            predicted_cost=decision.predicted_cost,
+            budget=budget,
+        )

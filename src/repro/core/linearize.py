@@ -1,0 +1,151 @@
+"""MILP linearization of the stepped electricity-cost term.
+
+The cost a site pays, ``Pr_i(p_i + d_i) * p_i``, is non-linear because
+the price is a piecewise-constant function of the site's own draw.
+Section IV-C linearizes it with the standard technique the paper cites
+(Trecate et al., "Optimization with piecewise-affine cost functions"):
+one binary per price level selects the active segment, and a real
+variable carries the power served under that segment's price.
+
+Concretely, for segments ``k`` with market-load intervals
+``[L_{k-1}, L_k)`` and prices ``pi_k``:
+
+.. math::
+
+    p_i = \\sum_k p_{ik}, \\qquad \\sum_k y_{ik} = 1, \\qquad
+    \\max(0, L_{k-1} - d_i)\\, y_{ik} \\le p_{ik}
+        \\le (L_k - d_i)\\, y_{ik},
+
+and the exact hourly cost is the *linear* expression
+``sum_k pi_k * p_ik`` — exact because the price is constant within a
+segment, so no McCormick relaxation is needed. Segments entirely below
+the background demand (``L_k <= d_i``) are unreachable and dropped,
+which both shrinks the MILP and matches reality: the data center can
+only ever push the market price *up* from the background level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..solver import LinExpr, Model, Variable, quicksum
+from .site import SiteHour
+
+__all__ = ["LinearizedCost", "add_stepped_cost"]
+
+#: Slack (MW) applied to right-open segment boundaries. It must exceed
+#: the solver's feasibility tolerances (HiGHS MIP feasibility: 1e-6):
+#: with a smaller epsilon the optimizer can park *exactly on* a
+#: breakpoint while claiming the cheaper price, and the realized
+#: (right-open) price would then jump to the next level. At 1e-5 MW
+#: (ten watts) the chosen power stays strictly below the breakpoint, so
+#: decision and realized prices agree.
+_EDGE_EPS = 1e-5
+
+
+@dataclass(frozen=True)
+class LinearizedCost:
+    """Variables created by :func:`add_stepped_cost` for one site.
+
+    Attributes
+    ----------
+    cost:
+        Linear expression equal to the site's hourly bill in $.
+    segment_power:
+        Per-segment power variables ``p_ik`` (MW).
+    segment_active:
+        Per-segment binaries ``y_ik``.
+    prices:
+        Price of each *reachable* segment (aligned with the variables).
+    """
+
+    cost: LinExpr
+    segment_power: list[Variable]
+    segment_active: list[Variable]
+    prices: list[float]
+
+
+def add_stepped_cost(
+    model: Model,
+    power_mw: "LinExpr | Variable",
+    site: SiteHour,
+    max_power_mw: float | None = None,
+    margin_mw: float = 0.0,
+) -> LinearizedCost:
+    """Attach the stepped-cost linearization for one site to ``model``.
+
+    Parameters
+    ----------
+    model:
+        The MILP being built.
+    power_mw:
+        Expression for the site's own draw ``p_i`` (MW, >= 0).
+    site:
+        The hour's market snapshot (policy and background demand).
+    max_power_mw:
+        Upper bound on ``p_i`` used to close the unbounded last
+        segment; defaults to the site's reachable power. Must be
+        finite.
+    margin_mw:
+        Safety margin below each interior breakpoint. The MILP decides
+        with the *smooth* affine power model, while realized power comes
+        from the exact stepped model and is slightly larger; without a
+        margin the optimizer parks exactly below a breakpoint and the
+        realized draw crosses it, repricing the site's whole bill one
+        level up. Power inside the margin band is *conservatively*
+        billed at the next level (segment lower bounds are extended down
+        by the margin so no band of power becomes unrepresentable).
+
+    Returns
+    -------
+    LinearizedCost
+        The cost expression (add it to the objective or budget row) and
+        the auxiliary variables for inspection.
+    """
+    d = site.background_mw
+    p_max = site.max_power_mw if max_power_mw is None else float(max_power_mw)
+    if not p_max < float("inf"):
+        raise ValueError(f"{site.name}: need a finite power upper bound")
+    if margin_mw < 0:
+        raise ValueError("margin_mw must be >= 0")
+    shave = _EDGE_EPS + margin_mw
+
+    seg_power: list[Variable] = []
+    seg_active: list[Variable] = []
+    prices: list[float] = []
+    for k, (lo, hi) in enumerate(site.policy.segment_bounds()):
+        if hi <= d + _EDGE_EPS:
+            continue  # market load can never fall in this segment
+        # Lower bound extends down by the margin so the band shaved off
+        # the previous segment stays representable (at this, higher,
+        # price); upper bound is shaved except for the segment that
+        # contains the site's maximum power, which must stay reachable.
+        p_lo = max(0.0, lo - d - margin_mw)
+        if hi == float("inf") or p_max < hi - d - _EDGE_EPS:
+            p_hi = p_max  # the site's top segment
+        else:
+            p_hi = hi - d - shave
+        if p_hi < p_lo - _EDGE_EPS:
+            continue  # segment above the site's reachable power
+        price = site.policy.prices[k]
+        y = model.binary(f"y[{site.name},{k}]")
+        p = model.var(f"pseg[{site.name},{k}]", lb=0.0, ub=max(p_hi, 0.0))
+        # Segment bounds gated on the selection binary.
+        model.add(p <= p_hi * y, name=f"seg_ub[{site.name},{k}]")
+        if p_lo > 0.0:
+            model.add(p >= p_lo * y, name=f"seg_lb[{site.name},{k}]")
+        seg_power.append(p)
+        seg_active.append(y)
+        prices.append(price)
+
+    if not seg_power:
+        raise ValueError(
+            f"{site.name}: no reachable price segment (background demand "
+            f"{d} MW, max power {p_max} MW)"
+        )
+    model.add(quicksum(seg_active) == 1.0, name=f"one_segment[{site.name}]")
+    model.add(
+        quicksum(seg_power) == power_mw, name=f"power_split[{site.name}]"
+    )
+    cost = quicksum(price * p for price, p in zip(prices, seg_power))
+    return LinearizedCost(cost, seg_power, seg_active, prices)

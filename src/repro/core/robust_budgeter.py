@@ -1,0 +1,143 @@
+"""Adaptive budgeting under workload-prediction error.
+
+Section IX: "the proposed electricity bill capping scheme ... is
+currently based on the assumption that there is an accurate enough
+prediction algorithm ... in our future work we will improve our scheme
+to adapt to the situation when the workload prediction is inaccurate."
+
+The paper's :class:`~repro.core.budgeter.Budgeter` fixes every hour's
+base allocation up front from the historical weights; if the forecast
+is biased, early hours burn (or hoard) budget the late month needed.
+:class:`AdaptiveBudgeter` re-normalizes continuously instead:
+
+.. math::
+
+    B_t = (A_t - \\text{spent}_{<t}) \\cdot
+          \\frac{w_t}{\\sum_{s \\ge t} w_s}
+
+— each hour receives the *remaining allocatable budget* in proportion
+to its share of the *remaining* predicted weight, so any forecast error
+(or forced premium overspend) is amortized over the rest of the month
+rather than silently violating the monthly total. A configurable
+**contingency reserve** is withheld from the allocatable pool
+``A_t`` and released over the final days, absorbing late surprises.
+
+The class implements the same protocol as the plain budgeter
+(:meth:`hourly_budget` / :meth:`record_spend` / accounting properties),
+so the simulator and bill capper accept either interchangeably; the
+benchmark ``bench_ext_prediction_error.py`` compares the two under
+deliberately degraded forecasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload import HOURS_PER_WEEK, HourOfWeekPredictor
+
+__all__ = ["AdaptiveBudgeter"]
+
+
+class AdaptiveBudgeter:
+    """Self-correcting monthly -> hourly budget splitter.
+
+    Parameters
+    ----------
+    monthly_budget:
+        Total budget for the period, $.
+    predictor:
+        Hour-of-week workload predictor (same as the plain budgeter).
+    month_hours, start_weekday:
+        Budgeting horizon and calendar alignment.
+    reserve_fraction:
+        Share of the monthly budget withheld as contingency, released
+        linearly over the final ``release_hours`` of the month.
+    release_hours:
+        Tail window over which the reserve becomes allocatable
+        (default: the last 3 days).
+    """
+
+    def __init__(
+        self,
+        monthly_budget: float,
+        predictor: HourOfWeekPredictor,
+        month_hours: int = 30 * 24,
+        start_weekday: int = 0,
+        reserve_fraction: float = 0.05,
+        release_hours: int = 72,
+    ):
+        if monthly_budget < 0:
+            raise ValueError("monthly budget must be >= 0")
+        if month_hours <= 0:
+            raise ValueError("month_hours must be positive")
+        if not 0 <= reserve_fraction < 1:
+            raise ValueError("reserve fraction must be in [0, 1)")
+        if release_hours <= 0:
+            raise ValueError("release_hours must be positive")
+        release_hours = min(release_hours, month_hours)
+        self.monthly_budget = float(monthly_budget)
+        self.month_hours = int(month_hours)
+        self.reserve_fraction = float(reserve_fraction)
+        self.release_hours = int(release_hours)
+        weekly = predictor.weekly_profile()
+        idx = (np.arange(month_hours) + start_weekday * 24) % HOURS_PER_WEEK
+        profile = weekly[idx]
+        total = profile.sum()
+        self._weights = (
+            profile / total
+            if total > 0
+            else np.full(month_hours, 1.0 / month_hours)
+        )
+        # Suffix sums of weights: remaining predicted share per hour.
+        self._suffix = np.concatenate(
+            [np.cumsum(self._weights[::-1])[::-1], [0.0]]
+        )
+        self._spent = np.zeros(month_hours)
+        self._next_hour = 0
+
+    # -- budget protocol -------------------------------------------------------
+
+    def _allocatable(self, hour: int) -> float:
+        """Budget pool available through hour ``hour`` (reserve-aware)."""
+        reserve = self.reserve_fraction * self.monthly_budget
+        release_start = self.month_hours - self.release_hours
+        if hour < release_start:
+            released = 0.0
+        else:
+            released = reserve * (hour - release_start + 1) / self.release_hours
+        return self.monthly_budget - reserve + released
+
+    def hourly_budget(self) -> float:
+        """Budget for the current hour: remaining pool x remaining share."""
+        t = self._next_hour
+        if t >= self.month_hours:
+            raise RuntimeError("budgeting period exhausted")
+        remaining_pool = self._allocatable(t) - self.total_spent
+        share = self._weights[t] / self._suffix[t] if self._suffix[t] > 0 else 1.0
+        return max(0.0, remaining_pool * share)
+
+    def record_spend(self, cost: float) -> None:
+        """Record the hour's realized cost and advance."""
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        if self._next_hour >= self.month_hours:
+            raise RuntimeError("budgeting period exhausted")
+        self._spent[self._next_hour] = cost
+        self._next_hour += 1
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def current_hour(self) -> int:
+        return self._next_hour
+
+    @property
+    def total_spent(self) -> float:
+        return float(self._spent[: self._next_hour].sum())
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.monthly_budget - self.total_spent
+
+    def spent_through(self, hour: int) -> float:
+        return float(self._spent[:hour].sum())

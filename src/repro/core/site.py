@@ -1,0 +1,198 @@
+"""Sites: a data center bound to its local power market.
+
+A :class:`Site` pairs one :class:`~repro.datacenter.DataCenter` with the
+:class:`~repro.powermarket.SteppedPricingPolicy` of its location and the
+hourly background demand ``d_i`` of everyone else in that market. The
+hourly optimizers consume the per-hour snapshot :class:`SiteHour`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter import AffinePower, DataCenter
+from ..powermarket import SteppedPricingPolicy
+
+__all__ = ["Site", "SiteHour"]
+
+
+@dataclass(frozen=True)
+class SiteHour:
+    """Everything the hourly MILPs need to know about one site.
+
+    Attributes
+    ----------
+    name:
+        Site label.
+    affine:
+        Smooth power model ``p_i(lambda_i)`` in MW.
+    policy:
+        The locational pricing policy ``F_i``.
+    background_mw:
+        This hour's non-data-center demand ``d_i`` (periodically
+        informed by the ISO, Section IV-A).
+    power_cap_mw:
+        The supplier cap ``Ps_i``.
+    max_rate_rps:
+        Largest rate the site can serve (fleet and cap limits).
+    fleet_rate_rps:
+        Largest rate the *physical fleet* can serve, ignoring power
+        caps. Equal to ``max_rate_rps`` when no cap binds; a dispatcher
+        with an optimistic power model (e.g. Min-Only's servers-only
+        slope) derives its own believed cap bound from this.
+    power_segments:
+        Optional piecewise-linear convex power curve as
+        ``((cumulative capacity rps, slope MW/rps), ...)`` in
+        efficiency order (slopes non-decreasing). When present, the
+        dispatch MILP models power with one rate variable per segment —
+        exact for heterogeneous fleets — instead of the single affine
+        slope; the affine model still provides the intercept.
+    """
+
+    name: str
+    affine: AffinePower
+    policy: SteppedPricingPolicy
+    background_mw: float
+    power_cap_mw: float
+    max_rate_rps: float
+    power_segments: tuple[tuple[float, float], ...] | None = None
+    fleet_rate_rps: float | None = None
+
+    def __post_init__(self):
+        if self.background_mw < 0:
+            raise ValueError(f"{self.name}: negative background demand")
+        if self.power_cap_mw <= 0:
+            raise ValueError(f"{self.name}: power cap must be positive")
+        if self.max_rate_rps < 0:
+            raise ValueError(f"{self.name}: negative max rate")
+        if self.power_segments is not None:
+            caps = [c for c, _ in self.power_segments]
+            slopes = [s for _, s in self.power_segments]
+            if not caps:
+                raise ValueError(f"{self.name}: empty power segments")
+            if any(c <= 0 for c in caps) or caps != sorted(caps):
+                raise ValueError(
+                    f"{self.name}: segment capacities must be positive and increasing"
+                )
+            if slopes != sorted(slopes):
+                raise ValueError(
+                    f"{self.name}: segment slopes must be non-decreasing "
+                    "(convex power curve required for the LP split)"
+                )
+        if self.fleet_rate_rps is not None and self.fleet_rate_rps < 0:
+            raise ValueError(f"{self.name}: negative fleet rate")
+
+    @property
+    def physical_rate_rps(self) -> float:
+        """Fleet capacity ignoring power caps (defaults to max_rate_rps)."""
+        return (
+            self.fleet_rate_rps if self.fleet_rate_rps is not None else self.max_rate_rps
+        )
+
+    @property
+    def max_power_mw(self) -> float:
+        """Reachable DC power: min(cap, power at the max servable rate)."""
+        return min(self.power_cap_mw, self.affine.power_mw(self.max_rate_rps))
+
+    def marginal_price(self, dc_power_mw: float) -> float:
+        """Price the site pays when drawing ``dc_power_mw``."""
+        return self.policy.price(self.background_mw + dc_power_mw)
+
+    def cost_of_power(self, dc_power_mw: float) -> float:
+        """Hourly bill ($) at ``dc_power_mw``: price x energy (1 h)."""
+        return self.marginal_price(dc_power_mw) * dc_power_mw
+
+
+@dataclass(frozen=True)
+class Site:
+    """A data center plus its local market, over a whole simulation.
+
+    Attributes
+    ----------
+    datacenter:
+        The physical site model.
+    policy:
+        Locational pricing policy of the site's market.
+    background_mw:
+        Hourly background-demand trace ``d_i(t)`` (length >= the
+        simulated horizon).
+    coe_trace:
+        Optional hourly cooling-efficiency trace (the weather-varying
+        extension; see
+        :func:`repro.datacenter.cooling.synthetic_coe_trace`). When
+        present, every hourly snapshot and evaluation uses that hour's
+        efficiency instead of the data center's constant.
+    """
+
+    datacenter: DataCenter
+    policy: SteppedPricingPolicy
+    background_mw: np.ndarray
+    coe_trace: np.ndarray | None = None
+
+    def __post_init__(self):
+        bg = np.asarray(self.background_mw, dtype=float)
+        if bg.ndim != 1 or bg.size == 0:
+            raise ValueError("background demand must be a non-empty 1-D array")
+        if np.any(bg < 0) or not np.all(np.isfinite(bg)):
+            raise ValueError("background demand must be finite and >= 0")
+        object.__setattr__(self, "background_mw", bg)
+        if self.coe_trace is not None:
+            coe = np.asarray(self.coe_trace, dtype=float)
+            if coe.shape != bg.shape:
+                raise ValueError("coe_trace must match background_mw in length")
+            if np.any(coe <= 0):
+                raise ValueError("cooling efficiencies must be positive")
+            object.__setattr__(self, "coe_trace", coe)
+
+    @property
+    def name(self) -> str:
+        return self.datacenter.name
+
+    def datacenter_at(self, t: int) -> DataCenter:
+        """The data center with hour-``t`` weather applied (if any)."""
+        if self.coe_trace is None:
+            return self.datacenter
+        from dataclasses import replace
+
+        from ..datacenter import CoolingModel
+
+        return replace(
+            self.datacenter, cooling=CoolingModel(float(self.coe_trace[t]))
+        )
+
+    def hour(self, t: int) -> SiteHour:
+        """Snapshot of the site at hour ``t``."""
+        if not 0 <= t < self.background_mw.size:
+            raise IndexError(
+                f"hour {t} outside background trace of {self.background_mw.size}"
+            )
+        dc = self.datacenter_at(t)
+        # Heterogeneous sites expose their exact piecewise-convex power
+        # curve; the dispatch MILP prefers it over the secant affine model.
+        segments = None
+        piecewise = getattr(dc, "piecewise_power", None)
+        if piecewise is not None:
+            segments = tuple(piecewise())
+        return SiteHour(
+            name=self.name,
+            affine=dc.affine_power(),
+            policy=self.policy,
+            background_mw=float(self.background_mw[t]),
+            power_cap_mw=dc.power_cap_mw,
+            max_rate_rps=dc.max_throughput_rps(),
+            power_segments=segments,
+            fleet_rate_rps=dc.fleet_throughput_rps(),
+        )
+
+    def evaluate_hour(self, t: int, lam_rps: float) -> tuple[float, float, float]:
+        """Exact (power MW, price $/MWh, cost $) realized at hour ``t``.
+
+        Uses the stepped physical model — integral servers, stepped
+        switch counts — and the realized market price, not the MILP's
+        smooth decision model. This is the simulator's ground truth.
+        """
+        power_mw = self.datacenter_at(t).power_mw(lam_rps)
+        price = self.policy.price(float(self.background_mw[t]) + power_mw)
+        return power_mw, price, price * power_mw

@@ -1,0 +1,182 @@
+"""Day-ahead energy-storage scheduling against stepped market prices.
+
+Extension beyond the paper (its related work explicitly studies stored
+energy: Urgaonkar et al., Govindan et al.): given tomorrow's forecast
+data-center power profile and the site's stepped pricing policy, plan
+hourly battery charge/discharge that minimizes the bill. The planner is
+a *multi-hour* MILP that reuses the same stepped-cost linearization as
+the hourly dispatcher — each hour's grid draw selects a price segment,
+and the battery couples hours through the state-of-charge dynamics:
+
+.. math::
+
+    soc_{t+1} = soc_t + \\eta_c c_t - d_t / \\eta_d, \\qquad
+    g_t = p_t + c_t - d_t \\ge 0,
+
+minimizing :math:`\\sum_t Pr_t(g_t + d^{bg}_t) \\, g_t` subject to SOC
+and power limits and end-of-horizon energy neutrality (the plan must
+return the battery at least to its starting charge, so savings are real
+arbitrage rather than borrowed energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.battery import Battery
+from ..solver import Model, quicksum
+from .linearize import add_stepped_cost
+from .site import SiteHour
+
+__all__ = ["StorageSchedule", "plan_storage_schedule", "evaluate_schedule"]
+
+
+@dataclass(frozen=True)
+class StorageSchedule:
+    """Planned battery operation over a horizon.
+
+    All arrays have the horizon's length; ``soc_mwh`` additionally has
+    the initial state prepended (length ``T + 1``).
+    """
+
+    charge_mw: np.ndarray
+    discharge_mw: np.ndarray
+    grid_mw: np.ndarray
+    soc_mwh: np.ndarray
+    planned_cost: float
+    baseline_cost: float
+
+    @property
+    def planned_saving(self) -> float:
+        """Relative bill reduction vs running without the battery."""
+        if self.baseline_cost <= 0:
+            return 0.0
+        return 1.0 - self.planned_cost / self.baseline_cost
+
+
+def plan_storage_schedule(
+    hours: list[SiteHour],
+    base_power_mw: np.ndarray,
+    battery: Battery,
+    *,
+    initial_soc_fraction: float = 0.5,
+    require_final_soc: bool = True,
+    backend=None,
+) -> StorageSchedule:
+    """Plan battery charge/discharge over consecutive hours of one site.
+
+    Parameters
+    ----------
+    hours:
+        The site's hourly market snapshots (same site, consecutive
+        hours — backgrounds may differ hour to hour).
+    base_power_mw:
+        The data center's power profile for those hours (the dispatch
+        decided elsewhere); the battery shifts *grid* draw around it.
+    battery:
+        The storage device.
+    initial_soc_fraction:
+        Starting state of charge.
+    require_final_soc:
+        Demand ``soc_T >= soc_0`` so the plan is energy-neutral.
+    backend:
+        Solver backend (default HiGHS).
+
+    Returns
+    -------
+    StorageSchedule
+        The optimal plan plus the no-battery baseline cost for
+        comparison.
+    """
+    T = len(hours)
+    base = np.asarray(base_power_mw, dtype=float)
+    if base.shape != (T,):
+        raise ValueError("base_power_mw must have one entry per hour")
+    if np.any(base < 0):
+        raise ValueError("base power must be >= 0")
+    if T == 0:
+        raise ValueError("empty horizon")
+
+    soc0 = battery.capacity_mwh * initial_soc_fraction
+
+    m = Model("storage-plan")
+    charge = [
+        m.var(f"c[{t}]", lb=0.0, ub=battery.max_charge_mw) for t in range(T)
+    ]
+    discharge = [
+        m.var(f"d[{t}]", lb=0.0, ub=min(battery.max_discharge_mw, float(base[t])))
+        for t in range(T)
+    ]
+    soc = [m.var(f"soc[{t}]", lb=0.0, ub=battery.capacity_mwh) for t in range(T + 1)]
+    m.add(soc[0] == soc0, name="soc0")
+    if require_final_soc:
+        m.add(soc[T] >= soc0, name="soc_final")
+
+    grid_vars = []
+    costs = []
+    for t, sh in enumerate(hours):
+        m.add(
+            soc[t + 1]
+            == soc[t]
+            + battery.charge_efficiency * charge[t]
+            - (1.0 / battery.discharge_efficiency) * discharge[t],
+            name=f"soc_dyn[{t}]",
+        )
+        g_max = float(base[t]) + battery.max_charge_mw
+        g = m.var(f"g[{t}]", lb=0.0, ub=g_max)
+        m.add(g == base[t] + charge[t] - discharge[t], name=f"grid[{t}]")
+        lin = add_stepped_cost(m, g, sh, max_power_mw=g_max)
+        grid_vars.append(g)
+        costs.append(lin.cost)
+
+    m.minimize(quicksum(costs))
+    res = m.solve(backend=backend, raise_on_failure=True)
+
+    baseline_cost = float(
+        sum(sh.cost_of_power(float(p)) for sh, p in zip(hours, base))
+    )
+    soc_values = np.array([res.value(s) for s in soc])
+    return StorageSchedule(
+        charge_mw=np.array([res.value(c) for c in charge]),
+        discharge_mw=np.array([res.value(d) for d in discharge]),
+        grid_mw=np.array([res.value(g) for g in grid_vars]),
+        soc_mwh=soc_values,
+        planned_cost=float(res.objective),
+        baseline_cost=baseline_cost,
+    )
+
+
+def evaluate_schedule(
+    schedule: StorageSchedule,
+    actual_hours: list[SiteHour],
+    actual_base_mw: np.ndarray,
+) -> tuple[float, float]:
+    """Bill a planned schedule against *realized* market conditions.
+
+    Day-ahead plans are made on forecasts; reality differs. The planned
+    charge/discharge megawatts are executed verbatim against the actual
+    backgrounds and data-center power profile, and both the resulting
+    bill and the no-battery bill are computed — the pair quantifies how
+    much of the planned arbitrage survives forecast error.
+
+    Returns
+    -------
+    (with_battery, without_battery)
+        Realized costs in $ over the horizon.
+    """
+    T = len(actual_hours)
+    base = np.asarray(actual_base_mw, dtype=float)
+    if base.shape != (T,) or schedule.grid_mw.shape != (T,):
+        raise ValueError("schedule/actual horizons must match")
+    with_battery = 0.0
+    without = 0.0
+    for t, sh in enumerate(actual_hours):
+        # Execute the planned battery megawatts on the actual DC draw;
+        # discharge can only offset load that actually exists.
+        discharge = min(float(schedule.discharge_mw[t]), float(base[t]))
+        grid = max(0.0, float(base[t]) + float(schedule.charge_mw[t]) - discharge)
+        with_battery += sh.cost_of_power(grid)
+        without += sh.cost_of_power(float(base[t]))
+    return with_battery, without

@@ -1,0 +1,91 @@
+"""Step 2 of the bill-capping algorithm: throughput maximization.
+
+Implements the paper's Section V optimization (eq. 8-9): when the
+minimized cost would bust the hourly budget ``Cs``, maximize the served
+request rate subject to the *cost* staying below the budget (and the
+same power-cap / QoS constraints as step 1). The served rate can fall
+short of the offered load; the bill capper layers the premium/ordinary
+admission policy on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..solver import InfeasibleError
+from .allocation import CappingStep, HourlyDecision
+from .cost_min import _decision_from, _zero_decision
+from .dispatch_model import RATE_SCALE, build_dispatch_model
+from .site import SiteHour
+
+__all__ = ["ThroughputMaximizer"]
+
+
+@dataclass
+class ThroughputMaximizer:
+    """Budget-constrained throughput maximization (the paper's eq. 8-9).
+
+    Parameters
+    ----------
+    backend:
+        Solver backend name or object; default HiGHS.
+    cost_tiebreak_weight:
+        Among maximum-throughput solutions, prefer cheaper ones: the
+        objective is ``sum lambda_i - w * total_cost`` with ``w`` small
+        enough (in rate-per-dollar units) never to trade throughput for
+        money. Set to 0 to disable.
+    """
+
+    backend: object | None = None
+    cost_tiebreak_weight: float = 1e-6
+    step_margin_frac: float = 0.01
+
+    def solve(
+        self,
+        site_hours: list[SiteHour],
+        offered_rate_rps: float,
+        budget: float,
+    ) -> HourlyDecision:
+        """Serve as much of ``offered_rate_rps`` as ``budget`` allows.
+
+        Returns a decision whose ``served_total_rps`` is the achievable
+        throughput ``lambda_throughput`` of Section V-A; all of it is
+        reported as a single class (the bill capper splits classes).
+        """
+        if offered_rate_rps < 0:
+            raise ValueError("offered rate must be >= 0")
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        if offered_rate_rps == 0:
+            decision = _zero_decision(site_hours, CappingStep.THROUGHPUT_MAX)
+            return _with_budget(decision, budget)
+
+        dm = build_dispatch_model(
+            site_hours, name="throughput-max", step_margin_frac=self.step_margin_frac
+        )
+        dm.model.add(
+            dm.total_rate_scaled <= offered_rate_rps / RATE_SCALE, name="demand"
+        )
+        dm.model.add(dm.total_cost <= budget, name="budget")
+        objective = dm.total_rate_scaled
+        if self.cost_tiebreak_weight > 0:
+            objective = objective - self.cost_tiebreak_weight * dm.total_cost
+        dm.model.maximize(objective)
+        # All-zero dispatch is always feasible (cost 0 <= budget), so a
+        # failure here is a solver error rather than a modeling outcome.
+        res = dm.model.solve(backend=self.backend, raise_on_failure=True)
+        decision = _decision_from(dm, res, CappingStep.THROUGHPUT_MAX)
+        return _with_budget(decision, budget)
+
+
+def _with_budget(decision: HourlyDecision, budget: float) -> HourlyDecision:
+    return HourlyDecision(
+        step=decision.step,
+        allocations=decision.allocations,
+        served_premium_rps=decision.served_premium_rps,
+        served_ordinary_rps=decision.served_ordinary_rps,
+        demand_premium_rps=decision.demand_premium_rps,
+        demand_ordinary_rps=decision.demand_ordinary_rps,
+        predicted_cost=decision.predicted_cost,
+        budget=budget,
+    )

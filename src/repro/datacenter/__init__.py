@@ -1,0 +1,58 @@
+"""Data-center substrate: servers, queueing, networking, cooling, sites.
+
+Implements the paper's Section IV-B models — linear server power, G/G/m
+response time (Allen-Cunneen), k-ary fat-tree switching power, and
+cooling-efficiency-based cooling power — composed into the per-site
+:class:`DataCenter` and its :class:`LocalOptimizer`.
+"""
+
+from .battery import Battery, BatteryState
+from .cooling import PAPER_COOLING_EFFICIENCIES, CoolingModel, synthetic_coe_trace
+from .erlang import erlang_b, erlang_c, mmm_required_servers, mmm_response_time
+from .datacenter import (
+    AffinePower,
+    CapacityError,
+    DataCenter,
+    Provisioning,
+    WATTS_PER_MW,
+)
+from .fattree import FatTree, SwitchCounts, fat_tree_for_servers
+from .heterogeneous import HeterogeneousDataCenter, ServerPool
+from .local_optimizer import LocalDecision, LocalOptimizer
+from .network_power import NetworkPowerModel, SwitchPowers, paper_switch_powers
+from .queueing import QueueParams, max_arrival_rate, required_servers, response_time
+from .server import PAPER_OPERATING_UTILIZATION, ServerSpec, paper_server_specs
+
+__all__ = [
+    "ServerSpec",
+    "paper_server_specs",
+    "PAPER_OPERATING_UTILIZATION",
+    "QueueParams",
+    "response_time",
+    "required_servers",
+    "max_arrival_rate",
+    "FatTree",
+    "SwitchCounts",
+    "fat_tree_for_servers",
+    "SwitchPowers",
+    "NetworkPowerModel",
+    "paper_switch_powers",
+    "CoolingModel",
+    "PAPER_COOLING_EFFICIENCIES",
+    "synthetic_coe_trace",
+    "DataCenter",
+    "Provisioning",
+    "AffinePower",
+    "CapacityError",
+    "WATTS_PER_MW",
+    "LocalOptimizer",
+    "LocalDecision",
+    "HeterogeneousDataCenter",
+    "ServerPool",
+    "Battery",
+    "BatteryState",
+    "erlang_b",
+    "erlang_c",
+    "mmm_response_time",
+    "mmm_required_servers",
+]

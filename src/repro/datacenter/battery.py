@@ -1,0 +1,94 @@
+"""Battery / UPS energy storage for data centers.
+
+The paper's related work (Urgaonkar et al., SIGMETRICS'11; Govindan et
+al., ISCA'11) explores "tapping into stored energy" to cut power bills.
+This module provides the device model used by the day-ahead storage
+planner in :mod:`repro.core.storage`: a simple energy reservoir with
+power limits and charge/discharge efficiencies.
+
+Sign conventions: charging draws extra power *from the grid*;
+discharging offsets grid draw. State of charge (SOC) is tracked in MWh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Battery", "BatteryState"]
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A stationary battery installation at one site.
+
+    Attributes
+    ----------
+    capacity_mwh:
+        Usable energy capacity.
+    max_charge_mw, max_discharge_mw:
+        Power limits (grid side for charge, load side for discharge).
+    charge_efficiency, discharge_efficiency:
+        Fractions of energy retained on the way in / out; their product
+        is the round-trip efficiency (typical UPS strings: ~0.81).
+    """
+
+    capacity_mwh: float
+    max_charge_mw: float
+    max_discharge_mw: float
+    charge_efficiency: float = 0.9
+    discharge_efficiency: float = 0.9
+
+    def __post_init__(self):
+        if self.capacity_mwh <= 0:
+            raise ValueError("capacity must be positive")
+        if self.max_charge_mw <= 0 or self.max_discharge_mw <= 0:
+            raise ValueError("power limits must be positive")
+        for eff in (self.charge_efficiency, self.discharge_efficiency):
+            if not 0 < eff <= 1:
+                raise ValueError("efficiencies must be in (0, 1]")
+
+    @property
+    def round_trip_efficiency(self) -> float:
+        return self.charge_efficiency * self.discharge_efficiency
+
+    def initial_state(self, soc_fraction: float = 0.5) -> "BatteryState":
+        """A fresh state at ``soc_fraction`` of capacity."""
+        if not 0 <= soc_fraction <= 1:
+            raise ValueError("soc_fraction must be in [0, 1]")
+        return BatteryState(self, soc_mwh=self.capacity_mwh * soc_fraction)
+
+
+@dataclass
+class BatteryState:
+    """Mutable battery state for step-by-step simulation."""
+
+    battery: Battery
+    soc_mwh: float
+
+    def charge(self, grid_mw: float, hours: float = 1.0) -> float:
+        """Charge from ``grid_mw`` for ``hours``; returns MW actually drawn.
+
+        Clamped by the power limit and the remaining headroom.
+        """
+        if grid_mw < 0:
+            raise ValueError("charge power must be >= 0")
+        mw = min(grid_mw, self.battery.max_charge_mw)
+        headroom = self.battery.capacity_mwh - self.soc_mwh
+        mw = min(mw, headroom / (self.battery.charge_efficiency * hours))
+        self.soc_mwh += mw * hours * self.battery.charge_efficiency
+        return mw
+
+    def discharge(self, load_mw: float, hours: float = 1.0) -> float:
+        """Discharge to serve ``load_mw``; returns MW actually delivered."""
+        if load_mw < 0:
+            raise ValueError("discharge power must be >= 0")
+        mw = min(load_mw, self.battery.max_discharge_mw)
+        available = self.soc_mwh * self.battery.discharge_efficiency / hours
+        mw = min(mw, available)
+        self.soc_mwh -= mw * hours / self.battery.discharge_efficiency
+        self.soc_mwh = max(0.0, self.soc_mwh)
+        return mw
+
+    @property
+    def soc_fraction(self) -> float:
+        return self.soc_mwh / self.battery.capacity_mwh

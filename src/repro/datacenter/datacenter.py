@@ -1,0 +1,229 @@
+"""The per-site data-center model: servers + network + cooling power.
+
+Combines the submodels of this package into the paper's eq. (4):
+``p_i = p_server + p_networking + p_cooling``, all driven by the request
+rate ``lambda_i`` the bill capper assigns to the site.
+
+Two views of the same physics are exposed:
+
+* :meth:`DataCenter.provision` / :meth:`DataCenter.power_w` — the
+  *exact* stepped model (integral servers, stepped switch counts) used
+  by the simulator to evaluate realized power and cost;
+* :meth:`DataCenter.affine_power` — the *smooth* affine approximation
+  ``p_i(lambda) = a * lambda + b`` used to keep the hourly optimization
+  a MILP (Section IV-C keeps the pricing steps as the only
+  integrality source).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .cooling import CoolingModel
+from .fattree import fat_tree_for_servers
+from .network_power import NetworkPowerModel, SwitchPowers
+from .queueing import QueueParams, required_servers
+from .server import PAPER_OPERATING_UTILIZATION, ServerSpec
+
+__all__ = ["CapacityError", "Provisioning", "AffinePower", "DataCenter"]
+
+WATTS_PER_MW = 1e6
+
+
+class CapacityError(ValueError):
+    """A request rate exceeds what the site can serve within QoS/power."""
+
+
+@dataclass(frozen=True)
+class Provisioning:
+    """Local-optimizer outcome for one invocation period at one site."""
+
+    n_servers: int
+    utilization: float
+    server_power_w: float
+    network_power_w: float
+    cooling_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.server_power_w + self.network_power_w + self.cooling_power_w
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.total_power_w / WATTS_PER_MW
+
+
+@dataclass(frozen=True)
+class AffinePower:
+    """Smooth power model ``p(lambda) = slope * lambda + intercept``.
+
+    ``slope`` in MW per (request/second); ``intercept`` in MW, incurred
+    only when the site serves any load (the MILP gates it on an
+    activity binary).
+    """
+
+    slope_mw_per_rps: float
+    intercept_mw: float
+
+    def power_mw(self, lam_rps: float) -> float:
+        if lam_rps < 0:
+            raise ValueError("arrival rate must be >= 0")
+        if lam_rps == 0:
+            return 0.0
+        return self.slope_mw_per_rps * lam_rps + self.intercept_mw
+
+    def max_rate_for_power(self, power_mw: float) -> float:
+        """Largest rate whose modeled power stays within ``power_mw``."""
+        if power_mw <= self.intercept_mw:
+            return 0.0
+        return (power_mw - self.intercept_mw) / self.slope_mw_per_rps
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """One geographically distinct data center (site *i* of the paper).
+
+    Attributes
+    ----------
+    name:
+        Site label.
+    servers:
+        Homogeneous server model (Section IX discusses the homogeneity
+        assumption; heterogeneous sites are an extension, see
+        :mod:`repro.datacenter.heterogeneous`).
+    max_servers:
+        Physical fleet size (paper: "up to 300,000 servers").
+    switch_powers:
+        Per-switch power draws of the site's fat-tree fabric.
+    cooling:
+        Cooling-efficiency model.
+    target_response_s:
+        The QoS set point ``Rs_i`` in seconds.
+    power_cap_mw:
+        The supplier-imposed cap ``Ps_i`` on the site's draw (constraint
+        (b) of the optimization problems).
+    queue:
+        Traffic-variability parameters of the G/G/m model.
+    utilization_cap:
+        Operating utilization ceiling for active servers; the local
+        optimizer provisions at least ``lambda / (cap * mu)`` servers so
+        realized utilization matches the paper's "actual server
+        utilization level (e.g., 80%)".
+    """
+
+    name: str
+    servers: ServerSpec
+    max_servers: int
+    switch_powers: SwitchPowers
+    cooling: CoolingModel
+    target_response_s: float
+    power_cap_mw: float = float("inf")
+    queue: QueueParams = field(default_factory=QueueParams)
+    utilization_cap: float = PAPER_OPERATING_UTILIZATION
+
+    def __post_init__(self):
+        if self.max_servers <= 0:
+            raise ValueError("max_servers must be positive")
+        if not 0 < self.utilization_cap <= 1:
+            raise ValueError("utilization_cap must be in (0, 1]")
+        if self.power_cap_mw <= 0:
+            raise ValueError("power cap must be positive")
+        if self.target_response_s <= 1.0 / self.servers.service_rate:
+            raise ValueError(
+                "target response time must exceed the per-request service time"
+            )
+
+    # -- derived structures ----------------------------------------------------
+
+    @property
+    def network(self) -> NetworkPowerModel:
+        """Fat-tree network model sized for the fleet."""
+        return NetworkPowerModel(
+            topology=fat_tree_for_servers(self.max_servers),
+            powers=self.switch_powers,
+        )
+
+    # -- local optimizer (exact stepped model) -----------------------------------
+
+    def required_servers(self, lam_rps: float) -> int:
+        """Minimum active servers for ``lam_rps`` (QoS + utilization cap)."""
+        if lam_rps < 0:
+            raise ValueError("arrival rate must be >= 0")
+        if lam_rps == 0:
+            return 0
+        n_qos = required_servers(
+            lam_rps, self.servers.service_rate, self.target_response_s, self.queue
+        )
+        n_util = math.ceil(
+            lam_rps / (self.utilization_cap * self.servers.service_rate) - 1e-9
+        )
+        n = int(max(n_qos, n_util, 1))
+        if n > self.max_servers:
+            raise CapacityError(
+                f"{self.name}: {lam_rps:.0f} req/s needs {n} servers "
+                f"(> fleet of {self.max_servers})"
+            )
+        return n
+
+    def provision(self, lam_rps: float) -> Provisioning:
+        """Run the local optimizer: fewest servers, then the power bill."""
+        n = self.required_servers(lam_rps)
+        if n == 0:
+            return Provisioning(0, 0.0, 0.0, 0.0, 0.0)
+        util = lam_rps / (n * self.servers.service_rate)
+        server_w = n * self.servers.power_w(util)
+        network_w = self.network.power_w(n)
+        cooling_w = self.cooling.power_w(server_w + network_w)
+        return Provisioning(n, util, server_w, network_w, cooling_w)
+
+    def power_w(self, lam_rps: float) -> float:
+        """Exact total power (W) to serve ``lam_rps`` within QoS."""
+        return self.provision(lam_rps).total_power_w
+
+    def power_mw(self, lam_rps: float) -> float:
+        """Exact total power in MW."""
+        return self.power_w(lam_rps) / WATTS_PER_MW
+
+    # -- smooth model for the MILP -------------------------------------------------
+
+    def affine_power(self) -> AffinePower:
+        """Affine approximation of :meth:`power_mw`.
+
+        Slope: at the operating utilization ``u*`` each server carries
+        ``u* mu`` req/s and draws ``sp(u*)`` plus its amortized share of
+        the switching fabric, all inflated by the cooling overhead.
+        Intercept: the queueing headroom ``K/(Rs - 1/mu)`` requests'
+        worth of servers that must be on regardless of volume.
+        """
+        mu = self.servers.service_rate
+        u = self.utilization_cap
+        per_server_w = self.servers.power_w(u) + self.network.watts_per_server()
+        overhead = self.cooling.overhead_factor
+        slope_w = overhead * per_server_w / (u * mu)
+        headroom_servers = self.queue.k / (
+            (self.target_response_s - 1.0 / mu) * mu
+        )
+        intercept_w = overhead * per_server_w * headroom_servers
+        return AffinePower(slope_w / WATTS_PER_MW, intercept_w / WATTS_PER_MW)
+
+    # -- capacity -----------------------------------------------------------------
+
+    def fleet_throughput_rps(self) -> float:
+        """Largest rate the physical fleet can serve (ignoring power caps)."""
+        return self.max_servers * self.utilization_cap * self.servers.service_rate
+
+    def max_throughput_rps(self) -> float:
+        """Largest request rate servable within fleet size and power cap."""
+        affine = self.affine_power()
+        power_cap = affine.max_rate_for_power(self.power_cap_mw)
+        return min(self.fleet_throughput_rps(), power_cap)
+
+    def peak_power_mw(self) -> float:
+        """Power with the whole fleet active at the utilization cap."""
+        n = self.max_servers
+        server_w = n * self.servers.power_w(self.utilization_cap)
+        network_w = self.network.power_w(n)
+        return (
+            (server_w + network_w) * self.cooling.overhead_factor / WATTS_PER_MW
+        )

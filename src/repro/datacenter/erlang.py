@@ -1,0 +1,90 @@
+"""Exact M/M/m queueing (Erlang C) for validating the Allen-Cunneen model.
+
+The paper's response-time model is the Allen-Cunneen *approximation*
+for G/G/m queues. For the special case of Poisson arrivals and
+exponential service (CA2 = CB2 = 1) the exact answer is classical
+Erlang-C, so this module provides the ground truth the test suite
+checks the approximation against:
+
+* :func:`erlang_b` / :func:`erlang_c` — blocking and waiting
+  probabilities, computed with the numerically stable iterative
+  recurrence (no factorials, works for hundreds of thousands of
+  servers);
+* :func:`mmm_response_time` — exact mean response time
+  ``1/mu + C(m, a) / (m mu - lambda)``;
+* :func:`mmm_required_servers` — exact minimal fleet for a response
+  target, by upward search from the utilization floor.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["erlang_b", "erlang_c", "mmm_response_time", "mmm_required_servers"]
+
+
+def erlang_b(m: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for ``m`` servers at load ``a``.
+
+    Iterative recurrence: ``B(0) = 1``,
+    ``B(k) = a B(k-1) / (k + a B(k-1))`` — numerically stable for any
+    ``m`` (each step stays in [0, 1]).
+    """
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    if offered_load < 0:
+        raise ValueError("offered load must be >= 0")
+    b = 1.0
+    for k in range(1, m + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b
+
+
+def erlang_c(m: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/m).
+
+    Requires a stable queue (``offered_load < m``); returns 1.0 at the
+    stability boundary.
+    """
+    if m <= 0:
+        raise ValueError("m must be >= 1")
+    if offered_load < 0:
+        raise ValueError("offered load must be >= 0")
+    if offered_load >= m:
+        return 1.0
+    rho = offered_load / m
+    b = erlang_b(m, offered_load)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+def mmm_response_time(lam: float, m: int, mu: float) -> float:
+    """Exact mean response time of an M/M/m queue (seconds).
+
+    ``R = 1/mu + C(m, lam/mu) / (m mu - lam)``; ``inf`` when unstable.
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be >= 0")
+    if m <= 0 or mu <= 0:
+        raise ValueError("m and mu must be positive")
+    if lam >= m * mu:
+        return math.inf
+    if lam == 0:
+        return 1.0 / mu
+    c = erlang_c(m, lam / mu)
+    return 1.0 / mu + c / (m * mu - lam)
+
+
+def mmm_required_servers(lam: float, mu: float, target_response: float) -> int:
+    """Exact minimal M/M/m fleet meeting a mean-response-time target."""
+    if lam < 0:
+        raise ValueError("arrival rate must be >= 0")
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    if target_response <= 1.0 / mu:
+        raise ValueError("target must exceed the bare service time")
+    if lam == 0:
+        return 0
+    m = max(1, math.ceil(lam / mu))
+    while mmm_response_time(lam, m, mu) > target_response:
+        m += 1
+    return m

@@ -1,0 +1,141 @@
+"""k-ary fat-tree topology and active-switch accounting.
+
+Section IV-B adopts the three-level k-ary fat-tree of Al-Fares et al.
+to model data-center networking: ``k`` pods, each with ``k/2`` edge and
+``k/2`` aggregation switches; ``(k/2)^2`` core switches; each edge
+switch connects ``k/2`` servers, for ``k^3/4`` servers total.
+
+The number of *active* switches "var[ies] significantly based on data
+center workloads": when the local optimizer packs the active servers
+onto as few racks/pods as possible (the ElasticTree strategy the paper
+cites), the active edge/aggregation/core counts — the paper's ``A_i``,
+``B_i``, ``C_i`` — are proportional to the number of active servers, in
+the stepped form computed by :meth:`FatTree.active_switches`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FatTree", "SwitchCounts", "fat_tree_for_servers"]
+
+
+@dataclass(frozen=True)
+class SwitchCounts:
+    """Active switch counts per level (the paper's A_i, B_i, C_i)."""
+
+    edge: int
+    aggregation: int
+    core: int
+
+    @property
+    def total(self) -> int:
+        return self.edge + self.aggregation + self.core
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """A k-ary fat-tree (``k`` even, ``k >= 2``).
+
+    Attributes
+    ----------
+    k:
+        Arity; the topology supports ``k^3/4`` servers.
+    """
+
+    k: int
+
+    def __post_init__(self):
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError("fat-tree arity k must be an even integer >= 2")
+
+    # -- static topology ------------------------------------------------------
+
+    @property
+    def servers_per_edge_switch(self) -> int:
+        return self.k // 2
+
+    @property
+    def edge_per_pod(self) -> int:
+        return self.k // 2
+
+    @property
+    def agg_per_pod(self) -> int:
+        return self.k // 2
+
+    @property
+    def n_pods(self) -> int:
+        return self.k
+
+    @property
+    def n_core(self) -> int:
+        return (self.k // 2) ** 2
+
+    @property
+    def max_servers(self) -> int:
+        return self.k**3 // 4
+
+    @property
+    def servers_per_pod(self) -> int:
+        return self.k**2 // 4
+
+    def total_switches(self) -> SwitchCounts:
+        """Counts with every switch powered (a fully active tree)."""
+        half = self.k // 2
+        return SwitchCounts(edge=self.k * half, aggregation=self.k * half, core=self.n_core)
+
+    # -- workload-dependent counts -----------------------------------------------
+
+    def active_switches(self, n_active_servers: int) -> SwitchCounts:
+        """Switches that must be powered for ``n_active_servers``.
+
+        Servers are packed densely: fill edge switches one at a time,
+        pods one at a time. All aggregation switches of an active pod
+        stay on (they form the pod's intra-connect), and the core layer
+        is scaled proportionally to active pods (ElasticTree-style
+        consolidation), with at least one core switch whenever any
+        server is active.
+        """
+        if n_active_servers < 0:
+            raise ValueError("server count must be >= 0")
+        if n_active_servers > self.max_servers:
+            raise ValueError(
+                f"{n_active_servers} servers exceed fat-tree capacity "
+                f"{self.max_servers} (k={self.k})"
+            )
+        if n_active_servers == 0:
+            return SwitchCounts(0, 0, 0)
+        edge = math.ceil(n_active_servers / self.servers_per_edge_switch)
+        pods = math.ceil(edge / self.edge_per_pod)
+        agg = pods * self.agg_per_pod
+        core = max(1, math.ceil(self.n_core * pods / self.n_pods))
+        return SwitchCounts(edge=edge, aggregation=agg, core=core)
+
+    def switches_per_server(self) -> tuple[float, float, float]:
+        """Asymptotic (edge, agg, core) switches per active server.
+
+        The smooth amortization used to build the MILP's affine power
+        coefficients: 1/(k/2) edge, 1/(k^2/4)*(k/2) = 2/k agg, and
+        (k/2)^2 / (k^3/4) = 1/k core switches per server.
+        """
+        edge = 1.0 / self.servers_per_edge_switch
+        agg = self.agg_per_pod / self.servers_per_pod
+        core = self.n_core / self.max_servers
+        return (edge, agg, core)
+
+
+def fat_tree_for_servers(n_servers: int) -> FatTree:
+    """Smallest even-k fat-tree that can host ``n_servers``.
+
+    E.g. the paper's 300,000-server sites need ``k = 108``
+    (108^3/4 = 314,928).
+    """
+    if n_servers <= 0:
+        raise ValueError("server count must be positive")
+    k = max(2, math.ceil((4.0 * n_servers) ** (1.0 / 3.0)))
+    if k % 2:
+        k += 1
+    while k**3 // 4 < n_servers:  # guard against cube-root rounding
+        k += 2
+    return FatTree(k)

@@ -1,0 +1,220 @@
+"""Heterogeneous data centers (the paper's Section IX extension).
+
+The paper assumes homogeneous servers per site and names heterogeneity
+— "multiple service rates exist due to the heterogeneity in hardware"
+from "repair, replacement, and expansion" — as future work. This module
+implements it:
+
+* a :class:`ServerPool` is a homogeneous group of servers inside a site;
+* a :class:`HeterogeneousDataCenter` holds several pools and runs a
+  greedy *efficiency-ordered* local optimizer: requests fill the pool
+  with the lowest energy-per-request first, spilling into less
+  efficient pools as load grows. For linear power and a shared
+  response-time target this greedy order is optimal (exchange
+  argument: moving a request from a more efficient pool to a less
+  efficient one can only raise power).
+
+The class is duck-type compatible with
+:class:`~repro.datacenter.datacenter.DataCenter` for everything the
+dispatchers and simulator touch (``provision``, ``power_mw``,
+``affine_power``, ``max_throughput_rps``, ``power_cap_mw``, ``name``),
+so heterogeneous sites drop straight into :class:`repro.core.Site`.
+The greedy power curve is piecewise linear and convex; the single
+affine decision model uses the *secant* slope at full capacity, which
+upper-bounds the true curve (safe for budget decisions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .cooling import CoolingModel
+from .datacenter import AffinePower, CapacityError, Provisioning, WATTS_PER_MW
+from .fattree import fat_tree_for_servers
+from .network_power import NetworkPowerModel, SwitchPowers
+from .queueing import QueueParams, required_servers
+from .server import PAPER_OPERATING_UTILIZATION, ServerSpec
+
+__all__ = ["ServerPool", "HeterogeneousDataCenter"]
+
+
+@dataclass(frozen=True)
+class ServerPool:
+    """A homogeneous group of servers inside a heterogeneous site."""
+
+    spec: ServerSpec
+    count: int
+
+    def __post_init__(self):
+        if self.count <= 0:
+            raise ValueError("pool must contain at least one server")
+
+    def watts_per_rps(self, utilization: float) -> float:
+        """Energy efficiency at the operating utilization (W per req/s)."""
+        return self.spec.power_w(utilization) / (utilization * self.spec.service_rate)
+
+    def capacity_rps(self, utilization: float) -> float:
+        """Throughput of the whole pool at the utilization cap."""
+        return self.count * utilization * self.spec.service_rate
+
+
+@dataclass(frozen=True)
+class HeterogeneousDataCenter:
+    """A site whose fleet mixes several server generations.
+
+    Attributes mirror :class:`~repro.datacenter.DataCenter` where they
+    overlap; ``pools`` replaces the single ``servers`` spec +
+    ``max_servers`` pair.
+    """
+
+    name: str
+    pools: tuple[ServerPool, ...]
+    switch_powers: SwitchPowers
+    cooling: CoolingModel
+    target_response_s: float
+    power_cap_mw: float = float("inf")
+    queue: QueueParams = field(default_factory=QueueParams)
+    utilization_cap: float = PAPER_OPERATING_UTILIZATION
+
+    def __post_init__(self):
+        if not self.pools:
+            raise ValueError("at least one server pool required")
+        if not 0 < self.utilization_cap <= 1:
+            raise ValueError("utilization_cap must be in (0, 1]")
+        if self.power_cap_mw <= 0:
+            raise ValueError("power cap must be positive")
+        for pool in self.pools:
+            if self.target_response_s <= 1.0 / pool.spec.service_rate:
+                raise ValueError(
+                    f"{self.name}: response target unattainable for pool "
+                    f"{pool.spec.name!r}"
+                )
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def max_servers(self) -> int:
+        return sum(p.count for p in self.pools)
+
+    @property
+    def network(self) -> NetworkPowerModel:
+        return NetworkPowerModel(
+            topology=fat_tree_for_servers(self.max_servers),
+            powers=self.switch_powers,
+        )
+
+    def pools_by_efficiency(self) -> list[ServerPool]:
+        """Pools sorted from most to least energy-efficient."""
+        u = self.utilization_cap
+        return sorted(self.pools, key=lambda p: p.watts_per_rps(u))
+
+    # -- greedy local optimizer ------------------------------------------------
+
+    def split_load(self, lam_rps: float) -> list[tuple[ServerPool, float]]:
+        """Greedy efficiency-ordered split of ``lam_rps`` across pools.
+
+        Returns (pool, rate) pairs, most efficient first; raises
+        :class:`CapacityError` when the fleet cannot absorb the load.
+        """
+        if lam_rps < 0:
+            raise ValueError("arrival rate must be >= 0")
+        u = self.utilization_cap
+        remaining = lam_rps
+        split: list[tuple[ServerPool, float]] = []
+        for pool in self.pools_by_efficiency():
+            take = min(remaining, pool.capacity_rps(u))
+            split.append((pool, take))
+            remaining -= take
+        if remaining > 1e-9:
+            raise CapacityError(
+                f"{self.name}: {lam_rps:.0f} req/s exceeds heterogeneous "
+                f"fleet capacity {self.max_throughput_rps():.0f}"
+            )
+        return split
+
+    def provision(self, lam_rps: float) -> Provisioning:
+        """Provision every pool for its greedy share (exact model)."""
+        if lam_rps == 0:
+            return Provisioning(0, 0.0, 0.0, 0.0, 0.0)
+        total_servers = 0
+        server_w = 0.0
+        weighted_util = 0.0
+        for pool, rate in self.split_load(lam_rps):
+            if rate <= 0:
+                continue
+            n_qos = required_servers(
+                rate, pool.spec.service_rate, self.target_response_s, self.queue
+            )
+            n_util = math.ceil(
+                rate / (self.utilization_cap * pool.spec.service_rate) - 1e-9
+            )
+            n = int(min(max(n_qos, n_util, 1), pool.count))
+            util = rate / (n * pool.spec.service_rate)
+            total_servers += n
+            server_w += n * pool.spec.power_w(min(util, 1.0))
+            weighted_util += util * n
+        network_w = self.network.power_w(total_servers)
+        cooling_w = self.cooling.power_w(server_w + network_w)
+        mean_util = weighted_util / total_servers if total_servers else 0.0
+        return Provisioning(total_servers, mean_util, server_w, network_w, cooling_w)
+
+    def power_w(self, lam_rps: float) -> float:
+        return self.provision(lam_rps).total_power_w
+
+    def power_mw(self, lam_rps: float) -> float:
+        return self.power_w(lam_rps) / WATTS_PER_MW
+
+    # -- decision models ----------------------------------------------------------
+
+    def affine_power(self) -> AffinePower:
+        """Secant affine model: conservative for the convex greedy curve.
+
+        Slope = power at full fleet capacity / capacity. Because the
+        greedy curve is convex and passes through the origin, the
+        secant lies on or above it everywhere — budget decisions made
+        with it never underestimate the realized draw at full load.
+        """
+        u = self.utilization_cap
+        capacity = sum(p.capacity_rps(u) for p in self.pools)
+        server_w = sum(p.count * p.spec.power_w(u) for p in self.pools)
+        per_fleet_w = (
+            server_w + self.network.watts_per_server() * self.max_servers
+        ) * self.cooling.overhead_factor
+        return AffinePower(per_fleet_w / capacity / WATTS_PER_MW, 0.0)
+
+    def piecewise_power(self) -> list[tuple[float, float]]:
+        """The exact smooth curve: (capacity breakpoint rps, slope MW/rps).
+
+        One segment per pool in efficiency order; useful for building a
+        tighter (piecewise-linear convex) decision model.
+        """
+        u = self.utilization_cap
+        overhead = self.cooling.overhead_factor
+        net_per_server = self.network.watts_per_server()
+        out = []
+        cumulative = 0.0
+        for pool in self.pools_by_efficiency():
+            per_server_w = pool.spec.power_w(u) + net_per_server
+            slope = overhead * per_server_w / (u * pool.spec.service_rate)
+            cumulative += pool.capacity_rps(u)
+            out.append((cumulative, slope / WATTS_PER_MW))
+        return out
+
+    def fleet_throughput_rps(self) -> float:
+        """Largest rate the pools can serve (ignoring power caps)."""
+        u = self.utilization_cap
+        return sum(p.capacity_rps(u) for p in self.pools)
+
+    def max_throughput_rps(self) -> float:
+        affine = self.affine_power()
+        return min(
+            self.fleet_throughput_rps(),
+            affine.max_rate_for_power(self.power_cap_mw),
+        )
+
+    def peak_power_mw(self) -> float:
+        u = self.utilization_cap
+        server_w = sum(p.count * p.spec.power_w(u) for p in self.pools)
+        network_w = self.network.power_w(self.max_servers)
+        return (server_w + network_w) * self.cooling.overhead_factor / WATTS_PER_MW

@@ -1,0 +1,93 @@
+"""Per-site local optimizer (the inner loop of Figure 2).
+
+Each data center runs a local optimizer that, given the request rate the
+central bill capper dispatched to it, "dynamically minimize[s] the
+number of active servers in the data center based on the performance
+model" (Section III). :class:`LocalOptimizer` wraps a
+:class:`~repro.datacenter.datacenter.DataCenter` and adds the site-level
+power-cap enforcement of [Fan et al., Power provisioning]: if the
+dispatched rate would push the site beyond its contracted cap ``Ps_i``,
+the optimizer sheds the excess (the global dispatcher should never let
+that happen — the MILP carries the same constraint — but defense in
+depth protects against model mismatch between the affine decision model
+and the exact stepped power model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .datacenter import CapacityError, DataCenter, Provisioning
+
+__all__ = ["LocalDecision", "LocalOptimizer"]
+
+
+@dataclass(frozen=True)
+class LocalDecision:
+    """Outcome of one local-optimizer invocation."""
+
+    served_rps: float
+    shed_rps: float
+    provisioning: Provisioning
+
+    @property
+    def power_mw(self) -> float:
+        return self.provisioning.total_power_mw
+
+    @property
+    def capped(self) -> bool:
+        """True when the power cap forced load shedding."""
+        return self.shed_rps > 0.0
+
+
+class LocalOptimizer:
+    """Minimum-server provisioning with hard power-cap enforcement."""
+
+    def __init__(self, datacenter: DataCenter):
+        self.dc = datacenter
+
+    def max_rate_within_cap(self) -> float:
+        """Largest rate whose *exact* power stays within the site cap.
+
+        Binary search over the stepped power model (the exact model is
+        monotone in the rate), refined from the affine estimate.
+        """
+        dc = self.dc
+        hi = dc.max_throughput_rps()
+        if dc.power_cap_mw < float("inf"):
+            # The affine estimate may undershoot the exact model: leave
+            # slack above it and let the bisection tighten downward.
+            hi = min(hi * 1.25 + 1.0, hi + 1e6)
+        if dc.power_mw(hi) <= dc.power_cap_mw:
+            return hi
+        lo = 0.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            try:
+                ok = dc.power_mw(mid) <= dc.power_cap_mw
+            except CapacityError:
+                ok = False
+            if ok:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def decide(self, dispatched_rps: float) -> LocalDecision:
+        """Provision for ``dispatched_rps``, shedding load if the cap binds."""
+        if dispatched_rps < 0:
+            raise ValueError("dispatched rate must be >= 0")
+        served = dispatched_rps
+        try:
+            prov = self.dc.provision(served)
+            over_cap = prov.total_power_mw > self.dc.power_cap_mw + 1e-12
+        except CapacityError:
+            over_cap = True
+        if over_cap:
+            served = min(served, self.max_rate_within_cap())
+            prov = self.dc.provision(served)
+        return LocalDecision(
+            served_rps=served,
+            shed_rps=dispatched_rps - served,
+            provisioning=prov,
+        )

@@ -1,0 +1,83 @@
+"""Networking power model (paper eq. (6)).
+
+``p_networking = A * esp + B * asp + C * csp`` where (A, B, C) are the
+active edge/aggregation/core switch counts from the fat-tree model and
+(esp, asp, csp) the constant per-switch powers — "today's network
+elements are not energy proportional, e.g., a switch going from zero to
+full traffic increases power by less than 8%" (Section IV-B), so switch
+power is load-independent and only the *number* of powered switches
+varies with workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fattree import FatTree, SwitchCounts
+
+__all__ = ["SwitchPowers", "NetworkPowerModel", "paper_switch_powers"]
+
+
+@dataclass(frozen=True)
+class SwitchPowers:
+    """Per-switch constant power draws in watts."""
+
+    edge_w: float
+    aggregation_w: float
+    core_w: float
+
+    def __post_init__(self):
+        if min(self.edge_w, self.aggregation_w, self.core_w) < 0:
+            raise ValueError("switch powers must be >= 0")
+
+
+def paper_switch_powers() -> list[SwitchPowers]:
+    """The (edge, aggregate, core) switch powers of Section VI-A.
+
+    "(184, 184, 240), (170, 170, 260), and (175, 175, 240) Watts for the
+    three simulated data centers" (the OCR of the paper drops leading
+    '1's; values follow Heller et al.'s ElasticTree switch measurements).
+    """
+    return [
+        SwitchPowers(184.0, 184.0, 240.0),
+        SwitchPowers(170.0, 170.0, 260.0),
+        SwitchPowers(175.0, 175.0, 240.0),
+    ]
+
+
+@dataclass(frozen=True)
+class NetworkPowerModel:
+    """Networking power of one data center: topology + switch powers."""
+
+    topology: FatTree
+    powers: SwitchPowers
+
+    def power_w(self, n_active_servers: int) -> float:
+        """Exact stepped networking power for ``n_active_servers``."""
+        counts = self.topology.active_switches(n_active_servers)
+        return self._power_of(counts)
+
+    def _power_of(self, counts: SwitchCounts) -> float:
+        return (
+            counts.edge * self.powers.edge_w
+            + counts.aggregation * self.powers.aggregation_w
+            + counts.core * self.powers.core_w
+        )
+
+    def full_power_w(self) -> float:
+        """Power with the whole fabric on (all switches active)."""
+        return self._power_of(self.topology.total_switches())
+
+    def watts_per_server(self) -> float:
+        """Smooth per-active-server networking power.
+
+        The amortized slope used for the MILP's affine power model; the
+        exact stepped :meth:`power_w` is used when evaluating realized
+        cost in the simulator.
+        """
+        edge, agg, core = self.topology.switches_per_server()
+        return (
+            edge * self.powers.edge_w
+            + agg * self.powers.aggregation_w
+            + core * self.powers.core_w
+        )

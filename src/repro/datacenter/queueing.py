@@ -1,0 +1,178 @@
+"""G/G/m queueing model of a data center (Allen-Cunneen approximation).
+
+Section IV-B models each data center as a single G/G/m queue: ``m``
+homogeneous servers with service rate ``mu`` each, fed by a stream of
+``lambda`` requests/second with squared coefficients of variation
+``CA2`` (inter-arrival times) and ``CB2`` (request sizes). The
+Allen-Cunneen approximation for the mean response time is
+
+.. math::
+
+    R = \\frac{1}{\\mu}
+        + \\frac{C_A^2 + C_B^2}{2}
+          \\cdot \\frac{\\rho^{\\sqrt{2(n+1)}-1}}{n \\mu - \\lambda}
+
+(the classic ``P_m``-based form; the paper then simplifies using
+``rho ~= 1`` — every active server kept busy by the local optimizer —
+to ``R = 1/mu + K / (n mu - lambda)`` with ``K = (CA2 + CB2)/2``, the
+form also used by Lin et al. for right-sizing). Both forms are
+implemented; the simplified one admits the closed-form inverse
+:func:`required_servers` that the local optimizer and the MILP
+coefficients build on:
+
+.. math::
+
+    n(\\lambda) = \\left\\lceil \\frac{\\lambda + K/(R_s - 1/\\mu)}{\\mu}
+    \\right\\rceil .
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QueueParams", "response_time", "required_servers", "max_arrival_rate"]
+
+
+@dataclass(frozen=True)
+class QueueParams:
+    """Traffic variability parameters of the G/G/m model.
+
+    ``ca2``/``cb2`` are the squared coefficients of variation of request
+    inter-arrival times and sizes; (1, 1) recovers the M/M/m-like case
+    the paper's examples use.
+    """
+
+    ca2: float = 1.0
+    cb2: float = 1.0
+
+    def __post_init__(self):
+        if self.ca2 < 0 or self.cb2 < 0:
+            raise ValueError("squared coefficients of variation must be >= 0")
+
+    @property
+    def k(self) -> float:
+        """The waiting-time coefficient ``K = (CA2 + CB2) / 2``."""
+        return 0.5 * (self.ca2 + self.cb2)
+
+
+def response_time(
+    lam: float,
+    n_servers: float,
+    mu: float,
+    params: QueueParams = QueueParams(),
+    simplified: bool = True,
+) -> float:
+    """Mean response time (seconds) of the G/G/m data-center queue.
+
+    Parameters
+    ----------
+    lam:
+        Arrival rate in requests/second (aggregate at the data center).
+    n_servers:
+        Number of active servers ``m`` (may be fractional in the
+        relaxed/continuous model).
+    mu:
+        Per-server service rate in requests/second.
+    params:
+        Traffic variability.
+    simplified:
+        When true (default), use the paper's ``rho ~= 1`` form
+        ``R = 1/mu + K/(n mu - lam)``; otherwise the full Allen-Cunneen
+        expression with the ``rho^{sqrt(2(n+1))-1}`` factor.
+
+    Returns
+    -------
+    float
+        Mean response time; ``inf`` when the queue is unstable
+        (``lam >= n * mu``).
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be >= 0")
+    if n_servers <= 0 or mu <= 0:
+        raise ValueError("n_servers and mu must be positive")
+    capacity = n_servers * mu
+    if lam >= capacity:
+        return float("inf")
+    if lam == 0.0:
+        return 1.0 / mu
+    service = 1.0 / mu
+    if simplified:
+        return service + params.k / (capacity - lam)
+    rho = lam / capacity
+    exponent = math.sqrt(2.0 * (n_servers + 1.0)) - 1.0
+    return service + params.k * rho**exponent / (capacity - lam)
+
+
+def required_servers(
+    lam: float,
+    mu: float,
+    target_response: float,
+    params: QueueParams = QueueParams(),
+    integral: bool = True,
+) -> float:
+    """Minimum servers meeting a response-time target (paper eq. (3) inverted).
+
+    Solves ``1/mu + K/(n mu - lam) <= Rs`` for the smallest ``n``:
+    ``n = (lam + K / (Rs - 1/mu)) / mu``. This is what each site's
+    local optimizer computes every invocation period.
+
+    Parameters
+    ----------
+    lam:
+        Arrival rate, requests/second.
+    mu:
+        Per-server service rate, requests/second.
+    target_response:
+        The QoS set point ``Rs`` in seconds; must exceed the bare
+        service time ``1/mu``, otherwise no finite fleet suffices.
+    integral:
+        Round up to whole servers (default); the continuous value is
+        used to build the MILP's affine power coefficients.
+
+    Returns
+    -------
+    float
+        Server count (``>= 1`` whenever ``lam > 0``; 0 for ``lam == 0``).
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be >= 0")
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    service = 1.0 / mu
+    if target_response <= service:
+        raise ValueError(
+            f"target response {target_response}s does not exceed the bare "
+            f"service time {service}s; no number of servers can meet it"
+        )
+    if lam == 0.0:
+        return 0.0
+    n = (lam + params.k / (target_response - service)) / mu
+    if integral:
+        return float(math.ceil(n - 1e-9))
+    return n
+
+
+def max_arrival_rate(
+    n_servers: float,
+    mu: float,
+    target_response: float,
+    params: QueueParams = QueueParams(),
+) -> float:
+    """Largest arrival rate ``n`` servers can serve within the QoS target.
+
+    The inverse of :func:`required_servers` in the other direction:
+    ``lam_max = n mu - K / (Rs - 1/mu)`` (clamped at 0). Used to turn a
+    site's power cap into a throughput cap.
+    """
+    if n_servers < 0:
+        raise ValueError("n_servers must be >= 0")
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    service = 1.0 / mu
+    if target_response <= service:
+        raise ValueError("target response does not exceed the service time")
+    lam = n_servers * mu - params.k / (target_response - service)
+    return max(0.0, float(lam))

@@ -1,0 +1,121 @@
+"""Server specifications and the linear server power model.
+
+Section IV-B: "the power consumption of a single server is usually a
+linear function of server utilization: sp = I + D * u, where I denotes
+the server idle power, D denotes the server power at 100% utilization
+[minus idle], and u denotes the utilization level."
+
+The paper's Section VI-A table gives, per data center, the power drawn
+at the operating utilization and the per-server processing capacity:
+
+=============  ===========================  =========  ==============
+Data center    CPU                          Power (W)  Capacity (r/s)
+=============  ===========================  =========  ==============
+1              2.0 GHz AMD Athlon           88.88      500
+2              1.2 GHz Intel Pentium 4 630  34.00      300
+3              2.9 GHz Intel Pentium D 950  49.90      725
+=============  ===========================  =========  ==============
+
+:func:`paper_server_specs` reconstructs full linear models from those
+numbers by assuming the quoted power is drawn at the paper's example
+operating utilization (80%) with a standard 60% idle fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServerSpec", "paper_server_specs", "PAPER_OPERATING_UTILIZATION"]
+
+#: The "actual server utilization level (e.g., 80%)" of Section IV-B.
+PAPER_OPERATING_UTILIZATION = 0.80
+
+#: Idle power as a fraction of full-load power, typical for the paper's
+#: era of commodity servers (non-energy-proportional hardware).
+_IDLE_FRACTION = 0.60
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A homogeneous server model for one data center.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. the CPU model.
+    idle_w:
+        Power drawn at zero utilization (the ``I`` of sp = I + D*u).
+    dynamic_w:
+        Additional power at 100% utilization (the ``D``).
+    service_rate:
+        Request processing capacity ``mu`` in requests/second — the
+        paper's "processing capacity coefficient".
+    """
+
+    name: str
+    idle_w: float
+    dynamic_w: float
+    service_rate: float
+
+    def __post_init__(self):
+        if self.idle_w < 0 or self.dynamic_w < 0:
+            raise ValueError(f"server {self.name}: negative power")
+        if self.service_rate <= 0:
+            raise ValueError(f"server {self.name}: service rate must be positive")
+
+    @property
+    def peak_w(self) -> float:
+        """Power at 100% utilization."""
+        return self.idle_w + self.dynamic_w
+
+    def power_w(self, utilization: float | np.ndarray) -> float | np.ndarray:
+        """Power at the given utilization (``sp = I + D * u``).
+
+        Accepts scalars or arrays; utilization must lie in [0, 1].
+        """
+        u = np.asarray(utilization, dtype=float)
+        if np.any(u < 0) or np.any(u > 1 + 1e-9):
+            raise ValueError("utilization must lie in [0, 1]")
+        out = self.idle_w + self.dynamic_w * u
+        return float(out) if np.isscalar(utilization) else out
+
+    @classmethod
+    def from_operating_point(
+        cls,
+        name: str,
+        power_at_op_w: float,
+        service_rate: float,
+        operating_utilization: float = PAPER_OPERATING_UTILIZATION,
+        idle_fraction: float = _IDLE_FRACTION,
+    ) -> "ServerSpec":
+        """Build a linear model from a single (utilization, power) point.
+
+        Used to expand the paper's single per-server wattage into the
+        ``I + D*u`` model: ``I = idle_fraction * peak`` and
+        ``power_at_op = I + (peak - I) * u_op`` jointly determine the
+        peak.
+        """
+        if not 0 < operating_utilization <= 1:
+            raise ValueError("operating utilization must be in (0, 1]")
+        if not 0 <= idle_fraction < 1:
+            raise ValueError("idle fraction must be in [0, 1)")
+        # power_at_op = peak * (f + (1 - f) * u)
+        peak = power_at_op_w / (
+            idle_fraction + (1.0 - idle_fraction) * operating_utilization
+        )
+        idle = idle_fraction * peak
+        return cls(name, idle_w=idle, dynamic_w=peak - idle, service_rate=service_rate)
+
+
+def paper_server_specs() -> list[ServerSpec]:
+    """The three per-site server models of Section VI-A."""
+    rows = [
+        ("2.0GHz AMD Athlon", 88.88, 500.0),
+        ("1.2GHz Intel Pentium 4 630", 34.00, 300.0),
+        ("2.9GHz Intel Pentium D 950", 49.90, 725.0),
+    ]
+    return [
+        ServerSpec.from_operating_point(name, watts, rate) for name, watts, rate in rows
+    ]

@@ -1,0 +1,21 @@
+"""Canonical experimental setups matching the paper's Section VI."""
+
+from .paper_setup import (
+    DEFAULT_MAX_SERVERS,
+    PAPER_BUDGET_LEVELS,
+    PaperWorld,
+    paper_datacenters,
+    paper_heterogeneous_datacenters,
+    paper_pricing,
+    paper_world,
+)
+
+__all__ = [
+    "PaperWorld",
+    "paper_world",
+    "paper_datacenters",
+    "paper_heterogeneous_datacenters",
+    "paper_pricing",
+    "PAPER_BUDGET_LEVELS",
+    "DEFAULT_MAX_SERVERS",
+]

@@ -1,0 +1,60 @@
+"""Power-market substrate: grids, DC-OPF/LMP, stepped pricing, demand.
+
+This package models the paper's Section II world: ISO markets whose
+locational prices follow the LMP methodology, computed from a DC
+optimal power flow, and the piecewise-constant pricing policies the
+bill-capping algorithms consume.
+"""
+
+from .dcopf import DcOpf, DispatchResult
+from .demand import background_for_policy, reco_like_background
+from .grids import ieee9_like, ring, two_zone
+from .lmp import LmpComponents, decompose_lmp
+from .network import Bus, Generator, Grid, Line
+from .pjm5bus import LOAD_BUSES, LOAD_SHARES, derive_step_policies, pjm5bus
+from .ptdf import (
+    PtdfMatrix,
+    compute_ptdf,
+    congestion_exposure,
+    injection_shift_flows,
+)
+from .pricing import (
+    PAPER_BREAKPOINTS_MW,
+    PAPER_DC1_PRICES,
+    SteppedPricingPolicy,
+    flat_policy,
+    paper_policies,
+    paper_policy_dc1,
+    scale_increments,
+)
+
+__all__ = [
+    "Bus",
+    "Generator",
+    "Line",
+    "Grid",
+    "DcOpf",
+    "DispatchResult",
+    "pjm5bus",
+    "derive_step_policies",
+    "LOAD_BUSES",
+    "LOAD_SHARES",
+    "SteppedPricingPolicy",
+    "flat_policy",
+    "scale_increments",
+    "paper_policy_dc1",
+    "paper_policies",
+    "PAPER_DC1_PRICES",
+    "PAPER_BREAKPOINTS_MW",
+    "reco_like_background",
+    "background_for_policy",
+    "PtdfMatrix",
+    "compute_ptdf",
+    "injection_shift_flows",
+    "congestion_exposure",
+    "two_zone",
+    "ieee9_like",
+    "ring",
+    "LmpComponents",
+    "decompose_lmp",
+]

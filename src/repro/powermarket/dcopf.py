@@ -1,0 +1,219 @@
+"""DC optimal power flow with locational marginal prices.
+
+The DC-OPF is the market-clearing engine behind the LMP methodology the
+paper builds on (Section II): an ISO dispatches generators at least cost
+subject to transmission limits, and the dual multiplier of each bus's
+power-balance constraint is that bus's **locational marginal price** —
+the cost of serving one more MW at the bus. LMP step changes appear
+exactly when a new constraint (a generator limit or a line limit)
+becomes binding as load grows, which is what produces the stepped
+pricing policies of Figure 1.
+
+Formulation (B-theta):
+
+.. math::
+
+    \\min \\sum_k c_k g_k \\quad \\text{s.t.} \\quad
+    \\sum_{k \\in b} g_k - d_b = \\sum_{l: b \\to} f_l - \\sum_{l: \\to b} f_l,
+    \\qquad f_l = B_l (\\theta_{from} - \\theta_{to}),
+    \\qquad |f_l| \\le F_l,
+    \\qquad 0 \\le g_k \\le G_k.
+
+The LP is built on :class:`repro.solver.Model` and solved with a backend
+that reports equality duals (HiGHS by default; the pure-NumPy simplex
+also works and is exercised in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..solver import Model, ScipyLpBackend, SolveStatus, quicksum
+from .network import Grid
+
+__all__ = ["DispatchResult", "DcOpf"]
+
+
+@dataclass
+class DispatchResult:
+    """Market-clearing outcome for one load vector.
+
+    Attributes
+    ----------
+    feasible:
+        Whether the load could be served.
+    total_cost:
+        Generation cost in $/h (``nan`` if infeasible).
+    generation:
+        ``{generator name: MW}``.
+    flows:
+        ``{line key: MW}`` with sign per line orientation.
+    lmp:
+        ``{bus name: $/MWh}`` — dual of the bus balance constraint.
+    """
+
+    feasible: bool
+    total_cost: float
+    generation: dict[str, float]
+    flows: dict[str, float]
+    lmp: dict[str, float]
+
+    def lmp_at(self, bus: str) -> float:
+        """LMP at ``bus``; raises ``KeyError`` for unknown buses."""
+        return self.lmp[bus]
+
+
+class DcOpf:
+    """DC optimal power flow solver for a :class:`Grid`.
+
+    Parameters
+    ----------
+    grid:
+        The transmission network.
+    backend:
+        Any LP backend exposing equality duals (default: HiGHS
+        ``linprog``). The pure simplex engine may be passed for a fully
+        self-contained stack.
+    """
+
+    def __init__(self, grid: Grid, backend=None):
+        self.grid = grid
+        self.backend = backend or ScipyLpBackend()
+
+    def dispatch(self, loads: dict[str, float]) -> DispatchResult:
+        """Clear the market for the given nodal loads (MW).
+
+        Buses absent from ``loads`` carry zero load. Negative loads are
+        rejected.
+        """
+        m, gen_vars, flow_vars, balance_order = self._build(loads)
+        res = m.solve(backend=self.backend)
+        if res.status is not SolveStatus.OPTIMAL:
+            return DispatchResult(False, float("nan"), {}, {}, {})
+
+        # Equality rows were added as: flow couplings first, then balances.
+        n_flow_eqs = len(self.grid.lines)
+        lmps = {
+            bus: float(res.duals_eq[n_flow_eqs + i])
+            for i, bus in enumerate(balance_order)
+        }
+        generation = {name: float(res.value(v)) for name, v in gen_vars.items()}
+        flows = {key: float(res.value(v)) for key, v in flow_vars.items()}
+        return DispatchResult(True, float(res.objective), generation, flows, lmps)
+
+    def load_growth_headroom(self, loads: dict[str, float], bus: str) -> float:
+        """MW of extra load at ``bus`` before any LMP changes.
+
+        Computed in a *single* solve via the simplex solver's RHS
+        sensitivity ranging on the bus's balance row: within the
+        returned headroom the optimal basis — and therefore every
+        nodal price — is provably unchanged. ``inf`` when no constraint
+        ever binds (practically: bounded by generation capacity, which
+        ranging reports too).
+        """
+        from ..solver import SimplexSolver
+
+        if bus not in {b.name for b in self.grid.buses}:
+            raise KeyError(f"unknown bus {bus!r}")
+        m, _, _, balance_order = self._build(loads)
+        sf = m.to_standard_form()
+        res = SimplexSolver().solve(sf, ranging=True)
+        if res.status is not SolveStatus.OPTIMAL:
+            raise ValueError("load vector is infeasible")
+        row = len(self.grid.lines) + balance_order.index(bus)
+        _, hi = res.rhs_range_eq[row]
+        return float(hi)
+
+    def _build(self, loads: dict[str, float]):
+        """Construct the OPF model; returns (model, gens, flows, balance order)."""
+        for bus, mw in loads.items():
+            if bus not in {b.name for b in self.grid.buses}:
+                raise KeyError(f"unknown bus {bus!r} in load vector")
+            if mw < 0:
+                raise ValueError(f"negative load at bus {bus!r}")
+
+        grid = self.grid
+        m = Model("dcopf")
+        gen_vars = {
+            g.name: m.var(f"g[{g.name}]", lb=g.min_mw, ub=g.max_mw)
+            for g in grid.generators
+        }
+        # Reference bus angle fixed at zero removes the rotational nullspace.
+        theta = {}
+        for i, bus in enumerate(grid.buses):
+            if i == 0:
+                theta[bus.name] = m.var(f"theta[{bus.name}]", lb=0.0, ub=0.0)
+            else:
+                theta[bus.name] = m.var(
+                    f"theta[{bus.name}]", lb=-float("inf"), ub=float("inf")
+                )
+
+        # Line flows as explicit variables tied to angle differences;
+        # keeps the balance rows sparse and makes flow limits plain bounds.
+        flow_vars = {}
+        for line in grid.lines:
+            lim = line.limit_mw
+            f = m.var(f"f[{line.key}]", lb=-lim, ub=lim)
+            flow_vars[line.key] = f
+            coupling = grid.base_mva * line.susceptance
+            m.add(
+                f == coupling * (theta[line.from_bus] - theta[line.to_bus]),
+                name=f"flow[{line.key}]",
+            )
+
+        # Nodal balance; constraint order is recorded so duals can be
+        # mapped back to buses (equality rows keep insertion order).
+        balance_order: list[str] = []
+        for bus in grid.buses:
+            inflow = quicksum(
+                flow_vars[l.key] for l in grid.lines if l.to_bus == bus.name
+            )
+            outflow = quicksum(
+                flow_vars[l.key] for l in grid.lines if l.from_bus == bus.name
+            )
+            gen = quicksum(gen_vars[g.name] for g in grid.generators_at(bus.name))
+            load = float(loads.get(bus.name, 0.0))
+            m.add(gen + inflow - outflow == load, name=f"balance[{bus.name}]")
+            balance_order.append(bus.name)
+
+        m.minimize(
+            quicksum(g.cost * gen_vars[g.name] for g in grid.generators)
+        )
+        return m, gen_vars, flow_vars, balance_order
+
+    # -- sweeps ------------------------------------------------------------------
+
+    def lmp_sweep(
+        self,
+        load_shares: dict[str, float],
+        system_loads: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """LMP at every load bus for a range of system loads.
+
+        Parameters
+        ----------
+        load_shares:
+            Fraction of the system load drawn at each bus (must sum to
+            1, e.g. ``{"B": 1/3, "C": 1/3, "D": 1/3}`` for the paper's
+            uniformly distributed load).
+        system_loads:
+            1-D array of total system loads in MW.
+
+        Returns
+        -------
+        dict
+            ``{bus: array of LMPs}`` for each bus in ``load_shares``;
+            infeasible load levels yield ``nan``.
+        """
+        total_share = sum(load_shares.values())
+        if abs(total_share - 1.0) > 1e-9:
+            raise ValueError(f"load shares sum to {total_share}, expected 1")
+        out = {bus: np.full(len(system_loads), np.nan) for bus in load_shares}
+        for i, total in enumerate(np.asarray(system_loads, dtype=float)):
+            res = self.dispatch({b: s * total for b, s in load_shares.items()})
+            if res.feasible:
+                for bus in load_shares:
+                    out[bus][i] = res.lmp_at(bus)
+        return out

@@ -1,0 +1,122 @@
+"""Additional benchmark grids beyond the PJM five-bus system.
+
+The five-bus system of :mod:`repro.powermarket.pjm5bus` is the paper's
+canonical example, but the DC-OPF/LMP machinery is general. This module
+provides:
+
+* :func:`two_zone` — the smallest system that exhibits congestion-
+  driven price separation (teaching/tests);
+* :func:`ieee9_like` — a 9-bus, 3-generator ring patterned after the
+  WSCC/IEEE 9-bus case with MW-scale data, used to exercise the
+  pricing-policy derivation on a second topology;
+* :func:`ring` — parametric N-bus ring generator for property tests
+  (any size, seeded random costs/limits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import Bus, Generator, Grid, Line
+
+__all__ = ["two_zone", "ieee9_like", "ring"]
+
+
+def two_zone(
+    tie_limit_mw: float = 100.0,
+    cheap_cost: float = 10.0,
+    expensive_cost: float = 50.0,
+    capacity_mw: float = 1000.0,
+) -> Grid:
+    """A two-zone market with a limited tie line.
+
+    Zone X holds the cheap generation, zone Y the expensive local unit
+    and the load. Below the tie limit both zones clear at the cheap
+    cost; beyond it, zone Y's price jumps to the local unit's cost —
+    the minimal congestion example.
+    """
+    return Grid(
+        buses=[Bus("X"), Bus("Y")],
+        lines=[Line("X", "Y", reactance=0.1, limit_mw=tie_limit_mw)],
+        generators=[
+            Generator("CheapZoneX", "X", max_mw=capacity_mw, cost=cheap_cost),
+            Generator("LocalZoneY", "Y", max_mw=capacity_mw, cost=expensive_cost),
+        ],
+    )
+
+
+def ieee9_like() -> Grid:
+    """A 9-bus ring with 3 generators and 3 load buses.
+
+    Follows the WSCC 9-bus topology (generators at buses 1-3 behind
+    step-up branches onto a ring of buses 4-9) with merit-order costs
+    and one deliberately tight ring segment so a load sweep produces a
+    multi-step LMP curve, like the paper's Figure 1 but on a different
+    network.
+    """
+    buses = [Bus(f"B{i}") for i in range(1, 10)]
+    lines = [
+        Line("B1", "B4", reactance=0.0576),
+        Line("B2", "B7", reactance=0.0625),
+        Line("B3", "B9", reactance=0.0586),
+        Line("B4", "B5", reactance=0.0920),
+        Line("B5", "B6", reactance=0.1700),
+        Line("B6", "B7", reactance=0.0720),
+        Line("B7", "B8", reactance=0.1008, limit_mw=150.0),
+        Line("B8", "B9", reactance=0.1610),
+        Line("B9", "B4", reactance=0.0850),
+    ]
+    generators = [
+        Generator("G1", "B1", max_mw=250.0, cost=12.0),
+        Generator("G2", "B2", max_mw=300.0, cost=20.0),
+        Generator("G3", "B3", max_mw=270.0, cost=32.0),
+    ]
+    return Grid(buses=buses, lines=lines, generators=generators)
+
+
+def ring(
+    n_buses: int,
+    *,
+    seed: int = 0,
+    gen_every: int = 2,
+    limit_fraction: float = 0.5,
+) -> Grid:
+    """A parametric N-bus ring for property tests.
+
+    Parameters
+    ----------
+    n_buses:
+        Ring size (>= 3).
+    seed:
+        Seeds generator costs/capacities and line reactances.
+    gen_every:
+        A generator sits at every ``gen_every``-th bus.
+    limit_fraction:
+        Fraction of lines given a finite thermal limit.
+    """
+    if n_buses < 3:
+        raise ValueError("ring needs at least 3 buses")
+    rng = np.random.default_rng(seed)
+    buses = [Bus(f"N{i}") for i in range(n_buses)]
+    lines = []
+    for i in range(n_buses):
+        j = (i + 1) % n_buses
+        limited = rng.random() < limit_fraction
+        lines.append(
+            Line(
+                f"N{i}",
+                f"N{j}",
+                reactance=float(rng.uniform(0.02, 0.2)),
+                limit_mw=float(rng.uniform(80, 400)) if limited else float("inf"),
+            )
+        )
+    generators = [
+        Generator(
+            f"G{i}",
+            f"N{i}",
+            max_mw=float(rng.uniform(100, 600)),
+            cost=float(rng.uniform(8, 45)),
+        )
+        for i in range(0, n_buses, gen_every)
+    ]
+    return Grid(buses=buses, lines=lines, generators=generators)

@@ -1,0 +1,188 @@
+"""Transmission-grid data model for the power-market substrate.
+
+A :class:`Grid` is a set of :class:`Bus` es connected by
+:class:`Line` s, with :class:`Generator` s attached to buses. It is the
+input to the DC optimal power flow in :mod:`repro.powermarket.dcopf`,
+whose nodal dual prices are the locational marginal prices (LMPs) that
+drive the paper's pricing policies.
+
+Loads are *not* stored on the grid: they are passed per-dispatch as a
+``{bus: MW}`` mapping, because the whole point of the paper is sweeping
+load levels to trace out the LMP step function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = ["Bus", "Generator", "Line", "Grid"]
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A network node.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"B"``.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A dispatchable generator.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"Brighton"``.
+    bus:
+        Name of the bus the unit is connected to.
+    max_mw:
+        Maximum output in MW.
+    cost:
+        Marginal (energy) cost in $/MWh; the DC-OPF uses a single linear
+        cost segment per unit, as in the PJM 5-bus example.
+    min_mw:
+        Minimum stable output in MW (0 for the canonical example).
+    """
+
+    name: str
+    bus: str
+    max_mw: float
+    cost: float
+    min_mw: float = 0.0
+
+    def __post_init__(self):
+        if self.max_mw < self.min_mw:
+            raise ValueError(f"generator {self.name}: max_mw < min_mw")
+        if self.min_mw < 0:
+            raise ValueError(f"generator {self.name}: negative min_mw")
+
+
+@dataclass(frozen=True)
+class Line:
+    """A transmission line in the DC approximation.
+
+    Attributes
+    ----------
+    from_bus, to_bus:
+        Endpoint bus names; flow is positive from ``from_bus`` to
+        ``to_bus``.
+    reactance:
+        Series reactance in per-unit (on :attr:`Grid.base_mva`).
+    limit_mw:
+        Thermal limit in MW applied to ``|flow|``; ``inf`` when
+        unconstrained.
+    """
+
+    from_bus: str
+    to_bus: str
+    reactance: float
+    limit_mw: float = float("inf")
+
+    def __post_init__(self):
+        if self.reactance <= 0:
+            raise ValueError("line reactance must be positive")
+        if self.limit_mw <= 0:
+            raise ValueError("line limit must be positive")
+
+    @property
+    def susceptance(self) -> float:
+        """Per-unit susceptance ``1/x`` used by the DC power-flow model."""
+        return 1.0 / self.reactance
+
+    @property
+    def key(self) -> str:
+        return f"{self.from_bus}-{self.to_bus}"
+
+
+@dataclass
+class Grid:
+    """A transmission network: buses, lines, generators.
+
+    Parameters
+    ----------
+    buses, lines, generators:
+        Network elements. Every line endpoint and generator bus must
+        name an existing bus (validated in ``__post_init__``).
+    base_mva:
+        MVA base for the per-unit system (100 for the PJM example).
+    """
+
+    buses: list[Bus]
+    lines: list[Line]
+    generators: list[Generator]
+    base_mva: float = 100.0
+    _bus_index: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        names = [b.name for b in self.buses]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate bus names")
+        self._bus_index = {name: i for i, name in enumerate(names)}
+        for line in self.lines:
+            for end in (line.from_bus, line.to_bus):
+                if end not in self._bus_index:
+                    raise ValueError(f"line {line.key}: unknown bus {end!r}")
+            if line.from_bus == line.to_bus:
+                raise ValueError(f"line {line.key}: self-loop")
+        gen_names = [g.name for g in self.generators]
+        if len(set(gen_names)) != len(gen_names):
+            raise ValueError("duplicate generator names")
+        for gen in self.generators:
+            if gen.bus not in self._bus_index:
+                raise ValueError(f"generator {gen.name}: unknown bus {gen.bus!r}")
+        if not nx.is_connected(self.to_networkx()):
+            raise ValueError("grid is not connected")
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def n_buses(self) -> int:
+        return len(self.buses)
+
+    def bus_index(self, name: str) -> int:
+        """Return the positional index of bus ``name``."""
+        return self._bus_index[name]
+
+    def generators_at(self, bus: str) -> list[Generator]:
+        """Generators connected to ``bus``."""
+        return [g for g in self.generators if g.bus == bus]
+
+    @property
+    def total_generation_capacity(self) -> float:
+        """Sum of generator ``max_mw`` (the maximum servable system load)."""
+        return sum(g.max_mw for g in self.generators)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the topology as a :mod:`networkx` graph.
+
+        Node attributes carry generator capacity and cost; edge
+        attributes carry reactance and thermal limit. Used for
+        connectivity validation and by the examples for visualization
+        and path analysis.
+        """
+        g = nx.Graph()
+        for bus in self.buses:
+            gens = self.generators_at(bus.name)
+            g.add_node(
+                bus.name,
+                gen_capacity_mw=sum(x.max_mw for x in gens),
+                min_gen_cost=min((x.cost for x in gens), default=None),
+            )
+        for line in self.lines:
+            g.add_edge(
+                line.from_bus,
+                line.to_bus,
+                reactance=line.reactance,
+                limit_mw=line.limit_mw,
+            )
+        return g

@@ -1,0 +1,172 @@
+"""The canonical PJM five-bus system and its stepped LMP policies.
+
+Section II of the paper derives its locational pricing policies
+(Figure 1) from the well-known PJM five-bus example system [Li & Bo,
+"Congestion and price prediction under load variation"; PJM Training
+Materials LMP 101]:
+
+* five buses A-E;
+* five generators — Alta (A, 110 MW, $14), Park City (A, 100 MW, $15),
+  Solitude (C, 520 MW, $30), Sundance (D, 200 MW, $35... the training
+  materials use $30), Brighton (E, 600 MW, $10);
+* load drawn uniformly at buses B, C and D;
+* the Brighton-Sundance (E-D) line is thermally limited, producing the
+  second LMP step the paper describes at a system load of ~711.8 MW;
+  Brighton's 600 MW capacity produces the first major step at 600 MW.
+
+:func:`pjm5bus` builds the grid; :func:`derive_step_policies` sweeps the
+system load through a DC-OPF and compresses each load bus's LMP curve
+into a :class:`~repro.powermarket.pricing.SteppedPricingPolicy` over
+*locational* load (system load / 3), which is exactly how the paper's
+Figure 1 policies are produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dcopf import DcOpf
+from .network import Bus, Generator, Grid, Line
+from .pricing import SteppedPricingPolicy
+
+__all__ = [
+    "LOAD_BUSES",
+    "LOAD_SHARES",
+    "pjm5bus",
+    "derive_step_policies",
+]
+
+#: Buses at which the system load is drawn, uniformly.
+LOAD_BUSES = ("B", "C", "D")
+
+#: The paper's uniform load distribution over the three consumer buses.
+LOAD_SHARES = {bus: 1.0 / 3.0 for bus in LOAD_BUSES}
+
+
+def pjm5bus(ed_limit_mw: float = 240.0) -> Grid:
+    """Build the PJM five-bus example grid.
+
+    Parameters
+    ----------
+    ed_limit_mw:
+        Thermal limit of the Brighton-Sundance (E-D) tie, 240 MW in the
+        canonical data. Pass ``inf`` to study the uncongested system.
+    """
+    buses = [Bus(n) for n in ("A", "B", "C", "D", "E")]
+    lines = [
+        Line("A", "B", reactance=0.0281),
+        Line("A", "D", reactance=0.0304),
+        Line("A", "E", reactance=0.0064),
+        Line("B", "C", reactance=0.0108),
+        Line("C", "D", reactance=0.0297),
+        Line("D", "E", reactance=0.0297, limit_mw=ed_limit_mw),
+    ]
+    generators = [
+        Generator("Alta", "A", max_mw=110.0, cost=14.0),
+        Generator("ParkCity", "A", max_mw=100.0, cost=15.0),
+        Generator("Solitude", "C", max_mw=520.0, cost=30.0),
+        Generator("Sundance", "D", max_mw=200.0, cost=30.0),
+        Generator("Brighton", "E", max_mw=600.0, cost=10.0),
+    ]
+    return Grid(buses=buses, lines=lines, generators=generators)
+
+
+def _compress_steps(
+    loads: np.ndarray, lmps: np.ndarray, atol: float = 1e-4
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Collapse a piecewise-constant LMP curve into (breakpoints, prices).
+
+    Consecutive sweep points with the same LMP (within ``atol``) belong
+    to one segment; a breakpoint is placed at the first load of each new
+    segment. NaN (infeasible) tail points are dropped.
+    """
+    valid = ~np.isnan(lmps)
+    loads, lmps = loads[valid], lmps[valid]
+    if loads.size == 0:
+        raise ValueError("no feasible points in sweep")
+    # Rounding kills LP-solver fuzz (e.g. 13.999999999999998) so the same
+    # physical step compresses to the same price at every bus.
+    prices = [round(float(lmps[0]), 4)]
+    breakpoints: list[float] = []
+    for load, lmp in zip(loads[1:], lmps[1:]):
+        if abs(lmp - prices[-1]) > atol:
+            breakpoints.append(float(load))
+            prices.append(round(float(lmp), 4))
+    return tuple(breakpoints), tuple(prices)
+
+
+def _refine_breakpoint(
+    opf: DcOpf,
+    bus: str,
+    lo: float,
+    hi: float,
+    price_lo: float,
+    tol_mw: float,
+) -> float:
+    """Bisect the system load at which ``bus``'s LMP leaves ``price_lo``.
+
+    Precondition: the LMP at ``lo`` equals ``price_lo`` and at ``hi`` it
+    differs (both within the coarse sweep's resolution). Returns the
+    smallest load (within ``tol_mw``) whose LMP differs.
+    """
+    while hi - lo > tol_mw:
+        mid = 0.5 * (lo + hi)
+        res = opf.dispatch({b: s * mid for b, s in LOAD_SHARES.items()})
+        if res.feasible and abs(res.lmp_at(bus) - price_lo) <= 1e-4:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def derive_step_policies(
+    grid: Grid | None = None,
+    max_system_load_mw: float = 900.0,
+    step_mw: float = 2.5,
+    locational: bool = True,
+    refine_tol_mw: float | None = None,
+) -> dict[str, SteppedPricingPolicy]:
+    """Sweep the 5-bus DC-OPF and return a step policy per load bus.
+
+    Parameters
+    ----------
+    grid:
+        Defaults to :func:`pjm5bus`.
+    max_system_load_mw, step_mw:
+        Sweep range and resolution; the sweep stops at infeasibility.
+    locational:
+        When true (default), breakpoints are expressed in *locational*
+        load (system load x share), matching how the paper's policies
+        consume ``P_i = p_i + d_i``; otherwise in system load.
+    refine_tol_mw:
+        When set, each detected breakpoint is located by bisection to
+        this tolerance (in system MW) instead of the coarse sweep
+        resolution — e.g. ``0.05`` pins the Brighton-Sundance
+        congestion step to the canonical 711.8 MW.
+
+    Returns
+    -------
+    dict
+        ``{bus: SteppedPricingPolicy}`` for B, C, D.
+    """
+    grid = grid or pjm5bus()
+    opf = DcOpf(grid)
+    system_loads = np.arange(step_mw, max_system_load_mw + step_mw / 2, step_mw)
+    sweep = opf.lmp_sweep(LOAD_SHARES, system_loads)
+    policies = {}
+    for bus, lmps in sweep.items():
+        breakpoints, prices = _compress_steps(system_loads, lmps)
+        if refine_tol_mw is not None:
+            refined = []
+            for k, bp in enumerate(breakpoints):
+                refined.append(
+                    _refine_breakpoint(
+                        opf, bus, bp - step_mw, bp, prices[k], refine_tol_mw
+                    )
+                )
+            breakpoints = tuple(refined)
+        if locational:
+            share = LOAD_SHARES[bus]
+            breakpoints = tuple(bp * share for bp in breakpoints)
+        policies[bus] = SteppedPricingPolicy(bus, breakpoints, prices)
+    return policies

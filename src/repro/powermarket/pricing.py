@@ -1,0 +1,203 @@
+"""Locational pricing policies: piecewise-constant price vs. market load.
+
+A :class:`SteppedPricingPolicy` is the paper's ``Pr_i = F_i(P_i)``: the
+electricity price paid by every consumer in market *i* as a step
+function of the *total* power drawn in that market, ``P_i = p_i + d_i``
+(data-center power plus background demand). The steps come from the LMP
+methodology — each level corresponds to a set of binding generation or
+transmission constraints (Section II, Figure 1).
+
+Factories at the bottom build the paper's four experimental policies:
+
+* ``Policy 0`` — flat price (the *price-taker* world assumed by
+  Min-Only);
+* ``Policy 1`` — the basic locational policy derived from the PJM
+  five-bus system;
+* ``Policies 2 and 3`` — Policy 1 with its price increments over the
+  base level doubled and tripled (Section VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SteppedPricingPolicy",
+    "flat_policy",
+    "scale_increments",
+    "paper_policy_dc1",
+    "paper_policies",
+    "PAPER_DC1_PRICES",
+    "PAPER_BREAKPOINTS_MW",
+]
+
+
+@dataclass(frozen=True)
+class SteppedPricingPolicy:
+    """Piecewise-constant electricity price as a function of market load.
+
+    ``price(P) = prices[k]`` for ``breakpoints[k-1] <= P < breakpoints[k]``
+    with ``breakpoints`` the *interior* step locations (len = len(prices)-1).
+    Loads beyond the last breakpoint take the final price.
+
+    Attributes
+    ----------
+    name:
+        Label for reports ("B", "C", "D", ...).
+    breakpoints:
+        Strictly increasing interior breakpoints in MW.
+    prices:
+        Price of each level in $/MWh; one more entry than breakpoints.
+    """
+
+    name: str
+    breakpoints: tuple[float, ...]
+    prices: tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.prices) != len(self.breakpoints) + 1:
+            raise ValueError(
+                f"policy {self.name!r}: need len(prices) == len(breakpoints)+1"
+            )
+        if len(self.prices) == 0:
+            raise ValueError("at least one price level required")
+        bp = np.asarray(self.breakpoints, dtype=float)
+        if bp.size and (np.any(np.diff(bp) <= 0) or bp[0] <= 0):
+            raise ValueError("breakpoints must be positive and strictly increasing")
+        if any(p < 0 for p in self.prices):
+            raise ValueError("negative prices not supported")
+
+    # -- evaluation -------------------------------------------------------------
+
+    @property
+    def n_levels(self) -> int:
+        """Number of price levels (the ``m_i`` of Section IV-C)."""
+        return len(self.prices)
+
+    def level_index(self, load_mw: float) -> int:
+        """Index of the price level active at ``load_mw``."""
+        if load_mw < 0:
+            raise ValueError("negative market load")
+        return int(np.searchsorted(self.breakpoints, load_mw, side="right"))
+
+    def price(self, load_mw: float) -> float:
+        """Price ($/MWh) at total market load ``load_mw``."""
+        return self.prices[self.level_index(load_mw)]
+
+    def price_array(self, loads_mw: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`price` over an array of loads."""
+        loads = np.asarray(loads_mw, dtype=float)
+        if np.any(loads < 0):
+            raise ValueError("negative market load")
+        idx = np.searchsorted(self.breakpoints, loads, side="right")
+        return np.asarray(self.prices, dtype=float)[idx]
+
+    # -- segment geometry (used by the MILP linearization) -----------------------
+
+    def segment_bounds(self) -> list[tuple[float, float]]:
+        """Market-load interval ``[lo, hi)`` of each price level.
+
+        The last segment's ``hi`` is ``inf``.
+        """
+        edges = (0.0, *self.breakpoints, float("inf"))
+        return [(edges[k], edges[k + 1]) for k in range(self.n_levels)]
+
+    # -- summary statistics (used by the Min-Only baselines) ---------------------
+
+    @property
+    def average_price(self) -> float:
+        """Unweighted mean of the step prices — Min-Only (Avg)'s constant."""
+        return float(np.mean(self.prices))
+
+    @property
+    def lowest_price(self) -> float:
+        """Lowest step price — Min-Only (Low)'s constant."""
+        return float(np.min(self.prices))
+
+    def is_flat(self) -> bool:
+        """True when the price never changes with load (price-taker world)."""
+        return len(set(self.prices)) == 1
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON/YAML-friendly) for config files."""
+        return {
+            "name": self.name,
+            "breakpoints": list(self.breakpoints),
+            "prices": list(self.prices),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SteppedPricingPolicy":
+        """Inverse of :meth:`to_dict`; validates like the constructor."""
+        try:
+            return cls(
+                name=str(data["name"]),
+                breakpoints=tuple(float(b) for b in data["breakpoints"]),
+                prices=tuple(float(p) for p in data["prices"]),
+            )
+        except KeyError as missing:
+            raise ValueError(f"policy dict missing key {missing}") from None
+
+
+def flat_policy(name: str, price: float) -> SteppedPricingPolicy:
+    """Policy 0: a single constant price (data centers are price takers)."""
+    return SteppedPricingPolicy(name, (), (price,))
+
+
+def scale_increments(
+    policy: SteppedPricingPolicy, factor: float, suffix: str = ""
+) -> SteppedPricingPolicy:
+    """Scale every price increment over the base level by ``factor``.
+
+    This is how the paper constructs Policies 2 and 3 from Policy 1:
+    e.g. DC 1's Policy 1 prices ``(10.00, 13.90, 15.00, 22.00, 24.00)``
+    become ``(10.00, 17.80, 20.00, 34.00, 38.00)`` with ``factor=2`` and
+    ``(10.00, 21.70, 25.00, 46.00, 52.00)`` with ``factor=3``.
+    """
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+    base = policy.prices[0]
+    prices = tuple(base + factor * (p - base) for p in policy.prices)
+    return SteppedPricingPolicy(
+        f"{policy.name}{suffix or f'x{factor:g}'}", policy.breakpoints, prices
+    )
+
+
+#: The DC 1 (location B) step prices stated in Section VII-B, $/MWh.
+PAPER_DC1_PRICES: tuple[float, ...] = (10.00, 13.90, 15.00, 22.00, 24.00)
+
+#: Interior breakpoints, in MW of *locational* market load. The PJM 5-bus
+#: system distributes load uniformly over B, C, D, and its LMP steps occur
+#: at system loads of roughly {300, 450, 600, 711.8} MW (Brighton's limit
+#: binds at 600, the Brighton-Sundance line at 711.8 per Section II);
+#: locational breakpoints are a third of those.
+PAPER_BREAKPOINTS_MW: tuple[float, ...] = (100.0, 150.0, 200.0, 237.3)
+
+
+def paper_policy_dc1() -> SteppedPricingPolicy:
+    """Policy 1 for Data Center 1 with the exact prices from the paper."""
+    return SteppedPricingPolicy("B", PAPER_BREAKPOINTS_MW, PAPER_DC1_PRICES)
+
+
+def paper_policies(derived: Sequence[SteppedPricingPolicy] | None = None):
+    """The three locational Policy-1 curves for DC 1-3 (buses B, C, D).
+
+    The paper states DC 1's prices explicitly; the other two locations
+    are read off Figure 1, which we regenerate from the PJM 5-bus DC-OPF
+    (see :func:`repro.powermarket.pjm5bus.derive_step_policies`). When
+    ``derived`` policies are supplied (e.g. from that sweep) they are
+    used for C and D; otherwise hand-transcribed curves consistent with
+    the 5-bus LMP literature are used.
+    """
+    b = paper_policy_dc1()
+    if derived is not None:
+        by_name = {p.name: p for p in derived}
+        return [b, by_name["C"], by_name["D"]]
+    c = SteppedPricingPolicy("C", PAPER_BREAKPOINTS_MW, (10.0, 15.0, 21.0, 28.0, 30.0))
+    d = SteppedPricingPolicy("D", PAPER_BREAKPOINTS_MW, (10.0, 14.3, 17.0, 25.0, 27.0))
+    return [b, c, d]

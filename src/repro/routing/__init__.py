@@ -1,0 +1,18 @@
+"""Request-routing substrate: weighted DNS dispatch and geo latency.
+
+The paper assumes a DNS-based dynamic request router exists (Section
+III); this package models it — including its imperfections (resolution
+granularity, TTL caching lag) — and the geographic latency accounting
+needed to audit cost-aware routing for latency side effects.
+"""
+
+from .dns import ResolverPopulation, WeightedDnsDispatcher, routing_error
+from .geo import GeoTopology, paper_geo_topology
+
+__all__ = [
+    "WeightedDnsDispatcher",
+    "ResolverPopulation",
+    "routing_error",
+    "GeoTopology",
+    "paper_geo_topology",
+]

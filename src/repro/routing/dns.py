@@ -1,0 +1,159 @@
+"""Weighted DNS request routing (the paper's dispatch mechanism).
+
+Section III: "the dynamic request routing mechanism in the cloud-scale
+data center networks dispatches the incoming requests among data
+centers based on the determined request dispatching strategy ... the
+Authoritative Domain Name System (DNS) is deployed to take the request
+dispatcher role by mapping the request URL hostname into the IP address
+of the destined data centers."
+
+The bill capper hands the DNS layer *target fractions*; reality
+deviates from them for two mechanical reasons modeled here:
+
+* **resolution granularity** — each resolver gets one answer per TTL
+  window and sends its whole client population there, so the realized
+  split is a finite-sample approximation of the weights;
+* **TTL caching lag** — when the capper changes the weights at the top
+  of the hour, resolvers keep using cached answers until their TTL
+  expires, so the old allocation bleeds into the new hour.
+
+:class:`WeightedDnsDispatcher` simulates both effects with seeded
+randomness; :func:`routing_error` summarizes how far realized fractions
+land from the targets — the input for the routing-robustness study in
+``tests/routing`` (the bill capper's savings survive realistic DNS
+imprecision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ResolverPopulation", "WeightedDnsDispatcher", "routing_error"]
+
+
+@dataclass(frozen=True)
+class ResolverPopulation:
+    """A population of recursive resolvers fronting the client base.
+
+    Attributes
+    ----------
+    n_resolvers:
+        Distinct resolver caches (ISPs, enterprises, public DNS).
+    ttl_s:
+        Answer TTL; a resolver re-queries once per TTL on average.
+    skew:
+        Zipf-like skew of client load across resolvers (0 = uniform;
+        larger = a few resolvers dominate, making the realized split
+        noisier).
+    """
+
+    n_resolvers: int = 1000
+    ttl_s: float = 300.0
+    skew: float = 0.8
+
+    def __post_init__(self):
+        if self.n_resolvers <= 0:
+            raise ValueError("need at least one resolver")
+        if self.ttl_s <= 0:
+            raise ValueError("TTL must be positive")
+        if self.skew < 0:
+            raise ValueError("skew must be >= 0")
+
+    def client_shares(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-resolver share of the client load (sums to 1)."""
+        ranks = np.arange(1, self.n_resolvers + 1, dtype=float)
+        weights = ranks ** (-self.skew)
+        rng.shuffle(weights)
+        return weights / weights.sum()
+
+
+class WeightedDnsDispatcher:
+    """Simulates hourly weighted-DNS dispatch with TTL caching.
+
+    Parameters
+    ----------
+    site_names:
+        Destination data centers (answer pool).
+    population:
+        Resolver population model.
+    seed:
+        RNG seed; the realized routing is reproducible.
+    """
+
+    def __init__(
+        self,
+        site_names: list[str],
+        population: ResolverPopulation | None = None,
+        seed: int = 0,
+    ):
+        if not site_names:
+            raise ValueError("at least one site required")
+        self.site_names = list(site_names)
+        self.population = population or ResolverPopulation()
+        self._rng = np.random.default_rng(seed)
+        self._client_share = self.population.client_shares(self._rng)
+        # Current cached answer per resolver (site index), -1 = no cache.
+        self._cached = np.full(self.population.n_resolvers, -1, dtype=int)
+
+    # -- mechanics ---------------------------------------------------------
+
+    def _refresh_fraction(self, window_s: float) -> float:
+        """Fraction of resolvers whose cache expires within the window."""
+        return min(1.0, window_s / self.population.ttl_s)
+
+    def dispatch_hour(self, target_fractions: dict[str, float]) -> dict[str, float]:
+        """Realize one hour of routing toward ``target_fractions``.
+
+        Returns the realized traffic fraction per site. Resolvers whose
+        cached answer expired during the hour re-query and are steered
+        by the new weights; the rest keep sending to their cached site.
+        With a 300 s TTL essentially every resolver refreshes within
+        the hour, so the dominant error term is resolution granularity,
+        not lag; shorter horizons (see :meth:`dispatch_window`) expose
+        the lag.
+        """
+        return self.dispatch_window(target_fractions, window_s=3600.0)
+
+    def dispatch_window(
+        self, target_fractions: dict[str, float], window_s: float
+    ) -> dict[str, float]:
+        """Realize routing over an arbitrary window (see above)."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        targets = np.array(
+            [target_fractions.get(name, 0.0) for name in self.site_names]
+        )
+        if np.any(targets < 0):
+            raise ValueError("negative routing fraction")
+        total = targets.sum()
+        if total <= 0:
+            raise ValueError("routing fractions sum to zero")
+        targets = targets / total
+
+        refresh_p = self._refresh_fraction(window_s)
+        refreshing = self._rng.random(self.population.n_resolvers) < refresh_p
+        never_cached = self._cached < 0
+        to_assign = refreshing | never_cached
+        n_assign = int(to_assign.sum())
+        if n_assign:
+            answers = self._rng.choice(
+                len(self.site_names), size=n_assign, p=targets
+            )
+            self._cached[to_assign] = answers
+
+        realized = np.zeros(len(self.site_names))
+        np.add.at(realized, self._cached, self._client_share)
+        return dict(zip(self.site_names, realized.tolist()))
+
+
+def routing_error(
+    realized: dict[str, float], target: dict[str, float]
+) -> float:
+    """Total-variation distance between realized and target splits."""
+    keys = set(realized) | set(target)
+    t_total = sum(target.get(k, 0.0) for k in keys) or 1.0
+    return 0.5 * sum(
+        abs(realized.get(k, 0.0) - target.get(k, 0.0) / t_total) for k in keys
+    )

@@ -1,0 +1,157 @@
+"""Geographic client topology and latency accounting.
+
+The paper optimizes server-side response time; the *network* leg of
+latency depends on which data center a client's request lands on. This
+module quantifies that leg so the cost-aware dispatch can be audited
+for latency side effects:
+
+* :class:`GeoTopology` — client regions (with traffic shares) and an
+  RTT matrix to the sites;
+* :meth:`GeoTopology.mean_rtt` — expected network RTT under a
+  region-agnostic dispatch split (what weighted DNS produces);
+* :meth:`GeoTopology.nearest_site_split` — the latency-optimal
+  assignment, the natural lower bound;
+* :meth:`GeoTopology.latency_penalty_ms` — how much mean RTT a
+  cost-aware split gives up versus nearest-site routing.
+
+A distance-derived default topology for the paper's three sites is
+provided by :func:`paper_geo_topology` (three US regions against the
+B/C/D locations, RTTs on realistic WAN scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GeoTopology", "paper_geo_topology"]
+
+
+@dataclass(frozen=True)
+class GeoTopology:
+    """Client regions, their traffic shares, and RTTs to each site.
+
+    Attributes
+    ----------
+    regions:
+        Region names.
+    region_shares:
+        Fraction of global traffic from each region (sums to 1).
+    sites:
+        Site names.
+    rtt_ms:
+        Matrix ``[region, site]`` of round-trip times in milliseconds.
+    """
+
+    regions: tuple[str, ...]
+    region_shares: tuple[float, ...]
+    sites: tuple[str, ...]
+    rtt_ms: np.ndarray
+
+    def __post_init__(self):
+        shares = np.asarray(self.region_shares, dtype=float)
+        if len(self.regions) != shares.size:
+            raise ValueError("one share per region required")
+        if np.any(shares < 0) or abs(shares.sum() - 1.0) > 1e-9:
+            raise ValueError("region shares must be >= 0 and sum to 1")
+        rtt = np.asarray(self.rtt_ms, dtype=float)
+        if rtt.shape != (len(self.regions), len(self.sites)):
+            raise ValueError("rtt matrix must be regions x sites")
+        if np.any(rtt < 0):
+            raise ValueError("negative RTT")
+        object.__setattr__(self, "rtt_ms", rtt)
+
+    # -- latency under a split ------------------------------------------------
+
+    def _split_vector(self, split: dict[str, float]) -> np.ndarray:
+        vec = np.array([split.get(s, 0.0) for s in self.sites], dtype=float)
+        if np.any(vec < 0):
+            raise ValueError("negative split fraction")
+        total = vec.sum()
+        if total <= 0:
+            raise ValueError("split sums to zero")
+        return vec / total
+
+    def mean_rtt(self, split: dict[str, float]) -> float:
+        """Expected RTT (ms) when every region is split identically.
+
+        This is exactly what hourly weighted DNS does: the same answer
+        distribution for everyone, regardless of origin.
+        """
+        vec = self._split_vector(split)
+        shares = np.asarray(self.region_shares)
+        return float(shares @ self.rtt_ms @ vec)
+
+    def region_aware_mean_rtt(self, assignment: dict[str, str]) -> float:
+        """Mean RTT when each region is routed to one chosen site.
+
+        ``assignment`` maps region -> site (GeoDNS-style routing). This
+        is the routing model that *can* reach :meth:`min_mean_rtt`;
+        plain hourly weighted DNS (:meth:`mean_rtt`) cannot, because it
+        hands every region the same answer distribution.
+        """
+        total = 0.0
+        for region, share in zip(self.regions, self.region_shares):
+            site = assignment[region]
+            if site not in self.sites:
+                raise KeyError(f"unknown site {site!r}")
+            total += share * float(
+                self.rtt_ms[self.regions.index(region), self.sites.index(site)]
+            )
+        return total
+
+    def nearest_site_assignment(self) -> dict[str, str]:
+        """Latency-optimal GeoDNS assignment: each region to its nearest site."""
+        nearest = np.argmin(self.rtt_ms, axis=1)
+        return {
+            region: self.sites[int(idx)]
+            for region, idx in zip(self.regions, nearest)
+        }
+
+    def nearest_site_split(self) -> dict[str, float]:
+        """Aggregate traffic fractions of the nearest-site assignment.
+
+        Note: feeding these fractions back through region-agnostic
+        weighted DNS does **not** recover the optimal latency — the
+        fractions land on the wrong regions. Compare
+        ``mean_rtt(nearest_site_split())`` against
+        ``region_aware_mean_rtt(nearest_site_assignment())`` to see the
+        structural gap between weighted DNS and GeoDNS.
+        """
+        nearest = np.argmin(self.rtt_ms, axis=1)
+        split = {s: 0.0 for s in self.sites}
+        for share, site_idx in zip(self.region_shares, nearest):
+            split[self.sites[site_idx]] += float(share)
+        return split
+
+    def min_mean_rtt(self) -> float:
+        """Mean RTT of nearest-site routing (the lower bound)."""
+        nearest = np.min(self.rtt_ms, axis=1)
+        return float(np.asarray(self.region_shares) @ nearest)
+
+    def latency_penalty_ms(self, split: dict[str, float]) -> float:
+        """Extra mean RTT of ``split`` over nearest-site routing."""
+        return self.mean_rtt(split) - self.min_mean_rtt()
+
+
+def paper_geo_topology() -> GeoTopology:
+    """Three US client regions against the paper's three sites.
+
+    RTTs follow typical intra-US WAN latencies (same region ~15 ms,
+    cross-country ~70 ms). The exact values matter less than the
+    structure: each site is *somebody's* nearest, so cost-aware routing
+    that abandons a site always costs some region latency.
+    """
+    return GeoTopology(
+        regions=("east", "central", "west"),
+        region_shares=(0.42, 0.25, 0.33),
+        sites=("DC1", "DC2", "DC3"),
+        rtt_ms=np.array(
+            [
+                [15.0, 42.0, 70.0],
+                [40.0, 16.0, 45.0],
+                [72.0, 44.0, 14.0],
+            ]
+        ),
+    )

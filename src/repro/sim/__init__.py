@@ -1,0 +1,31 @@
+"""Simulation of dispatch strategies over workload months."""
+
+from .analysis import (
+    BudgetAdherence,
+    budget_adherence,
+    compare,
+    format_comparison,
+    price_level_occupancy,
+    savings,
+    site_breakdown,
+)
+from .montecarlo import SeedStudy, run_study, savings_study
+from .records import HourRecord, SimulationResult, SiteRecord
+from .simulator import Simulator
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "HourRecord",
+    "SiteRecord",
+    "savings",
+    "BudgetAdherence",
+    "budget_adherence",
+    "price_level_occupancy",
+    "site_breakdown",
+    "compare",
+    "format_comparison",
+    "SeedStudy",
+    "run_study",
+    "savings_study",
+]

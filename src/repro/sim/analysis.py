@@ -1,0 +1,164 @@
+"""Analysis utilities over simulation results.
+
+Everything the evaluation section computes from raw hourly records
+lives here, so benchmarks, examples and the CLI share one
+implementation:
+
+* :func:`savings` — relative bill reduction between two strategies;
+* :func:`budget_adherence` — violation counts/magnitudes vs a budgeter;
+* :func:`price_level_occupancy` — how many site-hours were billed at
+  each price level (the "did we cross the steps?" diagnostic);
+* :func:`site_breakdown` — per-site energy, cost and share;
+* :func:`compare` — a strategy-comparison table as plain dicts;
+* :func:`format_comparison` — text rendering for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import CappingStep, Site
+from .records import SimulationResult
+
+__all__ = [
+    "savings",
+    "BudgetAdherence",
+    "budget_adherence",
+    "price_level_occupancy",
+    "site_breakdown",
+    "compare",
+    "format_comparison",
+]
+
+
+def savings(strategy: SimulationResult, baseline: SimulationResult) -> float:
+    """Relative bill reduction of ``strategy`` vs ``baseline`` (0.2 = 20%)."""
+    if baseline.total_cost <= 0:
+        raise ValueError("baseline has non-positive total cost")
+    return 1.0 - strategy.total_cost / baseline.total_cost
+
+
+@dataclass(frozen=True)
+class BudgetAdherence:
+    """Budget-discipline statistics for a capped run."""
+
+    monthly_budget: float
+    total_spent: float
+    hours_over: int
+    mandatory_hours_over: int  # violations in premium-only hours
+    worst_hourly_overshoot: float  # max (cost - budget), $; 0 if none
+
+    @property
+    def utilization(self) -> float:
+        return self.total_spent / self.monthly_budget
+
+    @property
+    def within_monthly_budget(self) -> bool:
+        return self.total_spent <= self.monthly_budget * (1 + 1e-9)
+
+
+def budget_adherence(result: SimulationResult, monthly_budget: float) -> BudgetAdherence:
+    """Compute budget-discipline statistics for a capped simulation."""
+    if monthly_budget <= 0:
+        raise ValueError("monthly budget must be positive")
+    hours_over = 0
+    mandatory = 0
+    worst = 0.0
+    for h in result.hours:
+        overshoot = h.realized_cost - h.budget
+        if overshoot > 1e-9 * max(1.0, h.budget):
+            hours_over += 1
+            if h.step is CappingStep.PREMIUM_ONLY:
+                mandatory += 1
+            worst = max(worst, overshoot)
+    return BudgetAdherence(
+        monthly_budget=monthly_budget,
+        total_spent=result.total_cost,
+        hours_over=hours_over,
+        mandatory_hours_over=mandatory,
+        worst_hourly_overshoot=worst,
+    )
+
+
+def price_level_occupancy(
+    result: SimulationResult, sites: list[Site]
+) -> dict[str, np.ndarray]:
+    """Site-hours billed at each price level, per site.
+
+    Returns ``{site: counts}`` where ``counts[k]`` is the number of
+    hours the site's market cleared at its policy's level ``k``. The
+    price-maker effect is visible here: Cost Capping occupies lower
+    levels than the baselines under the same workload.
+    """
+    by_name = {s.name: s for s in sites}
+    out = {
+        s.name: np.zeros(s.policy.n_levels, dtype=int) for s in sites
+    }
+    for h in result.hours:
+        for rec in h.sites:
+            site = by_name.get(rec.site)
+            if site is None:
+                raise KeyError(f"record for unknown site {rec.site!r}")
+            market = float(site.background_mw[h.hour]) + rec.power_mw
+            out[rec.site][site.policy.level_index(market)] += 1
+    return out
+
+
+def site_breakdown(result: SimulationResult) -> dict[str, dict[str, float]]:
+    """Per-site totals: energy (MWh), cost ($), cost share, mean price."""
+    energy: dict[str, float] = {}
+    cost: dict[str, float] = {}
+    for h in result.hours:
+        for rec in h.sites:
+            energy[rec.site] = energy.get(rec.site, 0.0) + rec.power_mw
+            cost[rec.site] = cost.get(rec.site, 0.0) + rec.cost
+    total_cost = sum(cost.values()) or 1.0
+    return {
+        site: {
+            "energy_mwh": energy[site],
+            "cost": cost[site],
+            "cost_share": cost[site] / total_cost,
+            "mean_price": cost[site] / energy[site] if energy[site] > 0 else 0.0,
+        }
+        for site in energy
+    }
+
+
+def compare(results: dict[str, SimulationResult]) -> list[dict[str, float | str]]:
+    """Strategy-comparison rows (dicts keyed by metric name)."""
+    if not results:
+        raise ValueError("no results to compare")
+    cheapest = min(r.total_cost for r in results.values())
+    rows = []
+    for name, res in results.items():
+        rows.append(
+            {
+                "strategy": name,
+                "total_cost": res.total_cost,
+                "vs_cheapest": res.total_cost / cheapest - 1.0,
+                "premium_throughput": res.premium_throughput_fraction,
+                "ordinary_throughput": res.ordinary_throughput_fraction,
+                "hours_over_budget": float(res.hours_over_budget),
+                "peak_power_mw": float(res.hourly_power_mw.max()) if len(res) else 0.0,
+            }
+        )
+    return rows
+
+
+def format_comparison(results: dict[str, SimulationResult]) -> str:
+    """Render :func:`compare` as a fixed-width text table."""
+    rows = compare(results)
+    header = (
+        f"{'strategy':<24} {'cost $':>12} {'vs best':>8} "
+        f"{'prem':>6} {'ord':>6} {'over-budget':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['strategy']:<24} {r['total_cost']:>12,.0f} "
+            f"{r['vs_cheapest']:>7.1%} {r['premium_throughput']:>6.1%} "
+            f"{r['ordinary_throughput']:>6.1%} {int(r['hours_over_budget']):>11}"
+        )
+    return "\n".join(lines)

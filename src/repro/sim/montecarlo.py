@@ -1,0 +1,134 @@
+"""Multi-seed (Monte-Carlo) robustness studies.
+
+One synthetic month is one draw; conclusions like "Cost Capping saves
+~20% versus Min-Only" should hold across workload/noise seeds, not just
+seed 7. This module runs a metric across seeds and aggregates:
+
+* :func:`run_study` — evaluate ``metric(seed)`` over seeds into a
+  :class:`SeedStudy` (mean/std/min/max/CI); seeds are independent, so
+  ``workers > 1`` fans them out over a process pool (the metric must
+  then be picklable — a module-level function, not a closure);
+* :func:`savings_study` — the canonical use: capping-vs-baseline
+  savings per seed on freshly generated paper worlds (parallel-ready).
+
+The normal-approximation confidence interval is deliberately simple —
+these are smoke-level robustness checks, not publication statistics.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SeedStudy", "run_study", "savings_study"]
+
+
+@dataclass(frozen=True)
+class SeedStudy:
+    """Aggregated metric values across seeds."""
+
+    name: str
+    seeds: tuple[int, ...]
+    values: np.ndarray
+
+    def __post_init__(self):
+        if self.values.size != len(self.seeds) or self.values.size == 0:
+            raise ValueError("one value per seed required (>= 1)")
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std(ddof=1)) if self.values.size > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.values.max())
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        half = z * self.std / np.sqrt(self.values.size)
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        lo, hi = self.confidence_interval()
+        return (
+            f"{self.name}: mean={self.mean:.4f} std={self.std:.4f} "
+            f"range=[{self.min:.4f}, {self.max:.4f}] "
+            f"CI95=[{lo:.4f}, {hi:.4f}] over {self.values.size} seeds"
+        )
+
+
+def run_study(
+    name: str,
+    metric: Callable[[int], float],
+    seeds: Iterable[int],
+    workers: int = 1,
+) -> SeedStudy:
+    """Evaluate ``metric`` for every seed and aggregate.
+
+    ``workers > 1`` runs the seeds in a process pool; ``metric`` must
+    then be picklable (module-level function or ``functools.partial``
+    over one). Results are deterministic and order-preserving either
+    way.
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ValueError("at least one seed required")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(seeds) == 1:
+        values = np.array([float(metric(seed)) for seed in seeds])
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
+            values = np.array(list(pool.map(metric, seeds)))
+    return SeedStudy(name, seeds, values)
+
+
+def _savings_metric(
+    seed: int, hours: int, policy_id: int, max_servers: int | None
+) -> float:
+    """Capping-vs-Min-Only(Avg) savings for one seed (picklable)."""
+    from ..core import PriceMode
+    from ..experiments import paper_world
+    from .simulator import Simulator
+
+    kwargs = {"seed": seed}
+    if max_servers is not None:
+        kwargs["max_servers"] = max_servers
+    world = paper_world(policy_id, **kwargs)
+    sim = Simulator(world.sites, world.workload, world.mix)
+    capping = sim.run_capping(hours=hours)
+    baseline = sim.run_min_only(PriceMode.AVG, hours=hours)
+    return 1.0 - capping.total_cost / baseline.total_cost
+
+
+def savings_study(
+    seeds: Sequence[int] = (1, 2, 3),
+    hours: int = 96,
+    *,
+    policy_id: int = 1,
+    max_servers: int | None = None,
+    workers: int = 1,
+) -> SeedStudy:
+    """Capping-vs-Min-Only(Avg) savings across freshly seeded worlds.
+
+    Each seed regenerates the workload and background-demand traces;
+    hardware and pricing stay fixed. Seeds are independent, so
+    ``workers=N`` parallelizes across processes.
+    """
+    from functools import partial
+
+    metric = partial(
+        _savings_metric, hours=hours, policy_id=policy_id, max_servers=max_servers
+    )
+    return run_study(f"capping-savings-policy{policy_id}", metric, seeds, workers)

@@ -1,0 +1,72 @@
+"""Self-contained LP/MILP optimization layer.
+
+Public API:
+
+* :class:`Model`, :class:`Variable`, :class:`LinExpr`, :func:`quicksum`
+  — algebraic model construction;
+* :class:`SolveResult`, :class:`SolveStatus` — results;
+* Backends: :class:`ScipyBackend` (HiGHS, default),
+  :class:`ScipyLpBackend` (LP + duals),
+  :class:`BranchBoundSolver` (own B&B), :class:`SimplexSolver`
+  (pure-NumPy LP engine);
+* Errors: :class:`SolverError` and friends.
+"""
+
+from .branch_bound import BranchBoundSolver
+from .errors import (
+    InfeasibleError,
+    ModelingError,
+    SolverError,
+    SolverLimitError,
+    UnboundedError,
+)
+from .model import (
+    Constraint,
+    LinExpr,
+    Model,
+    Sense,
+    StandardForm,
+    Variable,
+    VarType,
+    quicksum,
+)
+from .cuts import CoverCut, apply_cuts, find_cover_cuts
+from .fallback import FallbackBackend
+from .lp_format import model_to_lp_string, parse_lp_string, read_lp, write_lp
+from .presolve import PresolveReport, PresolvingBackend, presolve
+from .result import SolveResult, SolveStatus
+from .scipy_backend import ScipyBackend, ScipyLpBackend
+from .simplex import SimplexSolver
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "VarType",
+    "Sense",
+    "StandardForm",
+    "quicksum",
+    "SolveResult",
+    "SolveStatus",
+    "ScipyBackend",
+    "ScipyLpBackend",
+    "BranchBoundSolver",
+    "SimplexSolver",
+    "SolverError",
+    "ModelingError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverLimitError",
+    "presolve",
+    "PresolveReport",
+    "PresolvingBackend",
+    "FallbackBackend",
+    "CoverCut",
+    "find_cover_cuts",
+    "apply_cuts",
+    "write_lp",
+    "read_lp",
+    "model_to_lp_string",
+    "parse_lp_string",
+]

@@ -1,0 +1,49 @@
+"""Exception types raised by the :mod:`repro.solver` optimization layer.
+
+The solver layer distinguishes *modeling* errors (the user built an
+ill-formed model: mixing variables of different models, non-linear
+operations, malformed bounds) from *solve* errors (the model is fine but
+the optimization could not produce an optimal point: infeasible,
+unbounded, or resource limits).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SolverError",
+    "ModelingError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverLimitError",
+]
+
+
+class SolverError(Exception):
+    """Base class for all errors raised by :mod:`repro.solver`."""
+
+
+class ModelingError(SolverError):
+    """An optimization model was constructed incorrectly.
+
+    Examples: adding a constraint that references variables of another
+    model, using a strict inequality, multiplying two variables, or
+    specifying ``lb > ub``.
+    """
+
+
+class InfeasibleError(SolverError):
+    """The model has no feasible point.
+
+    Raised by :meth:`repro.solver.model.Model.solve` when
+    ``raise_on_failure=True``; otherwise the returned
+    :class:`~repro.solver.result.SolveResult` carries
+    :attr:`~repro.solver.result.SolveStatus.INFEASIBLE`.
+    """
+
+
+class UnboundedError(SolverError):
+    """The objective can be improved without bound."""
+
+
+class SolverLimitError(SolverError):
+    """An iteration or node limit was reached before proving optimality."""

@@ -1,0 +1,79 @@
+"""Backend resilience: try a primary solver, fall back on failure.
+
+The hourly control loop must produce *some* dispatch every invocation
+period — a solver hiccup (numerical trouble in one backend, an
+iteration limit, an ``ERROR`` status) must not take the data-center
+network down with it. :class:`FallbackBackend` chains backends: each is
+tried in order until one returns a usable answer.
+
+A genuinely infeasible or unbounded model is *not* retried by default —
+every correct backend will agree, so retrying only wastes the control
+period. Statuses treated as "try the next backend" are the resource/
+error ones (``ITERATION_LIMIT``, ``NODE_LIMIT``, ``ERROR``), plus any
+exception escaping the backend. Set ``retry_infeasible=True`` to also
+re-check claimed infeasibility (useful when a backend is known to
+misreport it on badly scaled inputs — we met exactly that with HiGHS's
+MILP presolve, see ``repro.core.dispatch_model``).
+"""
+
+from __future__ import annotations
+
+from .model import StandardForm
+from .result import SolveResult, SolveStatus
+
+__all__ = ["FallbackBackend"]
+
+#: Statuses after which the next backend is tried.
+_RETRYABLE = (
+    SolveStatus.ITERATION_LIMIT,
+    SolveStatus.NODE_LIMIT,
+    SolveStatus.ERROR,
+)
+
+
+class FallbackBackend:
+    """Try each backend in order until one produces a usable result.
+
+    Parameters
+    ----------
+    backends:
+        Two or more backend objects (each with ``solve(StandardForm)``).
+    retry_infeasible:
+        Also hand claimed-infeasible results to the next backend.
+    """
+
+    def __init__(self, *backends, retry_infeasible: bool = False):
+        if len(backends) < 2:
+            raise ValueError("need at least two backends to fall back between")
+        self.backends = backends
+        self.retry_infeasible = retry_infeasible
+        self.name = "fallback(" + ",".join(b.name for b in backends) + ")"
+
+    def _retryable(self, result: SolveResult) -> bool:
+        if result.status in _RETRYABLE:
+            return True
+        if self.retry_infeasible and result.status is SolveStatus.INFEASIBLE:
+            return True
+        return False
+
+    def solve(self, sf: StandardForm) -> SolveResult:
+        last: SolveResult | None = None
+        errors: list[str] = []
+        for backend in self.backends:
+            try:
+                result = backend.solve(sf)
+            except Exception as exc:  # noqa: BLE001 - resilience layer
+                errors.append(f"{backend.name}: {exc!r}")
+                continue
+            if not self._retryable(result):
+                return result
+            last = result
+            errors.append(f"{backend.name}: {result.status.value}")
+        if last is not None:
+            last.message = "; ".join(errors)
+            return last
+        return SolveResult(
+            status=SolveStatus.ERROR,
+            backend=self.name,
+            message="all backends raised: " + "; ".join(errors),
+        )

@@ -1,0 +1,321 @@
+"""CPLEX LP-format writer and reader for :class:`~repro.solver.model.Model`.
+
+Lets any hourly dispatch MILP be dumped to a human-readable ``.lp``
+file (debugging, cross-checking against external solvers) and read
+back. The supported subset covers everything this library generates:
+
+* ``Minimize`` / ``Maximize`` with a single linear objective,
+* ``Subject To`` rows with ``<=``, ``>=``, ``=``,
+* a ``Bounds`` section (including ``free`` and ``-inf``/``+inf``),
+* ``General`` (integer) and ``Binary`` sections,
+* ``\\``-prefixed comments.
+
+Round-trip fidelity (write → read → identical standard form) is
+property-tested in ``tests/solver/test_lp_format.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import re
+from pathlib import Path
+
+from .errors import ModelingError
+from .model import LinExpr, Model, VarType
+
+__all__ = ["write_lp", "model_to_lp_string", "read_lp", "parse_lp_string"]
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+def _sanitize(name: str, index: int, prefix: str) -> str:
+    """LP-format-safe identifier (falls back to ``prefix<index>``)."""
+    clean = re.sub(r"[^A-Za-z0-9_.]", "_", name or "")
+    if not clean or clean[0].isdigit() or clean[0] == ".":
+        clean = f"{prefix}{index}"
+    return clean
+
+
+def _expr_terms(expr: LinExpr, names: list[str]) -> str:
+    parts = []
+    for idx in sorted(expr.coeffs):
+        coef = expr.coeffs[idx]
+        if coef == 0:
+            continue
+        sign = "-" if coef < 0 else "+"
+        mag = abs(coef)
+        parts.append(f"{sign} {mag:.17g} {names[idx]}")
+    if not parts:
+        return "0 " + (names[0] if names else "x0")
+    joined = " ".join(parts)
+    return joined[2:] if joined.startswith("+ ") else joined
+
+
+def model_to_lp_string(model: Model) -> str:
+    """Serialize ``model`` to CPLEX LP format."""
+    names = [
+        _sanitize(v.name, i, "x") for i, v in enumerate(model.variables)
+    ]
+    if len(set(names)) != len(names):  # collision after sanitizing
+        names = [f"x{i}" for i in range(len(names))]
+
+    out = io.StringIO()
+    out.write(f"\\ Model: {model.name}\n")
+    sense = "Minimize" if model.sense.value == "min" else "Maximize"
+    out.write(f"{sense}\n obj: {_expr_terms(model._objective, names)}\n")
+    out.write("Subject To\n")
+    for k, con in enumerate(model.constraints):
+        op = "=" if con.kind == "==" else "<="
+        label = _sanitize(con.name, k, "c")
+        out.write(f" {label}: {_expr_terms(con.expr, names)} {op} {con.rhs:.17g}\n")
+
+    out.write("Bounds\n")
+    for i, v in enumerate(model.variables):
+        lo, hi = v.lb, v.ub
+        if lo == 0.0 and hi == _INF:
+            continue  # LP default
+        if lo == -_INF and hi == _INF:
+            out.write(f" {names[i]} free\n")
+        elif hi == _INF:
+            out.write(f" {names[i]} >= {lo:.17g}\n")
+        elif lo == -_INF:
+            out.write(f" {names[i]} <= {hi:.17g}\n")
+        else:
+            out.write(f" {lo:.17g} <= {names[i]} <= {hi:.17g}\n")
+
+    generals = [names[i] for i, v in enumerate(model.variables) if v.vtype is VarType.INTEGER]
+    binaries = [names[i] for i, v in enumerate(model.variables) if v.vtype is VarType.BINARY]
+    if generals:
+        out.write("General\n " + " ".join(generals) + "\n")
+    if binaries:
+        out.write("Binary\n " + " ".join(binaries) + "\n")
+    out.write("End\n")
+    return out.getvalue()
+
+
+def write_lp(model: Model, path: "str | Path") -> Path:
+    """Write ``model`` to ``path`` in LP format; returns the path."""
+    path = Path(path)
+    path.write_text(model_to_lp_string(model))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+_SECTION_RE = re.compile(
+    r"^(minimize|maximize|min|max|subject to|such that|st|s\.t\.|bounds|"
+    r"general|generals|gen|binary|binaries|bin|end)$",
+    re.IGNORECASE,
+)
+
+_TOKEN_RE = re.compile(
+    r"(?P<num>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_.][A-Za-z0-9_.\[\],]*)"
+    r"|(?P<op><=|>=|=<|=>|=|\+|-|:)"
+)
+
+
+def _tokenize(text: str):
+    for m in _TOKEN_RE.finditer(text):
+        kind = m.lastgroup
+        yield kind, m.group(0)
+
+
+def _parse_linear(tokens, model, var_of):
+    """Parse ``[+-] [coef] name ...`` into (LinExpr, leftover tokens)."""
+    expr = LinExpr(model)
+    sign = 1.0
+    coef: float | None = None
+    i = 0
+    while i < len(tokens):
+        kind, tok = tokens[i]
+        if kind == "op" and tok in "+-":
+            sign = 1.0 if tok == "+" else -1.0
+            if coef is not None:
+                raise ModelingError(f"dangling coefficient before {tok!r}")
+            i += 1
+        elif kind == "num":
+            if coef is not None:
+                raise ModelingError("two consecutive numbers in expression")
+            coef = float(tok)
+            i += 1
+        elif kind == "name":
+            v = var_of(tok)
+            c = sign * (coef if coef is not None else 1.0)
+            expr = expr + c * v
+            sign, coef = 1.0, None
+            i += 1
+        else:
+            break
+    if coef is not None:
+        expr = expr + sign * coef  # trailing constant
+    return expr, tokens[i:]
+
+
+def parse_lp_string(text: str) -> Model:
+    """Parse an LP-format string into a fresh :class:`Model`."""
+    model = Model("parsed-lp")
+    vars_by_name: dict[str, object] = {}
+
+    def var_of(name: str):
+        if name not in vars_by_name:
+            vars_by_name[name] = model.var(name, lb=0.0, ub=_INF)
+        return vars_by_name[name]
+
+    # Strip comments, split logical lines, find sections.
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("\\")[0].strip()
+        if line:
+            lines.append(line)
+
+    section = None
+    sense = "min"
+    objective_tokens: list = []
+    constraint_lines: list[str] = []
+    bounds_lines: list[str] = []
+    general_names: list[str] = []
+    binary_names: list[str] = []
+
+    for line in lines:
+        low = line.lower()
+        if _SECTION_RE.match(low):
+            if low in ("minimize", "min"):
+                section, sense = "obj", "min"
+            elif low in ("maximize", "max"):
+                section, sense = "obj", "max"
+            elif low in ("subject to", "such that", "st", "s.t."):
+                section = "cons"
+            elif low == "bounds":
+                section = "bounds"
+            elif low in ("general", "generals", "gen"):
+                section = "general"
+            elif low in ("binary", "binaries", "bin"):
+                section = "binary"
+            elif low == "end":
+                section = "end"
+            continue
+        if section == "obj":
+            objective_tokens.extend(_tokenize(line))
+        elif section == "cons":
+            constraint_lines.append(line)
+        elif section == "bounds":
+            bounds_lines.append(line)
+        elif section == "general":
+            general_names.extend(line.split())
+        elif section == "binary":
+            binary_names.extend(line.split())
+        elif section is None:
+            raise ModelingError(f"content before any LP section: {line!r}")
+
+    # Objective (may carry an 'obj:' label).
+    obj_tokens = list(objective_tokens)
+    if len(obj_tokens) >= 2 and obj_tokens[0][0] == "name" and obj_tokens[1][1] == ":":
+        obj_tokens = obj_tokens[2:]
+    obj_expr, leftover = _parse_linear(obj_tokens, model, var_of)
+    if leftover:
+        raise ModelingError(f"trailing tokens in objective: {leftover}")
+    if sense == "min":
+        model.minimize(obj_expr)
+    else:
+        model.maximize(obj_expr)
+
+    # Constraints.
+    for line in constraint_lines:
+        tokens = list(_tokenize(line))
+        name = ""
+        if len(tokens) >= 2 and tokens[0][0] == "name" and tokens[1][1] == ":":
+            name = tokens[0][1]
+            tokens = tokens[2:]
+        lhs, rest = _parse_linear(tokens, model, var_of)
+        if not rest or rest[0][0] != "op":
+            raise ModelingError(f"constraint without comparison: {line!r}")
+        op = rest[0][1].replace("=<", "<=").replace("=>", ">=")
+        rhs_expr, leftover = _parse_linear(rest[1:], model, var_of)
+        if leftover:
+            raise ModelingError(f"trailing tokens in constraint: {line!r}")
+        if op == "<=":
+            model.add(lhs <= rhs_expr, name=name)
+        elif op == ">=":
+            model.add(lhs >= rhs_expr, name=name)
+        elif op == "=":
+            model.add(lhs == rhs_expr, name=name)
+        else:
+            raise ModelingError(f"unknown comparison {op!r}")
+
+    # Bounds.
+    for line in bounds_lines:
+        _apply_bound(line, vars_by_name, var_of)
+
+    for name in general_names:
+        v = var_of(name)
+        v.vtype = VarType.INTEGER
+    for name in binary_names:
+        v = var_of(name)
+        v.vtype = VarType.BINARY
+        v.lb = max(v.lb, 0.0)
+        v.ub = min(v.ub, 1.0)
+    return model
+
+
+def _parse_number(tok: str) -> float:
+    low = tok.lower()
+    if low in ("inf", "+inf", "infinity", "+infinity"):
+        return _INF
+    if low in ("-inf", "-infinity"):
+        return -_INF
+    return float(tok)
+
+
+def _apply_bound(line: str, vars_by_name, var_of) -> None:
+    parts = line.split()
+    if len(parts) == 2 and parts[1].lower() == "free":
+        v = var_of(parts[0])
+        v.lb, v.ub = -_INF, _INF
+        return
+    m = re.match(
+        r"^\s*(?P<lo>[^\s<>=]+)\s*<=\s*(?P<name>[A-Za-z_.][^\s<>=]*)\s*<=\s*(?P<hi>[^\s<>=]+)\s*$",
+        line,
+    )
+    if m:
+        v = var_of(m.group("name"))
+        v.lb = _parse_number(m.group("lo"))
+        v.ub = _parse_number(m.group("hi"))
+        return
+    m = re.match(
+        r"^\s*(?P<name>[A-Za-z_.][^\s<>=]*)\s*(?P<op><=|>=)\s*(?P<val>[^\s<>=]+)\s*$",
+        line,
+    )
+    if m:
+        v = var_of(m.group("name"))
+        val = _parse_number(m.group("val"))
+        if m.group("op") == "<=":
+            v.ub = val
+        else:
+            v.lb = val
+        return
+    m = re.match(
+        r"^\s*(?P<val>[^\s<>=]+)\s*(?P<op><=|>=)\s*(?P<name>[A-Za-z_.][^\s<>=]*)\s*$",
+        line,
+    )
+    if m:
+        v = var_of(m.group("name"))
+        val = _parse_number(m.group("val"))
+        if m.group("op") == "<=":
+            v.lb = val
+        else:
+            v.ub = val
+        return
+    raise ModelingError(f"unparseable bounds line: {line!r}")
+
+
+def read_lp(path: "str | Path") -> Model:
+    """Read an LP-format file into a :class:`Model`."""
+    return parse_lp_string(Path(path).read_text())

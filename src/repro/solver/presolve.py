@@ -1,0 +1,286 @@
+"""Presolve reductions for compiled LP/MILP standard forms.
+
+Classic, safe reductions applied before handing a
+:class:`~repro.solver.model.StandardForm` to any backend:
+
+* **fixed variables** (``lb == ub``) are substituted into the
+  constraints and objective;
+* **empty rows** (all-zero coefficients) are checked for consistency
+  and dropped;
+* **singleton rows** (one nonzero) become variable bounds;
+* **redundant rows** whose maximum possible activity cannot exceed the
+  rhs are dropped;
+* **bound infeasibility** (``lb > ub`` after tightening) is detected
+  without invoking a solver.
+
+The reductions matter for the hourly dispatch MILPs: the activity
+binaries and per-segment variables generate many singleton and fixed
+patterns, and at 13+ sites the pre-reduced model solves measurably
+faster. :class:`PresolvingBackend` wraps any backend with
+presolve/postsolve; postsolve restores the full-length solution vector
+(duals of dropped rows are zero by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .model import StandardForm
+from .result import SolveResult, SolveStatus
+
+__all__ = ["PresolveReport", "presolve", "PresolvingBackend"]
+
+_EPS = 1e-12
+_INF = float("inf")
+
+
+@dataclass
+class PresolveReport:
+    """Outcome of :func:`presolve`.
+
+    Attributes
+    ----------
+    reduced:
+        The reduced standard form (``None`` when infeasibility was
+        detected during presolve).
+    status:
+        ``OPTIMAL`` is *not* used here; ``None`` status means "solve
+        the reduced problem", ``INFEASIBLE`` means presolve proved
+        infeasibility.
+    kept_vars:
+        Indices of original variables present in the reduced model.
+    fixed_values:
+        Full-length vector of values for eliminated variables (NaN for
+        kept ones).
+    kept_ub_rows, kept_eq_rows:
+        Original row indices surviving into the reduced model.
+    obj_offset:
+        Constant added to the reduced objective by substitutions.
+    """
+
+    reduced: StandardForm | None
+    status: SolveStatus | None
+    kept_vars: np.ndarray
+    fixed_values: np.ndarray
+    kept_ub_rows: np.ndarray
+    kept_eq_rows: np.ndarray
+    obj_offset: float = 0.0
+
+    @property
+    def n_fixed(self) -> int:
+        return int(np.sum(~np.isnan(self.fixed_values)))
+
+    def restore(self, x_reduced: np.ndarray) -> np.ndarray:
+        """Lift a reduced-model solution back to the original variables."""
+        x = self.fixed_values.copy()
+        x[self.kept_vars] = x_reduced
+        return x
+
+
+def _max_activity(row: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> float:
+    """Largest possible value of ``row @ x`` over the variable box."""
+    hi = np.where(row > 0, ub, lb)
+    terms = row * hi
+    # 0 * inf -> nan; zero coefficients contribute nothing.
+    terms[row == 0] = 0.0
+    return float(np.sum(terms))
+
+
+def presolve(sf: StandardForm, int_round: bool = True) -> PresolveReport:
+    """Apply the reduction loop until a fixed point (or infeasibility).
+
+    Parameters
+    ----------
+    sf:
+        The compiled model; not mutated.
+    int_round:
+        Round the bounds of integer variables inward (``ceil(lb)``,
+        ``floor(ub)``) — always valid, occasionally proves
+        infeasibility outright.
+    """
+    c = sf.c.copy()
+    A_ub, b_ub = sf.A_ub.copy(), sf.b_ub.copy()
+    A_eq, b_eq = sf.A_eq.copy(), sf.b_eq.copy()
+    lb, ub = sf.lb.copy(), sf.ub.copy()
+    integrality = sf.integrality.copy()
+    n = c.size
+
+    keep_ub = np.ones(b_ub.size, dtype=bool)
+    keep_eq = np.ones(b_eq.size, dtype=bool)
+    fixed = np.full(n, np.nan)
+    obj_offset = 0.0
+
+    def fail() -> PresolveReport:
+        return PresolveReport(
+            reduced=None,
+            status=SolveStatus.INFEASIBLE,
+            kept_vars=np.array([], dtype=int),
+            fixed_values=fixed,
+            kept_ub_rows=np.flatnonzero(keep_ub),
+            kept_eq_rows=np.flatnonzero(keep_eq),
+        )
+
+    if int_round:
+        ints = np.flatnonzero(integrality)
+        lb[ints] = np.ceil(lb[ints] - 1e-9)
+        ub[ints] = np.floor(ub[ints] + 1e-9)
+
+    changed = True
+    while changed:
+        changed = False
+        if np.any(lb > ub + 1e-9):
+            return fail()
+
+        # Fixed variables: substitute and zero the column.
+        fixable = np.flatnonzero((ub - lb <= _EPS) & np.isnan(fixed))
+        for j in fixable:
+            v = lb[j]
+            fixed[j] = v
+            obj_offset += c[j] * v
+            c[j] = 0.0
+            if A_ub.size:
+                b_ub -= A_ub[:, j] * v
+                A_ub[:, j] = 0.0
+            if A_eq.size:
+                b_eq -= A_eq[:, j] * v
+                A_eq[:, j] = 0.0
+            changed = True
+
+        # Row scans.
+        for i in np.flatnonzero(keep_ub):
+            row = A_ub[i]
+            nz = np.flatnonzero(np.abs(row) > _EPS)
+            if nz.size == 0:
+                if b_ub[i] < -1e-9:
+                    return fail()
+                keep_ub[i] = False
+                changed = True
+            elif nz.size == 1:
+                j = int(nz[0])
+                coef = row[j]
+                bound = b_ub[i] / coef
+                if coef > 0:
+                    if bound < ub[j] - _EPS:
+                        ub[j] = bound
+                        changed = True
+                else:
+                    if bound > lb[j] + _EPS:
+                        lb[j] = bound
+                        changed = True
+                keep_ub[i] = False
+            else:
+                if _max_activity(row, lb, ub) <= b_ub[i] + 1e-9:
+                    keep_ub[i] = False  # can never bind
+                    changed = True
+        for i in np.flatnonzero(keep_eq):
+            row = A_eq[i]
+            nz = np.flatnonzero(np.abs(row) > _EPS)
+            if nz.size == 0:
+                if abs(b_eq[i]) > 1e-9:
+                    return fail()
+                keep_eq[i] = False
+                changed = True
+            elif nz.size == 1:
+                j = int(nz[0])
+                v = b_eq[i] / row[j]
+                if v < lb[j] - 1e-9 or v > ub[j] + 1e-9:
+                    return fail()
+                lb[j] = ub[j] = v
+                keep_eq[i] = False
+                changed = True
+
+        if int_round:
+            ints = np.flatnonzero(integrality & np.isnan(fixed))
+            new_lb = np.ceil(lb[ints] - 1e-9)
+            new_ub = np.floor(ub[ints] + 1e-9)
+            if np.any(new_lb != lb[ints]) or np.any(new_ub != ub[ints]):
+                changed = True
+            lb[ints] = new_lb
+            ub[ints] = new_ub
+
+    kept_vars = np.flatnonzero(np.isnan(fixed))
+    reduced = StandardForm(
+        c=c[kept_vars],
+        A_ub=A_ub[np.ix_(np.flatnonzero(keep_ub), kept_vars)]
+        if A_ub.size
+        else np.zeros((0, kept_vars.size)),
+        b_ub=b_ub[keep_ub],
+        A_eq=A_eq[np.ix_(np.flatnonzero(keep_eq), kept_vars)]
+        if A_eq.size
+        else np.zeros((0, kept_vars.size)),
+        b_eq=b_eq[keep_eq],
+        lb=lb[kept_vars],
+        ub=ub[kept_vars],
+        integrality=integrality[kept_vars],
+        obj_constant=0.0,
+    )
+    return PresolveReport(
+        reduced=reduced,
+        status=None,
+        kept_vars=kept_vars,
+        fixed_values=fixed,
+        kept_ub_rows=np.flatnonzero(keep_ub),
+        kept_eq_rows=np.flatnonzero(keep_eq),
+        obj_offset=obj_offset,
+    )
+
+
+class PresolvingBackend:
+    """Wrap any backend with presolve/postsolve.
+
+    Caveat: rows eliminated by presolve (singletons folded into bounds,
+    redundant rows) report zero duals in the postsolved result — their
+    multipliers reappear as variable reduced costs, which this layer
+    does not expose. Use a bare backend where exact duals matter (the
+    DC-OPF does).
+    """
+
+    def __init__(self, inner=None):
+        if inner is None:
+            from .scipy_backend import ScipyBackend
+
+            inner = ScipyBackend()
+        self.inner = inner
+        self.name = f"presolve({inner.name})"
+
+    def solve(self, sf: StandardForm) -> SolveResult:
+        report = presolve(sf)
+        if report.status is SolveStatus.INFEASIBLE:
+            return SolveResult(
+                status=SolveStatus.INFEASIBLE,
+                backend=self.name,
+                message="infeasibility detected in presolve",
+            )
+        assert report.reduced is not None
+        if report.reduced.n_vars == 0:
+            # Everything fixed: the solution is the fixed vector.
+            x = report.fixed_values.copy()
+            return SolveResult(
+                status=SolveStatus.OPTIMAL,
+                objective=report.obj_offset,
+                x=x,
+                backend=self.name,
+            )
+        res = self.inner.solve(report.reduced)
+        if not res.ok:
+            res.backend = self.name
+            return res
+        x = report.restore(res.x)
+        duals_ub = np.zeros(sf.A_ub.shape[0])
+        if res.duals_ub.size == report.kept_ub_rows.size:
+            duals_ub[report.kept_ub_rows] = res.duals_ub
+        duals_eq = np.zeros(sf.A_eq.shape[0])
+        if res.duals_eq.size == report.kept_eq_rows.size:
+            duals_eq[report.kept_eq_rows] = res.duals_eq
+        return SolveResult(
+            status=SolveStatus.OPTIMAL,
+            objective=res.objective + report.obj_offset,
+            x=x,
+            duals_eq=duals_eq,
+            duals_ub=duals_ub,
+            iterations=res.iterations,
+            gap=res.gap,
+            backend=self.name,
+        )

@@ -1,0 +1,101 @@
+"""Solve statuses and result containers for the optimization layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .model import Variable
+
+__all__ = ["SolveStatus", "SolveResult"]
+
+
+class SolveStatus(enum.Enum):
+    """Terminal status of an LP/MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def ok(self) -> bool:
+        """True when an optimal solution was found."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class SolveResult:
+    """Outcome of solving a :class:`repro.solver.model.Model`.
+
+    Attributes
+    ----------
+    status:
+        Terminal solve status.
+    objective:
+        Optimal objective value in the *user's* sense (i.e. already
+        negated back for maximization models). ``nan`` when not optimal.
+    x:
+        Optimal variable vector indexed by variable index; empty when
+        not optimal.
+    duals_eq, duals_ub:
+        Dual multipliers (marginals) for equality and ``<=`` constraints
+        in the order the constraints were added. Only populated for pure
+        LP solves with backends that expose duals; MILP solves leave
+        them empty. Sign convention follows ``scipy.optimize.linprog``:
+        for a minimization, the marginal is the derivative of the
+        optimal objective with respect to the right-hand side.
+    iterations:
+        Total simplex iterations (LP) or B&B nodes processed (MILP).
+    gap:
+        Final relative MIP gap for branch-and-bound solves, 0.0 for LPs.
+    backend:
+        Name of the backend that produced the result.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    duals_eq: np.ndarray = field(default_factory=lambda: np.empty(0))
+    duals_ub: np.ndarray = field(default_factory=lambda: np.empty(0))
+    iterations: int = 0
+    gap: float = 0.0
+    backend: str = ""
+    message: str = ""
+    #: RHS sensitivity ranges (simplex with ranging=True only): per
+    #: constraint, the (delta_lo, delta_hi) interval of right-hand-side
+    #: change over which the optimal basis — hence every dual — stays
+    #: valid. None when ranging was not requested.
+    rhs_range_eq: "np.ndarray | None" = None
+    rhs_range_ub: "np.ndarray | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """True when an optimal solution was found."""
+        return self.status.ok
+
+    def value(self, item: "Variable | Mapping[int, float] | object") -> float:
+        """Evaluate a variable or linear expression at the solution.
+
+        Accepts a :class:`~repro.solver.model.Variable` or a
+        :class:`~repro.solver.model.LinExpr`.
+        """
+        if not self.ok:
+            raise ValueError(f"no solution available (status={self.status})")
+        # Local import to avoid an import cycle at module load time.
+        from .model import LinExpr, Variable
+
+        if isinstance(item, Variable):
+            return float(self.x[item.index])
+        if isinstance(item, LinExpr):
+            total = item.constant
+            for idx, coef in item.coeffs.items():
+                total += coef * self.x[idx]
+            return float(total)
+        raise TypeError(f"cannot evaluate object of type {type(item)!r}")

@@ -1,0 +1,161 @@
+"""SciPy (HiGHS) backends behind the :class:`~repro.solver.model.Model` API.
+
+Two entry points:
+
+* :class:`ScipyLpBackend` — wraps :func:`scipy.optimize.linprog` and
+  ignores integrality (useful as the LP engine inside branch & bound,
+  and for pure LPs such as the DC-OPF where dual marginals are needed).
+* :class:`ScipyBackend` — the default full backend: dispatches to
+  :func:`scipy.optimize.milp` when the model has integer variables and
+  to :func:`scipy.optimize.linprog` otherwise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+import tempfile
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from .model import StandardForm
+from .result import SolveResult, SolveStatus
+
+__all__ = ["ScipyLpBackend", "ScipyBackend"]
+
+
+@contextlib.contextmanager
+def _silence_native_stdout():
+    """Suppress stdout writes from native code (HiGHS debug prints).
+
+    Some HiGHS builds print ``HighsMipSolverData::transformNewInteger
+    FeasibleSolution tmpSolver.run();`` straight to fd 1, bypassing
+    ``sys.stdout``; redirecting the fd is the only way to keep solver
+    runs quiet. Restores the fd even on exceptions. Falls back to a
+    no-op when fd 1 is not duplicable (exotic embedding).
+    """
+    try:
+        sys.stdout.flush()
+        saved_fd = os.dup(1)
+    except (OSError, ValueError):  # pragma: no cover - exotic runtimes
+        yield
+        return
+    try:
+        with tempfile.TemporaryFile() as sink:
+            os.dup2(sink.fileno(), 1)
+            try:
+                yield
+            finally:
+                os.dup2(saved_fd, 1)
+    finally:
+        os.close(saved_fd)
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def _bounds(sf: StandardForm):
+    return sciopt.Bounds(sf.lb, sf.ub)
+
+
+def _constraints(sf: StandardForm):
+    cons = []
+    if sf.A_ub.size:
+        cons.append(sciopt.LinearConstraint(sf.A_ub, -np.inf, sf.b_ub))
+    if sf.A_eq.size:
+        cons.append(sciopt.LinearConstraint(sf.A_eq, sf.b_eq, sf.b_eq))
+    return cons
+
+
+class ScipyLpBackend:
+    """LP-only backend using ``linprog`` (HiGHS); integrality is ignored.
+
+    Exposes equality and inequality dual marginals, which
+    :mod:`repro.powermarket.dcopf` uses to compute LMPs.
+    """
+
+    name = "scipy-linprog"
+
+    def __init__(self, method: str = "highs"):
+        self.method = method
+
+    def solve(self, sf: StandardForm) -> SolveResult:
+        # Rows with an infinite rhs can never bind; linprog rejects them,
+        # so they are dropped (duals for dropped rows are restored as 0).
+        finite_rows = np.isfinite(sf.b_ub)
+        if not finite_rows.all():
+            A_ub = sf.A_ub[finite_rows]
+            b_ub = sf.b_ub[finite_rows]
+        else:
+            A_ub, b_ub = sf.A_ub, sf.b_ub
+        res = sciopt.linprog(
+            sf.c,
+            A_ub=A_ub if A_ub.size else None,
+            b_ub=b_ub if A_ub.size else None,
+            A_eq=sf.A_eq if sf.A_eq.size else None,
+            b_eq=sf.b_eq if sf.A_eq.size else None,
+            bounds=np.column_stack([sf.lb, sf.ub]),
+            method=self.method,
+        )
+        status = _STATUS_MAP.get(res.status, SolveStatus.ERROR)
+        if status is not SolveStatus.OPTIMAL:
+            return SolveResult(status=status, backend=self.name, message=res.message)
+        duals_eq = (
+            np.asarray(res.eqlin.marginals)
+            if sf.A_eq.size
+            else np.empty(0)
+        )
+        duals_ub = np.zeros(sf.A_ub.shape[0])
+        if A_ub.size:
+            duals_ub[finite_rows] = np.asarray(res.ineqlin.marginals)
+        return SolveResult(
+            status=status,
+            objective=float(res.fun),
+            x=np.asarray(res.x),
+            duals_eq=duals_eq,
+            duals_ub=duals_ub,
+            iterations=int(getattr(res, "nit", 0)),
+            backend=self.name,
+        )
+
+
+class ScipyBackend:
+    """Default backend: HiGHS MILP for integer models, LP otherwise."""
+
+    name = "scipy"
+
+    def __init__(self, mip_rel_gap: float = 1e-9, time_limit: float | None = None):
+        self.mip_rel_gap = mip_rel_gap
+        self.time_limit = time_limit
+
+    def solve(self, sf: StandardForm) -> SolveResult:
+        if not sf.has_integers:
+            return ScipyLpBackend().solve(sf)
+        options: dict = {"mip_rel_gap": self.mip_rel_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = self.time_limit
+        with _silence_native_stdout():
+            res = sciopt.milp(
+                sf.c,
+                constraints=_constraints(sf),
+                bounds=_bounds(sf),
+                integrality=sf.integrality.astype(int),
+                options=options,
+            )
+        status = _STATUS_MAP.get(res.status, SolveStatus.ERROR)
+        if status is not SolveStatus.OPTIMAL:
+            return SolveResult(status=status, backend=self.name, message=str(res.message))
+        return SolveResult(
+            status=status,
+            objective=float(res.fun),
+            x=np.asarray(res.x),
+            gap=float(getattr(res, "mip_gap", 0.0) or 0.0),
+            backend=self.name,
+        )

@@ -1,0 +1,417 @@
+"""A dense two-phase primal simplex solver in pure NumPy.
+
+This is the self-contained LP engine of the reproduction: it solves the
+compiled :class:`~repro.solver.model.StandardForm` (ignoring
+integrality — integrality is enforced by
+:class:`~repro.solver.branch_bound.BranchBoundSolver` on top) without
+any external solver. ``scipy.optimize.linprog`` (HiGHS) is available as
+a faster drop-in via :class:`~repro.solver.scipy_backend.ScipyLpBackend`;
+the two are cross-checked in the test suite on randomized LPs.
+
+Implementation notes
+--------------------
+* General bounds are reduced to the textbook form ``min c@y, A y (<=|=) b,
+  y >= 0``: finite lower bounds are shifted out, free variables are
+  split into positive/negative parts, and finite upper bounds become
+  explicit ``<=`` rows.
+* A classic dense tableau is used. All row operations are vectorized
+  (one rank-1 update per pivot), per the NumPy performance guidance.
+* Phase 1 minimizes the sum of artificial variables; phase 2 re-prices
+  with the true objective. Dantzig pricing with a Bland's-rule fallback
+  (activated after an iteration threshold) guarantees termination.
+* Dual multipliers for the original equality and ``<=`` rows are
+  recovered from the final tableau (``y = c_B @ B^{-1}``), matching the
+  SciPy sign convention, so LMPs can be computed with either engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import StandardForm
+from .result import SolveResult, SolveStatus
+
+__all__ = ["SimplexSolver"]
+
+_INF = float("inf")
+
+
+@dataclass
+class _TableauState:
+    """Final-tableau snapshot used for RHS sensitivity ranging."""
+
+    T: np.ndarray
+    basis: np.ndarray
+    slack_cols: dict[int, int]
+    art_cols: dict[int, int]
+    flipped: np.ndarray
+    n_structural: int
+
+
+@dataclass
+class _Prepared:
+    """Intermediate data produced by the bound-reduction step."""
+
+    c: np.ndarray  # objective over reduced variables
+    A: np.ndarray  # all rows (ub rows then eq rows then bound rows)
+    b: np.ndarray
+    is_eq: np.ndarray  # bool per row
+    # mapping back to original variables: x[j] = shift[j] + pos_col y - neg_col y
+    shift: np.ndarray
+    pos_col: np.ndarray  # column index of the positive part
+    neg_col: np.ndarray  # column of negative part, -1 if none
+    n_ub: int  # number of original <= rows (for dual extraction)
+    n_eq: int  # number of original == rows
+
+
+class SimplexSolver:
+    """Two-phase dense tableau simplex for LPs in :class:`StandardForm`.
+
+    Parameters
+    ----------
+    tol:
+        Feasibility/optimality tolerance.
+    max_iters:
+        Hard pivot limit; exceeding it yields
+        :attr:`SolveStatus.ITERATION_LIMIT`.
+    bland_after:
+        Number of Dantzig pivots after which the solver switches to
+        Bland's anti-cycling rule.
+    """
+
+    name = "simplex"
+
+    def __init__(self, tol: float = 1e-9, max_iters: int = 20_000, bland_after: int = 5_000):
+        self.tol = tol
+        self.max_iters = max_iters
+        self.bland_after = bland_after
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(self, sf: StandardForm, ranging: bool = False) -> SolveResult:
+        """Solve the LP relaxation of ``sf`` and return a result with duals.
+
+        With ``ranging=True`` the result also carries per-constraint
+        RHS sensitivity ranges: the interval of right-hand-side change
+        over which the optimal basis (and therefore every dual price)
+        remains valid. For the DC-OPF this answers "how much can this
+        bus's load grow before the LMP changes?" directly from one
+        solve.
+        """
+        prep = self._reduce_bounds(sf)
+        status, y, duals, iters, state = self._two_phase(prep)
+        if status is not SolveStatus.OPTIMAL:
+            return SolveResult(status=status, iterations=iters, backend=self.name)
+        x = self._recover(prep, y, sf.n_vars)
+        obj = float(sf.c @ x)
+        duals_ub = duals[: prep.n_ub]
+        duals_eq = duals[prep.n_ub : prep.n_ub + prep.n_eq]
+        rhs_range_ub = rhs_range_eq = None
+        if ranging:
+            ranges = self._rhs_ranges(state)
+            rhs_range_ub = ranges[: prep.n_ub]
+            rhs_range_eq = ranges[prep.n_ub : prep.n_ub + prep.n_eq]
+        return SolveResult(
+            status=SolveStatus.OPTIMAL,
+            objective=obj,
+            x=x,
+            duals_eq=duals_eq,
+            duals_ub=duals_ub,
+            iterations=iters,
+            backend=self.name,
+            rhs_range_eq=rhs_range_eq,
+            rhs_range_ub=rhs_range_ub,
+        )
+
+    # -- bound reduction --------------------------------------------------------
+
+    def _reduce_bounds(self, sf: StandardForm) -> _Prepared:
+        n = sf.n_vars
+        shift = np.zeros(n)
+        pos_col = np.full(n, -1, dtype=int)
+        neg_col = np.full(n, -1, dtype=int)
+        col_count = 0
+        ub_rows_extra: list[tuple[int, float]] = []  # (var, ub - shift)
+
+        for j in range(n):
+            lb, ub = sf.lb[j], sf.ub[j]
+            if lb == -_INF:
+                # Free (or upper-bounded-only) variable: split x = y+ - y-.
+                pos_col[j] = col_count
+                neg_col[j] = col_count + 1
+                col_count += 2
+                if ub < _INF:
+                    ub_rows_extra.append((j, ub))
+            else:
+                shift[j] = lb
+                pos_col[j] = col_count
+                col_count += 1
+                if ub < _INF:
+                    ub_rows_extra.append((j, ub - lb))
+
+        def expand(A: np.ndarray) -> np.ndarray:
+            """Map an original-variable matrix to reduced columns."""
+            out = np.zeros((A.shape[0], col_count))
+            for j in range(n):
+                col = A[:, j]
+                out[:, pos_col[j]] += col
+                if neg_col[j] >= 0:
+                    out[:, neg_col[j]] -= col
+            return out
+
+        A_ub = expand(sf.A_ub) if sf.A_ub.size else np.zeros((sf.A_ub.shape[0], col_count))
+        A_eq = expand(sf.A_eq) if sf.A_eq.size else np.zeros((sf.A_eq.shape[0], col_count))
+        # Shift contributions move to the rhs: A (shift + y) <= b.
+        b_ub = sf.b_ub - sf.A_ub @ shift if sf.A_ub.size else sf.b_ub.copy()
+        b_eq = sf.b_eq - sf.A_eq @ shift if sf.A_eq.size else sf.b_eq.copy()
+
+        bound_A = np.zeros((len(ub_rows_extra), col_count))
+        bound_b = np.zeros(len(ub_rows_extra))
+        for i, (j, rhs) in enumerate(ub_rows_extra):
+            bound_A[i, pos_col[j]] = 1.0
+            if neg_col[j] >= 0:
+                bound_A[i, neg_col[j]] = -1.0
+            bound_b[i] = rhs
+
+        A = np.vstack([A_ub, A_eq, bound_A])
+        b = np.concatenate([b_ub, b_eq, bound_b])
+        is_eq = np.concatenate(
+            [
+                np.zeros(A_ub.shape[0], dtype=bool),
+                np.ones(A_eq.shape[0], dtype=bool),
+                np.zeros(bound_A.shape[0], dtype=bool),
+            ]
+        )
+
+        c = np.zeros(col_count)
+        for j in range(n):
+            c[pos_col[j]] += sf.c[j]
+            if neg_col[j] >= 0:
+                c[neg_col[j]] -= sf.c[j]
+        return _Prepared(
+            c=c,
+            A=A,
+            b=b,
+            is_eq=is_eq,
+            shift=shift,
+            pos_col=pos_col,
+            neg_col=neg_col,
+            n_ub=sf.A_ub.shape[0],
+            n_eq=sf.A_eq.shape[0],
+        )
+
+    # -- tableau machinery --------------------------------------------------------
+
+    def _two_phase(self, prep: _Prepared):
+        """Run phase 1 + 2; return (status, y, row_duals, iterations, state).
+
+        ``row_duals`` are the multipliers for the rows of ``prep.A`` in
+        their original (unflipped) orientation; ``state`` carries the
+        final tableau for sensitivity ranging (None on failure).
+        """
+        A = prep.A.copy()
+        b = prep.b.copy()
+        is_eq = prep.is_eq
+        m, n = A.shape
+
+        # Normalize to b >= 0, remembering which rows were flipped so that
+        # duals can be un-flipped at the end.
+        flipped = b < 0
+        A[flipped] *= -1.0
+        b[flipped] *= -1.0
+
+        # Column layout: [structural (n)] [slack/surplus (per ineq)] [artificial].
+        # A <= row keeps +slack and, if never flipped, the slack is an
+        # initial basis column. Flipped <= rows have surplus (-1) and need
+        # an artificial; equality rows always need an artificial.
+        slack_cols: dict[int, int] = {}
+        art_cols: dict[int, int] = {}
+        next_col = n
+        for i in range(m):
+            if not is_eq[i]:
+                slack_cols[i] = next_col
+                next_col += 1
+        for i in range(m):
+            needs_art = is_eq[i] or flipped[i]
+            if needs_art:
+                art_cols[i] = next_col
+                next_col += 1
+
+        T = np.zeros((m, next_col + 1))
+        T[:, :n] = A
+        T[:, -1] = b
+        basis = np.empty(m, dtype=int)
+        for i in range(m):
+            if i in slack_cols:
+                T[i, slack_cols[i]] = -1.0 if flipped[i] else 1.0
+            if i in art_cols:
+                T[i, art_cols[i]] = 1.0
+                basis[i] = art_cols[i]
+            else:
+                basis[i] = slack_cols[i]
+
+        art_set = np.zeros(next_col, dtype=bool)
+        for col in art_cols.values():
+            art_set[col] = True
+
+        total_iters = 0
+
+        # Phase 1 cost: sum of artificials.
+        if art_cols:
+            c1 = np.zeros(next_col)
+            c1[art_set] = 1.0
+            status, iters = self._optimize(T, basis, c1, allow=np.ones(next_col, dtype=bool))
+            total_iters += iters
+            if status is not SolveStatus.OPTIMAL:
+                return status, None, None, total_iters, None
+            phase1_obj = float(c1[basis] @ T[:, -1])
+            if phase1_obj > 1e-7:
+                return SolveStatus.INFEASIBLE, None, None, total_iters, None
+            # Pivot remaining artificials out of the basis when possible.
+            for i in range(m):
+                if art_set[basis[i]]:
+                    row = T[i, :next_col]
+                    candidates = np.flatnonzero((np.abs(row) > self.tol) & ~art_set)
+                    if candidates.size:
+                        self._pivot(T, basis, i, int(candidates[0]))
+                    # Degenerate redundant row: artificial stays basic at 0.
+
+        # Phase 2: true objective; artificial columns are barred from entering.
+        c2 = np.zeros(next_col)
+        c2[:n] = prep.c
+        allow = ~art_set
+        status, iters = self._optimize(T, basis, c2, allow)
+        total_iters += iters
+        if status is not SolveStatus.OPTIMAL:
+            return status, None, None, total_iters, None
+
+        y = np.zeros(n)
+        for i in range(m):
+            if basis[i] < n:
+                y[basis[i]] = T[i, -1]
+
+        # Dual extraction: y_row = c_B @ B^{-1}. B^{-1}'s i-th column sits
+        # under the initial basis column of row i, scaled by its initial
+        # coefficient (+1 artificial / +-1 slack).
+        duals = np.zeros(m)
+        cB = c2[basis]
+        for i in range(m):
+            if i in art_cols:
+                col = art_cols[i]
+                scale = 1.0
+            else:
+                col = slack_cols[i]
+                scale = -1.0 if flipped[i] else 1.0
+            duals[i] = float(cB @ T[:, col]) / scale
+            if flipped[i]:
+                duals[i] *= -1.0
+        # SciPy convention: marginals are d(obj)/d(rhs); for "<= b" rows in a
+        # minimization these are <= 0. Our y = cB @ B^-1 already matches
+        # d(obj)/d(b) with rows in original orientation; negate to match
+        # scipy's reported sign (scipy reports the negative of the classic
+        # dual for ub rows and the classic equality dual for eq rows).
+        row_duals = duals
+        state = _TableauState(
+            T=T, basis=basis, slack_cols=slack_cols, art_cols=art_cols,
+            flipped=flipped, n_structural=n,
+        )
+        return SolveStatus.OPTIMAL, y, row_duals, total_iters, state
+
+    def _optimize(self, T, basis, c, allow):
+        """Run primal simplex pivots on tableau ``T`` for objective ``c``."""
+        m = T.shape[0]
+        ncols = T.shape[1] - 1
+        iters = 0
+        while True:
+            if iters >= self.max_iters:
+                return SolveStatus.ITERATION_LIMIT, iters
+            cB = c[basis]
+            # Reduced costs: r = c - cB @ T[:, :-1] (vectorized).
+            r = c - cB @ T[:, :-1]
+            r[~allow] = _INF  # barred columns never enter
+            r[basis] = _INF  # basic columns have r==0; exclude for speed
+            if iters < self.bland_after:
+                j = int(np.argmin(r))
+                if r[j] >= -self.tol:
+                    return SolveStatus.OPTIMAL, iters
+            else:
+                negs = np.flatnonzero(r < -self.tol)
+                if negs.size == 0:
+                    return SolveStatus.OPTIMAL, iters
+                j = int(negs[0])  # Bland: smallest index
+            col = T[:, j]
+            positive = col > self.tol
+            if not np.any(positive):
+                return SolveStatus.UNBOUNDED, iters
+            ratios = np.full(m, _INF)
+            ratios[positive] = T[positive, -1] / col[positive]
+            i = int(np.argmin(ratios))
+            if iters >= self.bland_after:
+                # Bland tie-break: leaving variable with the smallest index.
+                best = ratios[i]
+                ties = np.flatnonzero(np.abs(ratios - best) <= self.tol * (1 + abs(best)))
+                i = int(min(ties, key=lambda k: basis[k]))
+            self._pivot(T, basis, i, j)
+            iters += 1
+
+    @staticmethod
+    def _pivot(T: np.ndarray, basis: np.ndarray, i: int, j: int) -> None:
+        """Pivot the tableau on element (i, j) with one rank-1 update."""
+        T[i] /= T[i, j]
+        col = T[:, j].copy()
+        col[i] = 0.0
+        # T -= outer(col, T[i]) updates every other row at once.
+        T -= np.outer(col, T[i])
+        # Clean numerical fuzz in the pivot column.
+        T[:, j] = 0.0
+        T[i, j] = 1.0
+        basis[i] = j
+
+    # -- sensitivity ranging ----------------------------------------------------------
+
+    def _rhs_ranges(self, state: _TableauState) -> np.ndarray:
+        """Per-row (delta_lo, delta_hi) keeping the optimal basis feasible.
+
+        Classic RHS ranging: perturbing row ``i``'s right-hand side by
+        ``delta`` moves the basic solution by ``delta * B^{-1} e_i``;
+        the basis stays optimal while all basic values remain
+        non-negative. ``B^{-1} e_i`` is read off the final tableau under
+        row ``i``'s initial identity column (sign-corrected for flipped
+        rows). Within the returned interval every dual — for the DC-OPF,
+        every LMP — is provably unchanged.
+        """
+        T, basis = state.T, state.basis
+        m = T.shape[0]
+        x_b = T[:, -1]
+        ranges = np.empty((m, 2))
+        for i in range(m):
+            if i in state.art_cols:
+                col = state.art_cols[i]
+                scale = 1.0
+            else:
+                col = state.slack_cols[i]
+                scale = -1.0 if state.flipped[i] else 1.0
+            u = T[:, col] / scale
+            if state.flipped[i]:
+                u = -u
+            lo, hi = -_INF, _INF
+            for j in range(m):
+                if u[j] > self.tol:
+                    lo = max(lo, -x_b[j] / u[j])
+                elif u[j] < -self.tol:
+                    hi = min(hi, -x_b[j] / u[j])
+            ranges[i] = (lo, hi)
+        return ranges
+
+    # -- recovery -------------------------------------------------------------------
+
+    @staticmethod
+    def _recover(prep: _Prepared, y: np.ndarray, n_vars: int) -> np.ndarray:
+        x = prep.shift.copy()
+        for j in range(n_vars):
+            x[j] += y[prep.pos_col[j]]
+            if prep.neg_col[j] >= 0:
+                x[j] -= y[prep.neg_col[j]]
+        return x

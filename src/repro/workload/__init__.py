@@ -1,0 +1,47 @@
+"""Workload substrate: traces, synthetic generation, mix, prediction."""
+
+from .burstiness import (
+    erlang_arrivals,
+    estimate_ca2,
+    estimate_cb2,
+    estimate_queue_params,
+    hyperexp_arrivals,
+    lognormal_sizes,
+    poisson_arrivals,
+)
+from .forecast import (
+    EwmaByHourPredictor,
+    ForecastScore,
+    LastWeekPredictor,
+    evaluate_predictor,
+)
+from .io import read_trace_csv, trace_to_csv_string, write_trace_csv
+from .predictor import HourOfWeekPredictor
+from .split import PAPER_PREMIUM_FRACTION, CustomerMix
+from .synthetic import FlashCrowd, paper_two_month_workload, wikipedia_like_trace
+from .trace import HOURS_PER_WEEK, Trace
+
+__all__ = [
+    "Trace",
+    "HOURS_PER_WEEK",
+    "FlashCrowd",
+    "wikipedia_like_trace",
+    "paper_two_month_workload",
+    "CustomerMix",
+    "PAPER_PREMIUM_FRACTION",
+    "HourOfWeekPredictor",
+    "EwmaByHourPredictor",
+    "LastWeekPredictor",
+    "ForecastScore",
+    "evaluate_predictor",
+    "write_trace_csv",
+    "read_trace_csv",
+    "trace_to_csv_string",
+    "poisson_arrivals",
+    "hyperexp_arrivals",
+    "erlang_arrivals",
+    "lognormal_sizes",
+    "estimate_ca2",
+    "estimate_cb2",
+    "estimate_queue_params",
+]

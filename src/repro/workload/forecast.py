@@ -1,0 +1,167 @@
+"""Alternative workload forecasters and forecast evaluation.
+
+Section IX: "there are some sophisticated algorithms that do workload
+prediction ... in our future work we will improve our scheme to adapt
+to the situation when the workload prediction is inaccurate." This
+module supplies the pieces for that study:
+
+* :class:`EwmaByHourPredictor` — per-hour-of-week exponentially
+  weighted moving averages: reacts faster to drift than the paper's
+  plain window average, at the cost of more noise;
+* :class:`LastWeekPredictor` — the naive persistence baseline
+  ("same hour last week");
+* :func:`evaluate_predictor` — walk-forward accuracy on a trace
+  (MAPE / RMSE / bias), used by the prediction-sensitivity example and
+  to validate that the paper's 2-week average is a sensible default.
+
+All predictors expose the same protocol as
+:class:`~repro.workload.predictor.HourOfWeekPredictor` (``observe``,
+``predicted_rate``, ``weekly_profile``, ``weekly_weights``), so any of
+them can drive the :class:`~repro.core.budgeter.Budgeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .predictor import HourOfWeekPredictor
+from .trace import HOURS_PER_WEEK, Trace
+
+__all__ = [
+    "EwmaByHourPredictor",
+    "LastWeekPredictor",
+    "ForecastScore",
+    "evaluate_predictor",
+]
+
+
+class EwmaByHourPredictor:
+    """Exponentially weighted hour-of-week profile.
+
+    ``alpha`` is the weight of the newest observation; ``alpha=0.5``
+    roughly matches the paper's 2-week average while adapting to trend.
+    """
+
+    def __init__(self, history: Trace, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if history.hours < HOURS_PER_WEEK:
+            raise ValueError("need at least one full week of history")
+        self.alpha = alpha
+        self._profile = np.full(HOURS_PER_WEEK, np.nan)
+        for h, rate in zip(history.hour_of_week(), history.rates_rps):
+            self.observe(int(h), float(rate))
+
+    def observe(self, hour_of_week: int, rate_rps: float) -> None:
+        if not 0 <= hour_of_week < HOURS_PER_WEEK:
+            raise ValueError("hour_of_week must be in 0..167")
+        if rate_rps < 0:
+            raise ValueError("rate must be >= 0")
+        old = self._profile[hour_of_week]
+        if np.isnan(old):
+            self._profile[hour_of_week] = rate_rps
+        else:
+            self._profile[hour_of_week] = (
+                self.alpha * rate_rps + (1 - self.alpha) * old
+            )
+
+    def predicted_rate(self, hour_of_week: int) -> float:
+        v = self._profile[hour_of_week % HOURS_PER_WEEK]
+        if np.isnan(v):
+            raise ValueError(f"no observations for hour-of-week {hour_of_week}")
+        return float(v)
+
+    def weekly_profile(self) -> np.ndarray:
+        if np.any(np.isnan(self._profile)):
+            raise ValueError("profile incomplete: missing hours of week")
+        return self._profile.copy()
+
+    def weekly_weights(self) -> np.ndarray:
+        profile = self.weekly_profile()
+        total = profile.sum()
+        if total <= 0:
+            return np.full(HOURS_PER_WEEK, 1.0 / HOURS_PER_WEEK)
+        return profile / total
+
+
+class LastWeekPredictor:
+    """Persistence baseline: predict exactly last week's rate."""
+
+    def __init__(self, history: Trace):
+        if history.hours < HOURS_PER_WEEK:
+            raise ValueError("need at least one full week of history")
+        self._last = np.full(HOURS_PER_WEEK, np.nan)
+        for h, rate in zip(history.hour_of_week(), history.rates_rps):
+            self._last[int(h)] = float(rate)
+
+    def observe(self, hour_of_week: int, rate_rps: float) -> None:
+        if not 0 <= hour_of_week < HOURS_PER_WEEK:
+            raise ValueError("hour_of_week must be in 0..167")
+        if rate_rps < 0:
+            raise ValueError("rate must be >= 0")
+        self._last[hour_of_week] = rate_rps
+
+    def predicted_rate(self, hour_of_week: int) -> float:
+        v = self._last[hour_of_week % HOURS_PER_WEEK]
+        if np.isnan(v):
+            raise ValueError(f"no observations for hour-of-week {hour_of_week}")
+        return float(v)
+
+    def weekly_profile(self) -> np.ndarray:
+        if np.any(np.isnan(self._last)):
+            raise ValueError("profile incomplete: missing hours of week")
+        return self._last.copy()
+
+    def weekly_weights(self) -> np.ndarray:
+        profile = self.weekly_profile()
+        total = profile.sum()
+        if total <= 0:
+            return np.full(HOURS_PER_WEEK, 1.0 / HOURS_PER_WEEK)
+        return profile / total
+
+
+@dataclass(frozen=True)
+class ForecastScore:
+    """Walk-forward forecast accuracy over a trace."""
+
+    mape: float  # mean absolute percentage error (on nonzero hours)
+    rmse: float  # root mean squared error, req/s
+    bias: float  # mean (predicted - actual), req/s
+    n_hours: int
+
+
+def evaluate_predictor(predictor, trace: Trace, update: bool = True) -> ForecastScore:
+    """Walk the trace hour by hour, scoring one-step-ahead forecasts.
+
+    Parameters
+    ----------
+    predictor:
+        Any object with ``predicted_rate(how)`` and ``observe(how, rate)``.
+    trace:
+        The evaluation month (not the history the predictor was built
+        on).
+    update:
+        Feed each realized hour back into the predictor (online mode,
+        like the real budgeter); disable for a frozen forecast.
+    """
+    errors = []
+    actuals = []
+    how = trace.hour_of_week()
+    for h, actual in zip(how, trace.rates_rps):
+        predicted = predictor.predicted_rate(int(h))
+        errors.append(predicted - float(actual))
+        actuals.append(float(actual))
+        if update:
+            predictor.observe(int(h), float(actual))
+    errors_arr = np.array(errors)
+    actuals_arr = np.array(actuals)
+    nonzero = actuals_arr > 0
+    mape = float(np.mean(np.abs(errors_arr[nonzero]) / actuals_arr[nonzero]))
+    return ForecastScore(
+        mape=mape,
+        rmse=float(np.sqrt(np.mean(errors_arr**2))),
+        bias=float(np.mean(errors_arr)),
+        n_hours=len(errors),
+    )

@@ -1,0 +1,88 @@
+"""Trace persistence: CSV read/write.
+
+Lets users bring their own hourly request traces (e.g. a real Wikipedia
+or production trace) and persist generated ones. The format is a plain
+two-column CSV::
+
+    hour,rate_rps
+    0,1234567.0
+    1,1310000.5
+
+with optional ``# key: value`` header comments carrying the trace name
+and start weekday, so a round trip preserves the hour-of-week phase the
+budgeter depends on.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["write_trace_csv", "read_trace_csv", "trace_to_csv_string"]
+
+
+def trace_to_csv_string(trace: Trace) -> str:
+    """Serialize a trace to CSV text (with metadata comments)."""
+    out = io.StringIO()
+    out.write(f"# name: {trace.name}\n")
+    out.write(f"# start_weekday: {trace.start_weekday}\n")
+    writer = csv.writer(out)
+    writer.writerow(["hour", "rate_rps"])
+    for hour, rate in enumerate(trace.rates_rps):
+        writer.writerow([hour, repr(float(rate))])
+    return out.getvalue()
+
+
+def write_trace_csv(trace: Trace, path: "str | Path") -> Path:
+    """Write ``trace`` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(trace_to_csv_string(trace))
+    return path
+
+
+def read_trace_csv(path: "str | Path") -> Trace:
+    """Read a trace written by :func:`write_trace_csv` (or hand-made).
+
+    Rows must be sorted by hour and contiguous from 0; metadata
+    comments are optional (defaults: weekday 0, name from the file).
+    """
+    path = Path(path)
+    name = path.stem
+    start_weekday = 0
+    rates: list[float] = []
+    expected_hour = 0
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                key = key.strip().lower()
+                if key == "name":
+                    name = value.strip()
+                elif key == "start_weekday":
+                    start_weekday = int(value.strip())
+            continue
+        cells = [c.strip() for c in line.split(",")]
+        if cells[0].lower() == "hour":
+            continue  # header
+        if len(cells) < 2:
+            raise ValueError(f"{path}: malformed row {line!r}")
+        hour = int(cells[0])
+        if hour != expected_hour:
+            raise ValueError(
+                f"{path}: rows must be contiguous from 0 (got hour {hour}, "
+                f"expected {expected_hour})"
+            )
+        rates.append(float(cells[1]))
+        expected_hour += 1
+    if not rates:
+        raise ValueError(f"{path}: no data rows")
+    return Trace(np.array(rates), start_weekday=start_weekday, name=name)

@@ -1,0 +1,97 @@
+"""Hour-of-week workload prediction for the budgeter.
+
+Section VI-B: "we maintain a history of the request arrival rate seen
+during each hour of the week over the past several weeks. We then
+calculate every averaged hourly workload weight of the whole week over
+the past several weeks as the hourly budget weight in the coming week
+... a 2-week long history trace data can provide a reasonable
+prediction on hourly cost budgets."
+
+:class:`HourOfWeekPredictor` implements exactly that: it averages the
+historical rate seen at each of the 168 hours of the week over the most
+recent ``history_weeks`` weeks, and exposes the normalized weights the
+:class:`~repro.core.budgeter.Budgeter` multiplies into the weekly
+budget share. It can also be updated online as the evaluated month
+unfolds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import HOURS_PER_WEEK, Trace
+
+__all__ = ["HourOfWeekPredictor"]
+
+
+class HourOfWeekPredictor:
+    """Averaged hour-of-week workload weights from trailing history.
+
+    Parameters
+    ----------
+    history:
+        Historical trace (e.g. the October month); at least one full
+        week is required.
+    history_weeks:
+        How many trailing weeks to average (paper default: 2).
+    """
+
+    def __init__(self, history: Trace, history_weeks: int = 2):
+        if history_weeks < 1:
+            raise ValueError("history_weeks must be >= 1")
+        if history.hours < HOURS_PER_WEEK:
+            raise ValueError("need at least one full week of history")
+        self.history_weeks = history_weeks
+        # Ring buffer of the most recent observations per hour-of-week.
+        self._sums = np.zeros(HOURS_PER_WEEK)
+        self._counts = np.zeros(HOURS_PER_WEEK, dtype=int)
+        self._buffers: list[list[float]] = [[] for _ in range(HOURS_PER_WEEK)]
+        how = history.hour_of_week()
+        for h, rate in zip(how, history.rates_rps):
+            self.observe(int(h), float(rate))
+
+    # -- online updates ------------------------------------------------------
+
+    def observe(self, hour_of_week: int, rate_rps: float) -> None:
+        """Record an observed hourly rate, evicting beyond the window."""
+        if not 0 <= hour_of_week < HOURS_PER_WEEK:
+            raise ValueError("hour_of_week must be in 0..167")
+        if rate_rps < 0:
+            raise ValueError("rate must be >= 0")
+        buf = self._buffers[hour_of_week]
+        buf.append(rate_rps)
+        if len(buf) > self.history_weeks:
+            buf.pop(0)
+
+    # -- queries --------------------------------------------------------------
+
+    def predicted_rate(self, hour_of_week: int) -> float:
+        """Mean rate observed at this hour-of-week over the window."""
+        buf = self._buffers[hour_of_week % HOURS_PER_WEEK]
+        if not buf:
+            raise ValueError(f"no observations for hour-of-week {hour_of_week}")
+        return float(np.mean(buf))
+
+    def weekly_profile(self) -> np.ndarray:
+        """Predicted rate for each of the 168 hours of a week."""
+        return np.array([self.predicted_rate(h) for h in range(HOURS_PER_WEEK)])
+
+    def weekly_weights(self) -> np.ndarray:
+        """Hourly budget weights: profile normalized to sum to 1.
+
+        These are the "hourly budget weight[s] in the coming week" the
+        budgeter multiplies into each week's budget share.
+        """
+        profile = self.weekly_profile()
+        total = profile.sum()
+        if total <= 0:
+            # Degenerate all-zero history: spread the budget uniformly.
+            return np.full(HOURS_PER_WEEK, 1.0 / HOURS_PER_WEEK)
+        return profile / total
+
+    def predict_trace(self, hours: int, start_weekday: int = 0) -> Trace:
+        """Forecast a trace of ``hours`` by tiling the weekly profile."""
+        profile = self.weekly_profile()
+        offset = start_weekday * 24
+        idx = (np.arange(hours) + offset) % HOURS_PER_WEEK
+        return Trace(profile[idx], start_weekday, "forecast")

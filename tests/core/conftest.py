@@ -1,0 +1,63 @@
+"""Shared fixtures for core-algorithm tests: a small, fast 3-site world."""
+
+import numpy as np
+import pytest
+
+from repro.core import Site, SiteHour
+from repro.datacenter import (
+    AffinePower,
+    CoolingModel,
+    DataCenter,
+    ServerSpec,
+    SwitchPowers,
+)
+from repro.powermarket import SteppedPricingPolicy, flat_policy
+
+
+def small_datacenter(name="DC", service_rate=500.0, power_at_op=88.88, coe=1.94,
+                     max_servers=50_000, power_cap_mw=float("inf")):
+    return DataCenter(
+        name=name,
+        servers=ServerSpec.from_operating_point(name + "-srv", power_at_op, service_rate),
+        max_servers=max_servers,
+        switch_powers=SwitchPowers(184.0, 184.0, 240.0),
+        cooling=CoolingModel(coe),
+        target_response_s=0.5,
+        power_cap_mw=power_cap_mw,
+    )
+
+
+def site_hour(
+    name="S",
+    slope=0.5e-6,  # MW per rps
+    intercept=0.0,
+    policy=None,
+    background=50.0,
+    power_cap=float("inf"),
+    max_rate=2e7,
+):
+    """A hand-tuned SiteHour with a simple affine power model."""
+    policy = policy or SteppedPricingPolicy(
+        name, (100.0, 200.0), (10.0, 20.0, 40.0)
+    )
+    cap = power_cap if power_cap < float("inf") else 1e4
+    return SiteHour(
+        name=name,
+        affine=AffinePower(slope, intercept),
+        policy=policy,
+        background_mw=background,
+        power_cap_mw=cap,
+        max_rate_rps=max_rate,
+    )
+
+
+@pytest.fixture
+def three_sites():
+    """Three sites with distinct stepped policies and headroom to the
+    first breakpoint of 50/60/70 MW respectively."""
+    pol = lambda n, p1: SteppedPricingPolicy(n, (100.0, 200.0), (p1, p1 * 2, p1 * 4))
+    return [
+        site_hour("A", slope=0.5e-6, policy=pol("A", 10.0), background=50.0),
+        site_hour("B", slope=0.4e-6, policy=pol("B", 12.0), background=40.0),
+        site_hour("C", slope=0.6e-6, policy=pol("C", 8.0), background=30.0),
+    ]

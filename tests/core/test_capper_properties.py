@@ -1,0 +1,105 @@
+"""Property-based tests for the bill capper's guarantees.
+
+Randomized site configurations and demand/budget splits; the paper's
+semantics must hold for every draw:
+
+* premium demand within capacity is always fully served;
+* the predicted cost respects the budget except in premium-only hours;
+* admitted ordinary traffic never exceeds demand;
+* cost minimization over more sites never costs more;
+* throughput within budget is monotone in the budget.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BillCapper, CappingStep, CostMinimizer, SiteHour
+from repro.datacenter import AffinePower
+from repro.powermarket import SteppedPricingPolicy
+
+
+@st.composite
+def random_site(draw, name: str):
+    base_price = draw(st.floats(min_value=5.0, max_value=25.0))
+    n_levels = draw(st.integers(min_value=1, max_value=4))
+    increments = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=5.0, max_value=120.0),
+                min_size=n_levels - 1,
+                max_size=n_levels - 1,
+                unique=True,
+            )
+        )
+    )
+    prices = tuple(
+        base_price * (1 + draw(st.floats(min_value=0.0, max_value=2.0)) * k)
+        for k in range(n_levels)
+    )
+    prices = tuple(sorted(prices))
+    policy = SteppedPricingPolicy(name, tuple(increments), prices)
+    slope = draw(st.floats(min_value=0.1e-6, max_value=1.0e-6))
+    background = draw(st.floats(min_value=0.0, max_value=100.0))
+    max_rate = draw(st.floats(min_value=1e6, max_value=5e7))
+    return SiteHour(
+        name=name,
+        affine=AffinePower(slope, 0.0),
+        policy=policy,
+        background_mw=background,
+        power_cap_mw=1e4,
+        max_rate_rps=max_rate,
+    )
+
+
+@st.composite
+def capper_scenarios(draw):
+    n_sites = draw(st.integers(min_value=1, max_value=3))
+    sites = [draw(random_site(f"S{i}")) for i in range(n_sites)]
+    capacity = sum(s.max_rate_rps for s in sites)
+    demand_frac = draw(st.floats(min_value=0.05, max_value=0.95))
+    premium_frac = draw(st.floats(min_value=0.1, max_value=1.0))
+    total = demand_frac * capacity
+    return sites, premium_frac * total, (1 - premium_frac) * total
+
+
+class TestCapperProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(capper_scenarios(), st.floats(min_value=0.0, max_value=2.0))
+    def test_guarantees_hold_for_any_budget(self, scenario, budget_frac):
+        sites, premium, ordinary = scenario
+        full_cost = CostMinimizer().solve(sites, premium + ordinary).predicted_cost
+        budget = budget_frac * full_cost
+        decision = BillCapper().decide(sites, premium, ordinary, budget)
+
+        # Premium always fully served (demand is within capacity).
+        assert decision.served_premium_rps >= premium * (1 - 1e-6)
+        # Ordinary admission never exceeds demand.
+        assert decision.served_ordinary_rps <= ordinary * (1 + 1e-6)
+        # Budget respected unless the algorithm declared premium-only.
+        if decision.step is not CappingStep.PREMIUM_ONLY:
+            assert decision.predicted_cost <= budget * (1 + 1e-6) + 1e-9
+        # Premium-only hours serve no ordinary traffic.
+        if decision.step is CappingStep.PREMIUM_ONLY:
+            assert decision.served_ordinary_rps == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(capper_scenarios())
+    def test_more_sites_never_cost_more(self, scenario):
+        sites, premium, ordinary = scenario
+        lam = min(premium + ordinary, sites[0].max_rate_rps * 0.9)
+        solo = CostMinimizer().solve([sites[0]], lam).predicted_cost
+        networked = CostMinimizer().solve(sites, lam).predicted_cost
+        assert networked <= solo * (1 + 1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(capper_scenarios())
+    def test_throughput_monotone_in_budget(self, scenario):
+        sites, premium, ordinary = scenario
+        full_cost = CostMinimizer().solve(sites, premium + ordinary).predicted_cost
+        served = []
+        for frac in (0.3, 0.6, 0.9, 1.2):
+            d = BillCapper().decide(sites, premium, ordinary, frac * full_cost)
+            served.append(d.served_total_rps)
+        for lo, hi in zip(served, served[1:]):
+            assert hi >= lo * (1 - 1e-6)

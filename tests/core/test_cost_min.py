@@ -1,0 +1,104 @@
+"""Tests for Step 1: price-maker-aware cost minimization."""
+
+import pytest
+
+from repro.core import CappingStep, CostMinimizer
+from repro.solver import InfeasibleError
+
+from .conftest import site_hour
+
+
+class TestCostMinimizer:
+    def test_serves_exactly_the_offered_load(self, three_sites):
+        lam = 3e7
+        d = CostMinimizer().solve(three_sites, lam)
+        assert d.step is CappingStep.COST_MIN
+        assert sum(a.rate_rps for a in d.allocations) == pytest.approx(lam, rel=1e-9)
+
+    def test_zero_load_zero_cost(self, three_sites):
+        d = CostMinimizer().solve(three_sites, 0.0)
+        assert d.predicted_cost == 0.0
+        assert all(a.rate_rps == 0.0 for a in d.allocations)
+
+    def test_negative_load_rejected(self, three_sites):
+        with pytest.raises(ValueError):
+            CostMinimizer().solve(three_sites, -1.0)
+
+    def test_infeasible_when_beyond_capacity(self, three_sites):
+        cap = sum(s.max_rate_rps for s in three_sites)
+        with pytest.raises(InfeasibleError):
+            CostMinimizer().solve(three_sites, cap * 1.01)
+
+    def test_prefers_cheapest_effective_site(self):
+        # Two identical sites except for price; all load fits below any step.
+        cheap = site_hour("cheap", background=0.0, max_rate=2e7)
+        exp = site_hour(
+            "exp",
+            policy=cheap.policy.__class__("exp", (100.0, 200.0), (30.0, 60.0, 120.0)),
+            background=0.0,
+            max_rate=2e7,
+        )
+        d = CostMinimizer().solve([cheap, exp], 1e7)
+        assert d.rate_for("cheap") == pytest.approx(1e7)
+        assert d.rate_for("exp") == pytest.approx(0.0)
+
+    def test_splits_to_avoid_price_step(self):
+        # One site alone would cross its 100 MW step (background 90 +
+        # 18 MW of DC load); splitting keeps both markets at the base price.
+        a = site_hour("a", slope=1e-6, background=90.0, max_rate=4e7)
+        b = site_hour("b", slope=1e-6, background=90.0, max_rate=4e7)
+        lam = 1.8e7  # 18 MW total
+        d = CostMinimizer().solve([a, b], lam)
+        for alloc in d.allocations:
+            assert alloc.predicted_power_mw <= 10.0 + 1e-4
+        assert d.predicted_cost == pytest.approx(18.0 * 10.0, rel=1e-5)
+
+    def test_whole_draw_billed_at_marginal_price(self):
+        # The paper's cost model is Pr_i * p_i: once a site crosses a
+        # step, its *entire* draw is billed at the higher price. With
+        # exactly 20 MW of demand and only 2 x (10 MW - eps) of cheap
+        # headroom, one site must cross and pay 20 $/MWh on all 10 MW.
+        a = site_hour("a", slope=1e-6, background=90.0, max_rate=4e7)
+        b = site_hour("b", slope=1e-6, background=90.0, max_rate=4e7)
+        d = CostMinimizer().solve([a, b], 2e7)
+        # ~10 MW at the base price + ~10 MW repriced one level up (the
+        # breakpoint safety margin shifts a little more into the higher
+        # level, hence the loose tolerance).
+        assert d.predicted_cost == pytest.approx(10.0 * 10.0 + 10.0 * 20.0, rel=0.05)
+
+    def test_price_maker_beats_naive_single_site(self):
+        a = site_hour("a", slope=1e-6, background=90.0, max_rate=4e7)
+        b = site_hour("b", slope=1e-6, background=90.0, max_rate=4e7)
+        d = CostMinimizer().solve([a, b], 2e7)
+        naive_cost = a.cost_of_power(20.0)  # all 20 MW at one site: crosses step
+        assert d.predicted_cost < naive_cost
+
+    def test_respects_power_caps(self):
+        a = site_hour("a", slope=1e-6, power_cap=5.0, max_rate=4e7)
+        b = site_hour("b", slope=1e-6, max_rate=4e7)
+        d = CostMinimizer().solve([a, b], 2e7)  # 20 MW total
+        for alloc in d.allocations:
+            if alloc.site == "a":
+                assert alloc.predicted_power_mw <= 5.0 + 1e-6
+
+    def test_predicted_price_consistent_with_policy(self, three_sites):
+        d = CostMinimizer().solve(three_sites, 5e7)
+        for alloc, sh in zip(d.allocations, three_sites):
+            if alloc.predicted_power_mw > 1e-9:
+                market = sh.background_mw + alloc.predicted_power_mw
+                assert alloc.predicted_price == pytest.approx(
+                    sh.policy.price(market - 1e-9), rel=1e-6
+                )
+
+    def test_branch_bound_backend_matches_default(self, three_sites):
+        lam = 4e7
+        d_sp = CostMinimizer().solve(three_sites, lam)
+        d_bb = CostMinimizer(backend="branch-bound").solve(three_sites, lam)
+        assert d_bb.predicted_cost == pytest.approx(d_sp.predicted_cost, rel=1e-6)
+
+    def test_monotone_in_load(self, three_sites):
+        costs = [
+            CostMinimizer().solve(three_sites, lam).predicted_cost
+            for lam in (1e7, 2e7, 4e7, 6e7)
+        ]
+        assert costs == sorted(costs)

@@ -1,0 +1,135 @@
+"""Tests for the hierarchical dispatcher and bill capper (Section IX)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CappingStep,
+    CostMinimizer,
+    HierarchicalBillCapper,
+    HierarchicalDispatcher,
+    Region,
+)
+from repro.solver import InfeasibleError
+
+from .conftest import site_hour
+
+
+@pytest.fixture
+def two_regions(three_sites):
+    extra = site_hour("D", slope=0.45e-6, background=20.0)
+    return [
+        Region("east", tuple(three_sites[:2])),
+        Region("west", (three_sites[2], extra)),
+    ]
+
+
+class TestRegion:
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region("empty", ())
+
+    def test_capacity(self, three_sites):
+        r = Region("r", tuple(three_sites))
+        assert r.capacity_rps == pytest.approx(sum(s.max_rate_rps for s in three_sites))
+
+
+class TestBids:
+    def test_bid_shape(self, two_regions):
+        disp = HierarchicalDispatcher(samples_per_region=5)
+        bid = disp.bid(two_regions[0])
+        assert bid.rates.shape == (5,)
+        assert bid.rates[0] == 0.0
+        assert bid.rates[-1] == pytest.approx(two_regions[0].capacity_rps)
+        assert bid.costs[0] == pytest.approx(0.0)
+        # Costs non-decreasing in load.
+        assert np.all(np.diff(bid.costs) >= -1e-6)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ValueError):
+            HierarchicalDispatcher(samples_per_region=1)
+
+
+class TestDispatch:
+    def test_serves_everything(self, two_regions):
+        disp = HierarchicalDispatcher(samples_per_region=6)
+        capacity = sum(r.capacity_rps for r in two_regions)
+        lam = 0.4 * capacity
+        d = disp.solve(two_regions, lam)
+        assert sum(a.rate_rps for a in d.allocations) == pytest.approx(lam, rel=1e-3)
+
+    def test_near_centralized_optimum(self, two_regions):
+        disp = HierarchicalDispatcher(samples_per_region=10)
+        all_sites = [s for r in two_regions for s in r.sites]
+        lam = 0.4 * sum(s.max_rate_rps for s in all_sites)
+        hier = disp.solve(two_regions, lam)
+        central = CostMinimizer().solve(all_sites, lam)
+        # Hierarchical can only be >= centralized; within 10% here.
+        assert hier.predicted_cost >= central.predicted_cost * (1 - 1e-6)
+        assert hier.predicted_cost <= central.predicted_cost * 1.10
+
+    def test_beyond_capacity_infeasible(self, two_regions):
+        disp = HierarchicalDispatcher()
+        capacity = sum(r.capacity_rps for r in two_regions)
+        with pytest.raises(InfeasibleError):
+            disp.solve(two_regions, capacity * 1.1)
+
+    def test_zero_load(self, two_regions):
+        d = HierarchicalDispatcher().solve(two_regions, 0.0)
+        assert d.predicted_cost == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_load_rejected(self, two_regions):
+        with pytest.raises(ValueError):
+            HierarchicalDispatcher().solve(two_regions, -1.0)
+
+
+class TestHierarchicalCapper:
+    def _costs(self, two_regions, lam):
+        all_sites = [s for r in two_regions for s in r.sites]
+        return CostMinimizer().solve(all_sites, lam).predicted_cost
+
+    def test_abundant_budget(self, two_regions):
+        capper = HierarchicalBillCapper(
+            dispatcher=HierarchicalDispatcher(samples_per_region=6)
+        )
+        capacity = sum(r.capacity_rps for r in two_regions)
+        prem, ordi = 0.3 * capacity, 0.1 * capacity
+        budget = self._costs(two_regions, prem + ordi) * 3.0
+        d = capper.decide(two_regions, prem, ordi, budget)
+        assert d.step is CappingStep.COST_MIN
+        assert d.premium_fully_served
+        assert d.ordinary_admission_rate == pytest.approx(1.0)
+
+    def test_tight_budget_throttles_ordinary(self, two_regions):
+        capper = HierarchicalBillCapper(
+            dispatcher=HierarchicalDispatcher(samples_per_region=6)
+        )
+        capacity = sum(r.capacity_rps for r in two_regions)
+        prem, ordi = 0.3 * capacity, 0.3 * capacity
+        full = self._costs(two_regions, prem + ordi)
+        prem_cost = self._costs(two_regions, prem)
+        budget = (full + prem_cost) / 2
+        d = capper.decide(two_regions, prem, ordi, budget)
+        assert d.step is CappingStep.THROUGHPUT_MAX
+        assert d.premium_fully_served
+        assert 0.0 < d.ordinary_admission_rate < 1.0
+        assert d.predicted_cost <= budget * (1 + 1e-6)
+
+    def test_insufficient_budget_premium_only(self, two_regions):
+        capper = HierarchicalBillCapper(
+            dispatcher=HierarchicalDispatcher(samples_per_region=6)
+        )
+        capacity = sum(r.capacity_rps for r in two_regions)
+        prem = 0.4 * capacity
+        budget = self._costs(two_regions, prem) * 0.3
+        d = capper.decide(two_regions, prem, 0.1 * capacity, budget)
+        assert d.step is CappingStep.PREMIUM_ONLY
+        assert d.served_ordinary_rps == 0.0
+        assert d.predicted_cost > budget
+
+    def test_validation(self, two_regions):
+        capper = HierarchicalBillCapper()
+        with pytest.raises(ValueError):
+            capper.decide(two_regions, -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            capper.decide(two_regions, 1.0, 1.0, -1.0)

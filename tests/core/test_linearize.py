@@ -1,0 +1,117 @@
+"""Tests for the stepped-cost MILP linearization.
+
+Key invariant: minimizing the linearized cost of a *fixed* power level
+must reproduce the direct policy evaluation exactly — the linearization
+is exact, not a relaxation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import add_stepped_cost
+from repro.powermarket import SteppedPricingPolicy, flat_policy
+from repro.solver import Model
+
+from .conftest import site_hour
+
+
+def _linearized_cost_at(power_mw: float, site, p_max: float = 1000.0) -> float:
+    """Solve a tiny MILP that pins the power and returns the cost."""
+    m = Model("probe")
+    p = m.var("p", lb=power_mw, ub=power_mw)
+    lin = add_stepped_cost(m, p, site, max_power_mw=max(p_max, power_mw))
+    m.minimize(lin.cost)
+    res = m.solve(raise_on_failure=True)
+    return res.objective
+
+
+class TestExactness:
+    @pytest.mark.parametrize("power", [0.0, 10.0, 49.9, 50.0, 120.0, 149.9, 150.0, 400.0])
+    def test_matches_direct_evaluation(self, power):
+        site = site_hour(background=50.0, max_rate=4e9)  # steps at 100, 200
+        expected = site.policy.price(site.background_mw + power) * power
+        got = _linearized_cost_at(power, site)
+        assert got == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+    def test_background_already_past_first_step(self):
+        site = site_hour(background=150.0)  # market starts in level 1
+        assert _linearized_cost_at(10.0, site) == pytest.approx(10.0 * 20.0)
+
+    def test_background_past_all_steps(self):
+        site = site_hour(background=300.0)  # only the last level reachable
+        assert _linearized_cost_at(5.0, site) == pytest.approx(5.0 * 40.0)
+
+    def test_flat_policy_single_segment(self):
+        site = site_hour(policy=flat_policy("f", 13.0), background=10.0)
+        m = Model("probe")
+        p = m.var("p", lb=7.0, ub=7.0)
+        lin = add_stepped_cost(m, p, site)
+        assert len(lin.segment_active) == 1
+        m.minimize(lin.cost)
+        assert m.solve().objective == pytest.approx(91.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        background=st.floats(min_value=0.0, max_value=350.0),
+        # Powers below the solver's feasibility tolerance (~1e-6 MW = 1 W)
+        # legitimately round to zero; test physical magnitudes.
+        power=st.one_of(st.just(0.0), st.floats(min_value=1e-3, max_value=300.0)),
+    )
+    def test_exactness_property(self, background, power):
+        site = site_hour(background=background, max_rate=4e9)
+        # Stay off the measure-zero breakpoints where the right-open
+        # convention and the epsilon guard differ by design.
+        for bp in site.policy.breakpoints:
+            if abs(background + power - bp) < 1e-3:
+                return
+        expected = site.policy.price(background + power) * power
+        got = _linearized_cost_at(power, site)
+        assert got == pytest.approx(expected, rel=1e-6, abs=1e-5)
+
+
+class TestSegmentStructure:
+    def test_unreachable_low_segments_dropped(self):
+        site = site_hour(background=150.0)  # first segment [0,100) unreachable
+        m = Model("probe")
+        p = m.var("p", lb=0.0, ub=100.0)
+        lin = add_stepped_cost(m, p, site, max_power_mw=100.0)
+        assert lin.prices == [20.0, 40.0]
+
+    def test_segments_capped_by_max_power(self):
+        site = site_hour(background=0.0, max_rate=1e6, slope=1e-6)  # max 1 MW
+        m = Model("probe")
+        p = m.var("p", lb=0.0, ub=1.0)
+        lin = add_stepped_cost(m, p, site)
+        assert lin.prices == [10.0]  # only the first level reachable
+
+    def test_infinite_bound_rejected(self):
+        site = site_hour()
+        m = Model("probe")
+        p = m.var("p", lb=0.0)
+        with pytest.raises(ValueError, match="finite"):
+            add_stepped_cost(m, p, site, max_power_mw=float("inf"))
+
+    def test_minimizer_prefers_cheap_segment(self):
+        # Free choice of power in [0, 60] with background 50: staying
+        # below the 100 MW step keeps the price at 10.
+        site = site_hour(background=50.0)
+        m = Model("probe")
+        p = m.var("p", lb=40.0, ub=60.0)
+        lin = add_stepped_cost(m, p, site, max_power_mw=60.0)
+        m.minimize(lin.cost)
+        res = m.solve(raise_on_failure=True)
+        # Optimal power is at most 50 (market load 100) and price level 0.
+        assert res.value(p) <= 50.0 + 1e-6
+        assert res.objective == pytest.approx(res.value(p) * 10.0, rel=1e-6)
+
+    def test_exactly_one_segment_active(self):
+        site = site_hour(background=50.0)
+        m = Model("probe")
+        p = m.var("p", lb=120.0, ub=120.0)
+        lin = add_stepped_cost(m, p, site, max_power_mw=200.0)
+        m.minimize(lin.cost)
+        res = m.solve(raise_on_failure=True)
+        actives = [round(res.value(y)) for y in lin.segment_active]
+        assert sum(actives) == 1

@@ -1,0 +1,76 @@
+"""Tests for Site / SiteHour."""
+
+import numpy as np
+import pytest
+
+from repro.core import Site, SiteHour
+from repro.datacenter import AffinePower
+from repro.powermarket import SteppedPricingPolicy
+
+from .conftest import site_hour, small_datacenter
+
+
+class TestSiteHour:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            site_hour(background=-1.0)
+        with pytest.raises(ValueError):
+            SiteHour(
+                "s", AffinePower(1e-6, 0.0),
+                SteppedPricingPolicy("s", (), (10.0,)), 0.0, 0.0, 1.0,
+            )
+
+    def test_max_power_is_min_of_cap_and_capacity(self):
+        sh = site_hour(slope=1e-6, max_rate=1e6, power_cap=100.0)
+        assert sh.max_power_mw == pytest.approx(1.0)  # capacity-bound
+        sh2 = site_hour(slope=1e-6, max_rate=1e9, power_cap=100.0)
+        assert sh2.max_power_mw == pytest.approx(100.0)  # cap-bound
+
+    def test_marginal_price_includes_background(self):
+        sh = site_hour(background=90.0)  # policy steps at 100, 200
+        assert sh.marginal_price(5.0) == 10.0
+        assert sh.marginal_price(15.0) == 20.0  # pushes market over 100
+        assert sh.marginal_price(115.0) == 40.0
+
+    def test_cost_of_power(self):
+        sh = site_hour(background=50.0)
+        assert sh.cost_of_power(10.0) == pytest.approx(100.0)  # 10 MW x $10
+
+
+class TestSite:
+    def _site(self, hours=48):
+        dc = small_datacenter()
+        policy = SteppedPricingPolicy("B", (100.0, 200.0), (10.0, 20.0, 40.0))
+        bg = np.full(hours, 80.0)
+        return Site(dc, policy, bg)
+
+    def test_validation(self):
+        dc = small_datacenter()
+        policy = SteppedPricingPolicy("B", (100.0,), (10.0, 20.0))
+        with pytest.raises(ValueError):
+            Site(dc, policy, np.array([]))
+        with pytest.raises(ValueError):
+            Site(dc, policy, np.array([1.0, -2.0]))
+
+    def test_hour_snapshot(self):
+        site = self._site()
+        sh = site.hour(5)
+        assert sh.name == site.name
+        assert sh.background_mw == 80.0
+        assert sh.max_rate_rps > 0
+
+    def test_hour_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._site(24).hour(24)
+
+    def test_evaluate_hour_consistency(self):
+        site = self._site()
+        lam = 1e6
+        power, price, cost = site.evaluate_hour(0, lam)
+        assert power == pytest.approx(site.datacenter.power_mw(lam))
+        assert price == site.policy.price(80.0 + power)
+        assert cost == pytest.approx(price * power)
+
+    def test_evaluate_hour_zero_load(self):
+        power, price, cost = self._site().evaluate_hour(0, 0.0)
+        assert power == 0.0 and cost == 0.0

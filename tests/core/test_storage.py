@@ -1,0 +1,204 @@
+"""Tests for the battery model and day-ahead storage planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import SiteHour, plan_storage_schedule
+from repro.datacenter import AffinePower, Battery
+from repro.powermarket import SteppedPricingPolicy
+
+
+def make_battery(**overrides):
+    kwargs = dict(
+        capacity_mwh=10.0,
+        max_charge_mw=5.0,
+        max_discharge_mw=5.0,
+        charge_efficiency=0.9,
+        discharge_efficiency=0.9,
+    )
+    kwargs.update(overrides)
+    return Battery(**kwargs)
+
+
+def make_hours(backgrounds, policy=None, name="S"):
+    policy = policy or SteppedPricingPolicy(name, (100.0,), (10.0, 30.0))
+    return [
+        SiteHour(
+            name=name,
+            affine=AffinePower(1e-6, 0.0),
+            policy=policy,
+            background_mw=bg,
+            power_cap_mw=1e4,
+            max_rate_rps=1e8,
+        )
+        for bg in backgrounds
+    ]
+
+
+class TestBatteryModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_battery(capacity_mwh=0.0)
+        with pytest.raises(ValueError):
+            make_battery(max_charge_mw=-1.0)
+        with pytest.raises(ValueError):
+            make_battery(charge_efficiency=1.5)
+
+    def test_round_trip_efficiency(self):
+        assert make_battery().round_trip_efficiency == pytest.approx(0.81)
+
+    def test_charge_respects_limits(self):
+        state = make_battery().initial_state(0.0)
+        drawn = state.charge(100.0)  # limited to 5 MW
+        assert drawn == pytest.approx(5.0)
+        assert state.soc_mwh == pytest.approx(4.5)  # 5 * 0.9
+
+    def test_charge_respects_headroom(self):
+        state = make_battery().initial_state(1.0)  # full
+        assert state.charge(5.0) == pytest.approx(0.0)
+
+    def test_discharge_respects_soc(self):
+        state = make_battery(capacity_mwh=1.0).initial_state(1.0)
+        delivered = state.discharge(5.0)
+        assert delivered == pytest.approx(0.9)  # 1 MWh * 0.9 out
+        assert state.soc_mwh == pytest.approx(0.0)
+
+    def test_state_fraction(self):
+        state = make_battery().initial_state(0.25)
+        assert state.soc_fraction == pytest.approx(0.25)
+
+    def test_negative_power_rejected(self):
+        state = make_battery().initial_state()
+        with pytest.raises(ValueError):
+            state.charge(-1.0)
+        with pytest.raises(ValueError):
+            state.discharge(-1.0)
+
+
+class TestStoragePlanner:
+    def test_flat_prices_no_arbitrage(self):
+        # One price level: a lossy battery can only lose money by cycling.
+        hours = make_hours([50.0] * 6, policy=SteppedPricingPolicy("S", (), (10.0,)))
+        base = np.full(6, 20.0)
+        plan = plan_storage_schedule(hours, base, make_battery())
+        assert plan.planned_cost == pytest.approx(plan.baseline_cost, rel=1e-6)
+        assert np.allclose(plan.charge_mw, 0.0, atol=1e-6)
+
+    def test_step_arbitrage_saves_money(self):
+        # Background swings across the 100 MW step: the planner shifts
+        # energy from cheap to expensive hours even when it cannot fully
+        # duck the step (every discharged MWh is bought at 10 instead
+        # of 30).
+        backgrounds = [40.0, 40.0, 95.0, 95.0, 40.0, 40.0]
+        hours = make_hours(backgrounds)
+        base = np.full(6, 20.0)
+        plan = plan_storage_schedule(hours, base, make_battery())
+        assert plan.planned_cost < plan.baseline_cost
+        # Discharging concentrated in the expensive hours.
+        assert plan.discharge_mw[2] + plan.discharge_mw[3] > 0.5
+        assert plan.discharge_mw[[0, 1, 4, 5]].sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_large_battery_ducks_below_the_step(self):
+        # With enough power and energy the optimal plan pulls the
+        # expensive hour's market load back under the breakpoint, so
+        # the *entire* residual draw is billed at the cheap level.
+        backgrounds = [40.0, 40.0, 95.0, 40.0, 40.0, 40.0]
+        hours = make_hours(backgrounds)
+        base = np.full(6, 20.0)
+        big = make_battery(capacity_mwh=40.0, max_charge_mw=10.0, max_discharge_mw=20.0)
+        plan = plan_storage_schedule(hours, base, big)
+        assert backgrounds[2] + plan.grid_mw[2] <= 100.0 + 1e-6
+        assert plan.planned_cost < plan.baseline_cost
+
+    def test_energy_neutral(self):
+        hours = make_hours([40.0, 95.0, 95.0, 40.0])
+        plan = plan_storage_schedule(hours, np.full(4, 20.0), make_battery())
+        assert plan.soc_mwh[-1] >= plan.soc_mwh[0] - 1e-6
+
+    def test_soc_dynamics_consistent(self):
+        hours = make_hours([40.0, 95.0, 95.0, 40.0])
+        bat = make_battery()
+        plan = plan_storage_schedule(hours, np.full(4, 20.0), bat)
+        for t in range(4):
+            expected = (
+                plan.soc_mwh[t]
+                + bat.charge_efficiency * plan.charge_mw[t]
+                - plan.discharge_mw[t] / bat.discharge_efficiency
+            )
+            assert plan.soc_mwh[t + 1] == pytest.approx(expected, abs=1e-6)
+        assert np.all(plan.soc_mwh <= bat.capacity_mwh + 1e-9)
+        assert np.all(plan.soc_mwh >= -1e-9)
+
+    def test_grid_draw_nonnegative_and_consistent(self):
+        hours = make_hours([40.0, 95.0, 95.0, 40.0])
+        base = np.full(4, 20.0)
+        plan = plan_storage_schedule(hours, base, make_battery())
+        assert np.all(plan.grid_mw >= -1e-9)
+        assert np.allclose(
+            plan.grid_mw, base + plan.charge_mw - plan.discharge_mw, atol=1e-6
+        )
+
+    def test_allow_net_depletion_when_relaxed(self):
+        hours = make_hours([95.0, 95.0])
+        plan = plan_storage_schedule(
+            hours, np.full(2, 20.0), make_battery(), require_final_soc=False
+        )
+        # With no neutrality constraint it may drain the battery for free.
+        assert plan.soc_mwh[-1] <= plan.soc_mwh[0] + 1e-9
+        assert plan.planned_cost <= plan.baseline_cost + 1e-9
+
+    def test_planned_saving_property(self):
+        hours = make_hours([40.0, 95.0, 95.0, 40.0])
+        plan = plan_storage_schedule(hours, np.full(4, 20.0), make_battery())
+        assert 0.0 < plan.planned_saving < 1.0
+
+    def test_validation(self):
+        hours = make_hours([40.0])
+        with pytest.raises(ValueError):
+            plan_storage_schedule(hours, np.array([1.0, 2.0]), make_battery())
+        with pytest.raises(ValueError):
+            plan_storage_schedule(hours, np.array([-1.0]), make_battery())
+        with pytest.raises(ValueError):
+            plan_storage_schedule([], np.array([]), make_battery())
+
+
+class TestEvaluateSchedule:
+    def _plan(self, backgrounds, base=20.0):
+        hours = make_hours(backgrounds)
+        base_arr = np.full(len(backgrounds), base)
+        return plan_storage_schedule(hours, base_arr, make_battery()), hours, base_arr
+
+    def test_perfect_forecast_matches_plan(self):
+        from repro.core import evaluate_schedule
+
+        plan, hours, base = self._plan([40.0, 95.0, 95.0, 40.0])
+        with_batt, without = evaluate_schedule(plan, hours, base)
+        assert with_batt == pytest.approx(plan.planned_cost, rel=1e-6)
+        assert without == pytest.approx(plan.baseline_cost, rel=1e-6)
+
+    def test_moderate_forecast_error_preserves_savings(self):
+        from repro.core import evaluate_schedule
+
+        plan, _, base = self._plan([40.0, 95.0, 95.0, 40.0])
+        # Reality: backgrounds shifted by a few MW (same shape).
+        actual_hours = make_hours([43.0, 93.0, 96.0, 38.0])
+        with_batt, without = evaluate_schedule(plan, actual_hours, base)
+        assert with_batt < without
+
+    def test_wrong_shape_forecast_can_lose(self):
+        from repro.core import evaluate_schedule
+
+        # Planned for an afternoon peak that actually happened overnight:
+        # the plan discharges into cheap hours and charges into expensive
+        # ones. It must never *gain* under the inverted reality.
+        plan, _, base = self._plan([40.0, 95.0, 95.0, 40.0])
+        inverted = make_hours([95.0, 40.0, 40.0, 95.0])
+        with_batt, without = evaluate_schedule(plan, inverted, base)
+        assert with_batt >= without * 0.999
+
+    def test_horizon_mismatch_rejected(self):
+        from repro.core import evaluate_schedule
+
+        plan, hours, base = self._plan([40.0, 95.0])
+        with pytest.raises(ValueError):
+            evaluate_schedule(plan, hours, np.array([20.0]))

@@ -1,0 +1,74 @@
+"""Tests for Step 2: throughput maximization within a cost budget."""
+
+import pytest
+
+from repro.core import CappingStep, CostMinimizer, ThroughputMaximizer
+
+from .conftest import site_hour
+
+
+class TestThroughputMaximizer:
+    def test_generous_budget_serves_everything(self, three_sites):
+        lam = 3e7
+        unconstrained = CostMinimizer().solve(three_sites, lam)
+        d = ThroughputMaximizer().solve(three_sites, lam, unconstrained.predicted_cost * 2)
+        assert d.step is CappingStep.THROUGHPUT_MAX
+        assert d.served_total_rps == pytest.approx(lam, rel=1e-6)
+        assert d.budget == unconstrained.predicted_cost * 2
+
+    def test_zero_budget_serves_nothing(self, three_sites):
+        d = ThroughputMaximizer().solve(three_sites, 3e7, 0.0)
+        assert d.served_total_rps <= 3e7 * 1e-9
+
+    def test_tight_budget_partial_service(self, three_sites):
+        lam = 3e7
+        full_cost = CostMinimizer().solve(three_sites, lam).predicted_cost
+        d = ThroughputMaximizer().solve(three_sites, lam, full_cost * 0.5)
+        assert 0.0 < d.served_total_rps < lam
+        assert d.predicted_cost <= full_cost * 0.5 * (1 + 1e-6)
+
+    def test_throughput_monotone_in_budget(self, three_sites):
+        lam = 3e7
+        full_cost = CostMinimizer().solve(three_sites, lam).predicted_cost
+        served = [
+            ThroughputMaximizer().solve(three_sites, lam, full_cost * f).served_total_rps
+            for f in (0.2, 0.5, 0.8, 1.1)
+        ]
+        assert served == sorted(served)
+
+    def test_never_exceeds_offered_load(self, three_sites):
+        d = ThroughputMaximizer().solve(three_sites, 1e6, budget=1e12)
+        assert d.served_total_rps <= 1e6 * (1 + 1e-9)
+
+    def test_budget_binding_exactly_when_throttling(self, three_sites):
+        lam = 3e7
+        full_cost = CostMinimizer().solve(three_sites, lam).predicted_cost
+        budget = full_cost * 0.6
+        d = ThroughputMaximizer().solve(three_sites, lam, budget)
+        if d.served_total_rps < lam * (1 - 1e-6):
+            # Throttled: the budget should be (nearly) exhausted.
+            assert d.predicted_cost >= budget * 0.95
+
+    def test_cost_tiebreak_prefers_cheaper_allocation(self):
+        # Two sites, either alone can serve everything within budget:
+        # the tiebreak should route to the cheaper one.
+        cheap = site_hour("cheap", background=0.0, max_rate=4e7)
+        exp = site_hour(
+            "exp",
+            policy=cheap.policy.__class__("exp", (100.0, 200.0), (30.0, 60.0, 120.0)),
+            background=0.0,
+            max_rate=4e7,
+        )
+        d = ThroughputMaximizer().solve([cheap, exp], 1e7, budget=1e9)
+        assert d.rate_for("cheap") == pytest.approx(1e7, rel=1e-6)
+
+    def test_validation(self, three_sites):
+        with pytest.raises(ValueError):
+            ThroughputMaximizer().solve(three_sites, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            ThroughputMaximizer().solve(three_sites, 1.0, -10.0)
+
+    def test_zero_offered_load(self, three_sites):
+        d = ThroughputMaximizer().solve(three_sites, 0.0, 100.0)
+        assert d.served_total_rps == 0.0
+        assert d.budget == 100.0

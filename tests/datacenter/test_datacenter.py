@@ -1,0 +1,184 @@
+"""Tests for the composite DataCenter model and LocalOptimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    CapacityError,
+    CoolingModel,
+    DataCenter,
+    LocalOptimizer,
+    ServerSpec,
+    SwitchPowers,
+)
+
+
+def make_dc(**overrides) -> DataCenter:
+    kwargs = dict(
+        name="DC",
+        servers=ServerSpec("s", idle_w=60.0, dynamic_w=40.0, service_rate=500.0),
+        max_servers=10_000,
+        switch_powers=SwitchPowers(184.0, 184.0, 240.0),
+        cooling=CoolingModel(1.94),
+        target_response_s=0.5,
+    )
+    kwargs.update(overrides)
+    return DataCenter(**kwargs)
+
+
+class TestValidation:
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ValueError):
+            make_dc(max_servers=0)
+        with pytest.raises(ValueError):
+            make_dc(utilization_cap=0.0)
+        with pytest.raises(ValueError):
+            make_dc(utilization_cap=1.5)
+        with pytest.raises(ValueError):
+            make_dc(power_cap_mw=0.0)
+        with pytest.raises(ValueError):
+            make_dc(target_response_s=0.001)  # below 1/mu = 2ms
+
+
+class TestProvisioning:
+    def test_zero_load(self):
+        p = make_dc().provision(0.0)
+        assert p.n_servers == 0
+        assert p.total_power_w == 0.0
+
+    def test_utilization_respects_cap(self):
+        dc = make_dc(utilization_cap=0.8)
+        p = dc.provision(1e6)
+        assert p.utilization <= 0.8 + 1e-9
+
+    def test_response_time_met(self):
+        from repro.datacenter import response_time
+
+        dc = make_dc()
+        for lam in (10.0, 1e4, 1e6):
+            p = dc.provision(lam)
+            assert (
+                response_time(lam, p.n_servers, dc.servers.service_rate, dc.queue)
+                <= dc.target_response_s + 1e-12
+            )
+
+    def test_power_components_positive(self):
+        p = make_dc().provision(5e5)
+        assert p.server_power_w > 0
+        assert p.network_power_w > 0
+        assert p.cooling_power_w > 0
+        assert p.total_power_w == pytest.approx(
+            p.server_power_w + p.network_power_w + p.cooling_power_w
+        )
+
+    def test_cooling_is_it_over_coe(self):
+        dc = make_dc(cooling=CoolingModel(2.0))
+        p = dc.provision(1e5)
+        assert p.cooling_power_w == pytest.approx(
+            (p.server_power_w + p.network_power_w) / 2.0
+        )
+
+    def test_capacity_error_beyond_fleet(self):
+        dc = make_dc(max_servers=10)
+        with pytest.raises(CapacityError):
+            dc.provision(1e6)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_dc().provision(-1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=3e6))
+    def test_power_monotone_in_load(self, lam):
+        dc = make_dc()
+        p1 = dc.power_w(lam)
+        p2 = dc.power_w(lam * 1.1 + 1.0)
+        assert p2 >= p1 - 1e-9
+
+
+class TestAffineModel:
+    def test_tracks_exact_model_at_scale(self):
+        # At meaningful occupancy the smooth model tracks the stepped one;
+        # at very low occupancy pod-granularity switch power dominates and
+        # the gap is expectedly larger (exercised separately below).
+        dc = make_dc()
+        affine = dc.affine_power()
+        for lam in (1e5, 1e6, 3e6):
+            exact = dc.power_mw(lam)
+            approx = affine.power_mw(lam)
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_underestimates_at_pod_granularity(self):
+        dc = make_dc()
+        # A handful of servers still powers a whole pod's agg layer: the
+        # exact model exceeds the amortized affine one.
+        assert dc.power_mw(1e4) > dc.affine_power().power_mw(1e4)
+
+    def test_zero_at_zero(self):
+        assert make_dc().affine_power().power_mw(0.0) == 0.0
+
+    def test_max_rate_inversion(self):
+        affine = make_dc().affine_power()
+        lam = affine.max_rate_for_power(1.0)
+        assert affine.power_mw(lam) == pytest.approx(1.0)
+        assert affine.max_rate_for_power(0.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_dc().affine_power().power_mw(-1.0)
+
+
+class TestCapacity:
+    def test_max_throughput_fleet_limited(self):
+        dc = make_dc()  # no power cap
+        assert dc.max_throughput_rps() == pytest.approx(
+            dc.max_servers * dc.utilization_cap * dc.servers.service_rate
+        )
+
+    def test_max_throughput_power_limited(self):
+        dc = make_dc(power_cap_mw=0.5)
+        lam = dc.max_throughput_rps()
+        assert dc.affine_power().power_mw(lam) <= 0.5 + 1e-9
+        assert lam < dc.max_servers * dc.utilization_cap * dc.servers.service_rate
+
+    def test_peak_power_scales_with_fleet(self):
+        small = make_dc(max_servers=1_000).peak_power_mw()
+        large = make_dc(max_servers=10_000).peak_power_mw()
+        assert large > small * 5
+
+
+class TestLocalOptimizer:
+    def test_no_shedding_below_cap(self):
+        opt = LocalOptimizer(make_dc())
+        d = opt.decide(1e5)
+        assert d.served_rps == pytest.approx(1e5)
+        assert not d.capped
+        assert d.shed_rps == 0.0
+
+    def test_sheds_to_power_cap(self):
+        dc = make_dc(power_cap_mw=0.3)
+        opt = LocalOptimizer(dc)
+        d = opt.decide(3e6)
+        assert d.capped
+        assert d.power_mw <= dc.power_cap_mw + 1e-6
+        assert d.served_rps + d.shed_rps == pytest.approx(3e6)
+
+    def test_sheds_to_fleet_capacity(self):
+        dc = make_dc(max_servers=100)
+        opt = LocalOptimizer(dc)
+        d = opt.decide(1e6)
+        assert d.capped
+        assert d.provisioning.n_servers <= 100
+
+    def test_max_rate_within_cap_is_tight(self):
+        dc = make_dc(power_cap_mw=0.3)
+        opt = LocalOptimizer(dc)
+        lam = opt.max_rate_within_cap()
+        assert dc.power_mw(lam) <= 0.3 + 1e-9
+        # Tight within 1%.
+        assert dc.power_mw(lam * 1.02) > 0.3 or lam == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LocalOptimizer(make_dc()).decide(-1.0)

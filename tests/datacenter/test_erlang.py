@@ -1,0 +1,144 @@
+"""Tests for exact M/M/m (Erlang) results and Allen-Cunneen validation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    QueueParams,
+    erlang_b,
+    erlang_c,
+    mmm_required_servers,
+    mmm_response_time,
+    required_servers,
+    response_time,
+)
+
+
+class TestErlangB:
+    def test_known_values(self):
+        # Classic table entries: B(1, 1) = 0.5; B(2, 1) = 0.2.
+        assert erlang_b(1, 1.0) == pytest.approx(0.5)
+        assert erlang_b(2, 1.0) == pytest.approx(0.2)
+        assert erlang_b(0, 5.0) == pytest.approx(1.0)
+
+    def test_monotone_in_servers(self):
+        vals = [erlang_b(m, 10.0) for m in range(1, 30)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_stable_at_scale(self):
+        # No overflow even for hundreds of thousands of servers.
+        b = erlang_b(300_000, 250_000.0)
+        assert 0.0 <= b < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1, 1.0)
+        with pytest.raises(ValueError):
+            erlang_b(1, -1.0)
+
+
+class TestErlangC:
+    def test_single_server_is_rho(self):
+        # M/M/1: waiting probability equals the utilization.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_bounds(self):
+        assert 0.0 <= erlang_c(10, 5.0) <= 1.0
+        assert erlang_c(10, 10.0) == 1.0  # boundary
+        assert erlang_c(10, 15.0) == 1.0  # overload
+
+    def test_more_servers_less_waiting(self):
+        vals = [erlang_c(m, 8.0) for m in range(9, 30)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+
+
+class TestMmmResponseTime:
+    def test_mm1_closed_form(self):
+        # M/M/1: R = 1 / (mu - lambda).
+        lam, mu = 7.0, 10.0
+        assert mmm_response_time(lam, 1, mu) == pytest.approx(1.0 / (mu - lam))
+
+    def test_zero_load(self):
+        assert mmm_response_time(0.0, 5, 10.0) == pytest.approx(0.1)
+
+    def test_unstable(self):
+        assert mmm_response_time(100.0, 5, 10.0) == math.inf
+
+    def test_required_servers_exact(self):
+        lam, mu, rs = 500.0, 10.0, 0.15
+        m = mmm_required_servers(lam, mu, rs)
+        assert mmm_response_time(lam, m, mu) <= rs
+        assert mmm_response_time(lam, m - 1, mu) > rs
+
+    def test_required_servers_zero_load(self):
+        assert mmm_required_servers(0.0, 10.0, 1.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmm_required_servers(1.0, 10.0, 0.1)  # == 1/mu
+
+
+class TestAllenCunneenAgainstErlang:
+    """The paper's approximation vs the exact M/M/m ground truth."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(min_value=2, max_value=200),
+        rho=st.floats(min_value=0.5, max_value=0.98),
+        mu=st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_simplified_form_upper_bounds_exact(self, m, rho, mu):
+        # The paper's rho~=1 simplification drops the rho^e < 1 factor,
+        # so it always over-estimates waiting: provisioning with it is
+        # conservative (never violates the QoS target).
+        lam = rho * m * mu
+        exact = mmm_response_time(lam, m, mu)
+        approx = response_time(lam, m, mu, QueueParams(1.0, 1.0), simplified=True)
+        assert approx >= exact - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(min_value=2, max_value=200),
+        rho=st.floats(min_value=0.3, max_value=0.99),
+        mu=st.floats(min_value=10.0, max_value=500.0),
+    )
+    def test_exact_identity_with_erlang_c(self, m, rho, mu):
+        # Algebraically, the paper's simplified wait 1/(m mu - lam) is
+        # the exact M/M/m wait divided by the Erlang-C probability:
+        # exact = C(m, a) / (m mu - lam). Verify the identity.
+        lam = rho * m * mu
+        exact_wait = mmm_response_time(lam, m, mu) - 1.0 / mu
+        approx_wait = (
+            response_time(lam, m, mu, QueueParams(1.0, 1.0), simplified=True)
+            - 1.0 / mu
+        )
+        c = erlang_c(m, lam / mu)
+        assert approx_wait * c == pytest.approx(exact_wait, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lam=st.floats(min_value=100.0, max_value=1e5),
+        mu=st.floats(min_value=50.0, max_value=1000.0),
+        slack=st.floats(min_value=0.005, max_value=0.5),
+    )
+    def test_paper_fleet_size_never_below_exact(self, lam, mu, slack):
+        # Fleets sized with the paper's formula must satisfy the exact
+        # M/M/m response-time target too (conservative approximation).
+        rs = 1.0 / mu + slack
+        n_paper = int(required_servers(lam, mu, rs, QueueParams(1.0, 1.0)))
+        assert mmm_response_time(lam, n_paper, mu) <= rs + 1e-12
+
+    def test_fleet_overhead_is_small(self):
+        # ... and the conservatism is cheap: within a few servers of the
+        # exact minimum at data-center scale.
+        lam, mu, rs = 5e5, 500.0, 0.5
+        n_paper = int(required_servers(lam, mu, rs))
+        n_exact = mmm_required_servers(lam, mu, rs)
+        assert n_exact <= n_paper <= n_exact + 3

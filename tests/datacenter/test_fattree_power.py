@@ -1,0 +1,140 @@
+"""Tests for fat-tree topology, networking power, and cooling models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    CoolingModel,
+    FatTree,
+    NetworkPowerModel,
+    PAPER_COOLING_EFFICIENCIES,
+    SwitchPowers,
+    fat_tree_for_servers,
+    paper_switch_powers,
+)
+
+
+class TestFatTree:
+    def test_k4_canonical_counts(self):
+        ft = FatTree(4)
+        assert ft.max_servers == 16
+        assert ft.n_pods == 4
+        assert ft.n_core == 4
+        assert ft.servers_per_edge_switch == 2
+        total = ft.total_switches()
+        assert (total.edge, total.aggregation, total.core) == (8, 8, 4)
+        assert total.total == 20
+
+    def test_odd_or_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(3)
+        with pytest.raises(ValueError):
+            FatTree(0)
+
+    def test_active_switches_zero(self):
+        assert FatTree(4).active_switches(0).total == 0
+
+    def test_active_switches_one_server(self):
+        c = FatTree(4).active_switches(1)
+        assert c.edge == 1
+        assert c.aggregation == 2  # the pod's agg layer powers on
+        assert c.core >= 1
+
+    def test_active_switches_full(self):
+        ft = FatTree(4)
+        c = ft.active_switches(ft.max_servers)
+        assert c == ft.total_switches()
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FatTree(4).active_switches(17)
+        with pytest.raises(ValueError):
+            FatTree(4).active_switches(-1)
+
+    def test_paper_scale_k108(self):
+        ft = fat_tree_for_servers(300_000)
+        assert ft.k == 108
+        assert ft.max_servers == 314_928
+
+    def test_fat_tree_for_servers_minimal(self):
+        assert fat_tree_for_servers(16).k == 4
+        assert fat_tree_for_servers(17).k == 6
+        with pytest.raises(ValueError):
+            fat_tree_for_servers(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=1000))
+    def test_active_counts_monotone_and_bounded(self, half_k, n):
+        ft = FatTree(2 * half_k)
+        n = min(n, ft.max_servers)
+        c_n = ft.active_switches(n)
+        c_tot = ft.total_switches()
+        assert c_n.edge <= c_tot.edge
+        assert c_n.aggregation <= c_tot.aggregation
+        assert c_n.core <= c_tot.core
+        if n < ft.max_servers:
+            c_next = ft.active_switches(n + 1)
+            assert c_next.total >= c_n.total
+
+    def test_switches_per_server_matches_full_tree_average(self):
+        ft = FatTree(8)
+        edge, agg, core = ft.switches_per_server()
+        total = ft.total_switches()
+        assert edge * ft.max_servers == pytest.approx(total.edge)
+        assert agg * ft.max_servers == pytest.approx(total.aggregation)
+        assert core * ft.max_servers == pytest.approx(total.core)
+
+
+class TestNetworkPower:
+    def test_stepped_power(self):
+        model = NetworkPowerModel(FatTree(4), SwitchPowers(100.0, 200.0, 300.0))
+        # 1 server: 1 edge + 2 agg + 1 core = 100 + 400 + 300.
+        assert model.power_w(1) == pytest.approx(800.0)
+        assert model.power_w(0) == 0.0
+
+    def test_full_power(self):
+        model = NetworkPowerModel(FatTree(4), SwitchPowers(100.0, 200.0, 300.0))
+        assert model.full_power_w() == pytest.approx(8 * 100 + 8 * 200 + 4 * 300)
+
+    def test_watts_per_server_amortizes_full_tree(self):
+        model = NetworkPowerModel(FatTree(8), SwitchPowers(184.0, 184.0, 240.0))
+        assert model.watts_per_server() * model.topology.max_servers == pytest.approx(
+            model.full_power_w()
+        )
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchPowers(-1.0, 0.0, 0.0)
+
+    def test_paper_switch_powers(self):
+        sw = paper_switch_powers()
+        assert len(sw) == 3
+        assert sw[0].edge_w == pytest.approx(184.0)
+        assert sw[1].core_w == pytest.approx(260.0)
+
+
+class TestCooling:
+    def test_power_quotient_form(self):
+        cm = CoolingModel(coe=2.0)
+        assert cm.power_w(1000.0) == pytest.approx(500.0)
+
+    def test_higher_coe_means_less_cooling_power(self):
+        assert CoolingModel(1.94).power_w(1000.0) < CoolingModel(1.39).power_w(1000.0)
+
+    def test_overhead_factor_and_pue(self):
+        cm = CoolingModel(coe=2.0)
+        assert cm.overhead_factor == pytest.approx(1.5)
+        assert cm.pue == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoolingModel(0.0)
+        with pytest.raises(ValueError):
+            CoolingModel(2.0).power_w(-1.0)
+
+    def test_paper_efficiencies(self):
+        assert PAPER_COOLING_EFFICIENCIES == (1.94, 1.39, 1.74)
+        # PUE range sanity: 1.5 - 1.8.
+        for coe in PAPER_COOLING_EFFICIENCIES:
+            assert 1.4 < CoolingModel(coe).pue < 1.8

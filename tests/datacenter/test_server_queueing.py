@@ -1,0 +1,166 @@
+"""Tests for server power and G/G/m queueing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    QueueParams,
+    ServerSpec,
+    max_arrival_rate,
+    paper_server_specs,
+    required_servers,
+    response_time,
+)
+
+
+class TestServerSpec:
+    def test_linear_power(self):
+        s = ServerSpec("s", idle_w=60.0, dynamic_w=40.0, service_rate=500.0)
+        assert s.power_w(0.0) == pytest.approx(60.0)
+        assert s.power_w(1.0) == pytest.approx(100.0)
+        assert s.power_w(0.5) == pytest.approx(80.0)
+        assert s.peak_w == pytest.approx(100.0)
+
+    def test_power_array(self):
+        s = ServerSpec("s", 60.0, 40.0, 500.0)
+        out = s.power_w(np.array([0.0, 0.5, 1.0]))
+        assert out == pytest.approx([60.0, 80.0, 100.0])
+
+    def test_utilization_range_enforced(self):
+        s = ServerSpec("s", 60.0, 40.0, 500.0)
+        with pytest.raises(ValueError):
+            s.power_w(-0.1)
+        with pytest.raises(ValueError):
+            s.power_w(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerSpec("s", -1.0, 40.0, 500.0)
+        with pytest.raises(ValueError):
+            ServerSpec("s", 1.0, 40.0, 0.0)
+
+    def test_from_operating_point_recovers_quoted_power(self):
+        s = ServerSpec.from_operating_point("s", 88.88, 500.0)
+        assert s.power_w(0.80) == pytest.approx(88.88)
+        assert s.idle_w < s.peak_w
+
+    def test_paper_specs(self):
+        specs = paper_server_specs()
+        assert len(specs) == 3
+        assert [round(s.power_w(0.8), 2) for s in specs] == [88.88, 34.00, 49.90]
+        assert [s.service_rate for s in specs] == [500.0, 300.0, 725.0]
+
+
+class TestResponseTime:
+    def test_zero_load_is_service_time(self):
+        assert response_time(0.0, 10, 100.0) == pytest.approx(0.01)
+
+    def test_unstable_queue_is_infinite(self):
+        assert response_time(1000.0, 10, 100.0) == float("inf")
+        assert response_time(999.9999, 10, 100.0) < float("inf")
+
+    def test_monotone_in_load(self):
+        r = [response_time(lam, 10, 100.0) for lam in (100, 500, 900, 990)]
+        assert r == sorted(r)
+
+    def test_more_servers_reduce_response(self):
+        r5 = response_time(400.0, 5, 100.0)
+        r10 = response_time(400.0, 10, 100.0)
+        assert r10 < r5
+
+    def test_variability_increases_waiting(self):
+        calm = response_time(900.0, 10, 100.0, QueueParams(ca2=0.5, cb2=0.5))
+        bursty = response_time(900.0, 10, 100.0, QueueParams(ca2=4.0, cb2=4.0))
+        assert bursty > calm
+
+    def test_full_allen_cunneen_below_simplified(self):
+        # rho < 1 means rho^e < 1: the full form predicts less waiting.
+        full = response_time(500.0, 10, 100.0, simplified=False)
+        simple = response_time(500.0, 10, 100.0, simplified=True)
+        assert full <= simple
+        # They converge (relatively) as rho -> 1.
+        full_hi = response_time(995.0, 10, 100.0, simplified=False)
+        simple_hi = response_time(995.0, 10, 100.0, simplified=True)
+        assert (simple_hi - full_hi) / simple_hi < (simple - full) / simple
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            response_time(-1.0, 10, 100.0)
+        with pytest.raises(ValueError):
+            response_time(1.0, 0, 100.0)
+        with pytest.raises(ValueError):
+            QueueParams(ca2=-1.0)
+
+
+class TestRequiredServers:
+    def test_meets_target_exactly(self):
+        lam, mu, rs = 5000.0, 100.0, 0.05
+        n = required_servers(lam, mu, rs)
+        assert response_time(lam, n, mu) <= rs + 1e-12
+        assert response_time(lam, n - 1, mu) > rs
+
+    def test_zero_load_needs_no_servers(self):
+        assert required_servers(0.0, 100.0, 0.05) == 0.0
+
+    def test_continuous_value_below_integral(self):
+        lam, mu, rs = 5000.0, 100.0, 0.05
+        cont = required_servers(lam, mu, rs, integral=False)
+        integ = required_servers(lam, mu, rs, integral=True)
+        assert cont <= integ < cont + 1
+
+    def test_unattainable_target_rejected(self):
+        with pytest.raises(ValueError, match="service time"):
+            required_servers(100.0, 100.0, 0.01)  # Rs == 1/mu
+
+    def test_round_trip_with_max_arrival_rate(self):
+        mu, rs = 100.0, 0.05
+        n = 25
+        lam = max_arrival_rate(n, mu, rs)
+        assert response_time(lam, n, mu) == pytest.approx(rs)
+        assert required_servers(lam, mu, rs, integral=False) == pytest.approx(n)
+
+    def test_max_arrival_rate_clamped_at_zero(self):
+        assert max_arrival_rate(0, 100.0, 0.0101) == 0.0
+
+
+class TestQueueingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lam=st.floats(min_value=1.0, max_value=1e6),
+        mu=st.floats(min_value=10.0, max_value=1000.0),
+        slack=st.floats(min_value=0.001, max_value=1.0),
+        k=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_required_servers_always_sufficient(self, lam, mu, slack, k):
+        rs = 1.0 / mu + slack
+        params = QueueParams(ca2=k, cb2=k)
+        n = required_servers(lam, mu, rs, params)
+        assert response_time(lam, n, mu, params) <= rs * (1 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        mu=st.floats(min_value=10.0, max_value=1000.0),
+        slack=st.floats(min_value=0.001, max_value=1.0),
+        lam1=st.floats(min_value=1.0, max_value=1e5),
+        lam2=st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_required_servers_monotone_in_load(self, mu, slack, lam1, lam2):
+        rs = 1.0 / mu + slack
+        lo, hi = sorted((lam1, lam2))
+        assert required_servers(lo, mu, rs) <= required_servers(hi, mu, rs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lam=st.floats(min_value=1.0, max_value=1e5),
+        mu=st.floats(min_value=10.0, max_value=1000.0),
+        slack=st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_subadditive_split(self, lam, mu, slack):
+        # Splitting a stream across two sites can never need fewer total
+        # servers than pooling (the intercept term is paid twice).
+        rs = 1.0 / mu + slack
+        pooled = required_servers(lam, mu, rs, integral=False)
+        split = 2 * required_servers(lam / 2, mu, rs, integral=False)
+        assert split >= pooled - 1e-9

@@ -1,0 +1,155 @@
+"""Unit tests for the DC-OPF and LMP extraction (`repro.powermarket.dcopf`)."""
+
+import numpy as np
+import pytest
+
+from repro.powermarket import (
+    Bus,
+    DcOpf,
+    Generator,
+    Grid,
+    Line,
+    LOAD_SHARES,
+    pjm5bus,
+)
+from repro.solver import SimplexSolver
+from repro.solver.branch_bound import BranchBoundSolver
+
+
+def _two_bus(limit=np.inf):
+    """Cheap generator at X, load at Y, single possibly-limited line."""
+    return Grid(
+        buses=[Bus("X"), Bus("Y")],
+        lines=[Line("X", "Y", reactance=0.1, limit_mw=limit)],
+        generators=[
+            Generator("Cheap", "X", max_mw=500.0, cost=10.0),
+            Generator("Local", "Y", max_mw=500.0, cost=50.0),
+        ],
+    )
+
+
+class TestTwoBus:
+    def test_uncongested_single_price(self):
+        res = DcOpf(_two_bus()).dispatch({"Y": 100.0})
+        assert res.feasible
+        assert res.lmp_at("X") == pytest.approx(10.0)
+        assert res.lmp_at("Y") == pytest.approx(10.0)
+        assert res.generation["Cheap"] == pytest.approx(100.0)
+        assert res.total_cost == pytest.approx(1000.0)
+
+    def test_congestion_splits_prices(self):
+        res = DcOpf(_two_bus(limit=60.0)).dispatch({"Y": 100.0})
+        assert res.feasible
+        # 60 MW imported at $10; the remaining 40 MW from the local $50 unit.
+        assert res.generation["Cheap"] == pytest.approx(60.0)
+        assert res.generation["Local"] == pytest.approx(40.0)
+        assert res.lmp_at("X") == pytest.approx(10.0)
+        assert res.lmp_at("Y") == pytest.approx(50.0)
+
+    def test_flow_respects_limit(self):
+        res = DcOpf(_two_bus(limit=60.0)).dispatch({"Y": 100.0})
+        assert abs(res.flows["X-Y"]) <= 60.0 + 1e-6
+
+    def test_infeasible_when_load_exceeds_capacity(self):
+        res = DcOpf(_two_bus()).dispatch({"Y": 2000.0})
+        assert not res.feasible
+        assert np.isnan(res.total_cost)
+
+    def test_zero_load(self):
+        res = DcOpf(_two_bus()).dispatch({})
+        assert res.feasible
+        assert res.total_cost == pytest.approx(0.0)
+
+    def test_input_validation(self):
+        opf = DcOpf(_two_bus())
+        with pytest.raises(KeyError):
+            opf.dispatch({"Q": 10.0})
+        with pytest.raises(ValueError):
+            opf.dispatch({"Y": -5.0})
+
+    def test_lmp_is_marginal_cost_of_load(self):
+        # Finite-difference check of the dual interpretation.
+        opf = DcOpf(_two_bus(limit=60.0))
+        base = opf.dispatch({"Y": 100.0})
+        bumped = opf.dispatch({"Y": 101.0})
+        assert bumped.total_cost - base.total_cost == pytest.approx(
+            base.lmp_at("Y"), rel=1e-6
+        )
+
+
+class TestPjm5Bus:
+    def test_low_load_flat_at_brighton_cost(self):
+        res = DcOpf(pjm5bus()).dispatch({b: 100.0 for b in ("B", "C", "D")})
+        assert res.feasible
+        for bus in ("A", "B", "C", "D", "E"):
+            assert res.lmp_at(bus) == pytest.approx(10.0)
+
+    def test_step_when_brighton_exhausted(self):
+        # System load just above Brighton's 600 MW: marginal unit is Alta ($14).
+        res = DcOpf(pjm5bus()).dispatch({b: 640.0 / 3 for b in ("B", "C", "D")})
+        assert res.feasible
+        assert res.generation["Brighton"] == pytest.approx(600.0, abs=1e-6)
+        assert res.lmp_at("B") == pytest.approx(14.0)
+
+    def test_congestion_separates_lmps(self):
+        # Past ~712 MW the E-D line binds and bus prices diverge.
+        res = DcOpf(pjm5bus()).dispatch({b: 800.0 / 3 for b in ("B", "C", "D")})
+        assert res.feasible
+        assert abs(res.flows["D-E"]) == pytest.approx(240.0, abs=1e-6)
+        lmps = [res.lmp_at(b) for b in ("B", "C", "D")]
+        assert len({round(x, 3) for x in lmps}) == 3  # all distinct
+        # D (import-constrained) is the most expensive consumer bus.
+        assert res.lmp_at("D") == max(lmps)
+
+    def test_generation_meets_load(self):
+        res = DcOpf(pjm5bus()).dispatch({b: 250.0 for b in ("B", "C", "D")})
+        assert sum(res.generation.values()) == pytest.approx(750.0, abs=1e-6)
+
+    def test_merit_order_dispatch(self):
+        res = DcOpf(pjm5bus()).dispatch({b: 150.0 for b in ("B", "C", "D")})
+        # 450 MW total: Brighton ($10) should carry everything.
+        assert res.generation["Brighton"] == pytest.approx(450.0, abs=1e-6)
+        assert res.generation["Solitude"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_uncongested_variant_keeps_uniform_prices(self):
+        grid = pjm5bus(ed_limit_mw=np.inf)
+        res = DcOpf(grid).dispatch({b: 800.0 / 3 for b in ("B", "C", "D")})
+        lmps = {round(res.lmp_at(b), 6) for b in ("A", "B", "C", "D", "E")}
+        assert len(lmps) == 1  # no congestion -> single system price
+
+    def test_simplex_backend_matches_highs(self):
+        loads = {b: 720.0 / 3 for b in ("B", "C", "D")}
+        r_hi = DcOpf(pjm5bus()).dispatch(loads)
+        r_sx = DcOpf(pjm5bus(), backend=SimplexSolver()).dispatch(loads)
+        assert r_sx.feasible
+        assert r_sx.total_cost == pytest.approx(r_hi.total_cost, rel=1e-6)
+        for bus in ("B", "C", "D"):
+            assert r_sx.lmp_at(bus) == pytest.approx(r_hi.lmp_at(bus), abs=1e-4)
+
+
+class TestSweep:
+    def test_lmp_sweep_shapes(self):
+        opf = DcOpf(pjm5bus())
+        loads = np.array([100.0, 400.0, 700.0])
+        out = opf.lmp_sweep(LOAD_SHARES, loads)
+        assert set(out) == {"B", "C", "D"}
+        for arr in out.values():
+            assert arr.shape == (3,)
+
+    def test_lmp_nondecreasing_with_load_at_b(self):
+        opf = DcOpf(pjm5bus())
+        loads = np.arange(50.0, 900.0, 50.0)
+        out = opf.lmp_sweep(LOAD_SHARES, loads)
+        b = out["B"][~np.isnan(out["B"])]
+        assert np.all(np.diff(b) >= -1e-6)
+
+    def test_infeasible_levels_are_nan(self):
+        opf = DcOpf(pjm5bus())
+        out = opf.lmp_sweep(LOAD_SHARES, np.array([100.0, 5000.0]))
+        assert not np.isnan(out["B"][0])
+        assert np.isnan(out["B"][1])
+
+    def test_bad_shares_rejected(self):
+        opf = DcOpf(pjm5bus())
+        with pytest.raises(ValueError, match="shares"):
+            opf.lmp_sweep({"B": 0.5, "C": 0.2}, np.array([100.0]))

@@ -1,0 +1,80 @@
+"""Tests for the energy/congestion LMP decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.powermarket import (
+    DcOpf,
+    decompose_lmp,
+    ieee9_like,
+    pjm5bus,
+    two_zone,
+)
+
+
+class TestUncongested:
+    def test_pure_energy_price(self):
+        d = decompose_lmp(pjm5bus(), {b: 100.0 for b in ("B", "C", "D")})
+        assert d.energy == pytest.approx(10.0)
+        assert not d.congested
+        for bus, comp in d.congestion.items():
+            assert comp == pytest.approx(0.0, abs=1e-9)
+
+    def test_infinite_limit_grid_never_congested(self):
+        grid = pjm5bus(ed_limit_mw=np.inf)
+        d = decompose_lmp(grid, {b: 800.0 / 3 for b in ("B", "C", "D")})
+        assert not d.congested
+
+
+class TestCongested:
+    @pytest.fixture(scope="class")
+    def decomp(self):
+        return decompose_lmp(pjm5bus(), {b: 800.0 / 3 for b in ("B", "C", "D")})
+
+    def test_identity_holds(self, decomp):
+        for bus in ("A", "B", "C", "D", "E"):
+            e, c, t = decomp.at(bus)
+            assert e + c == pytest.approx(t, rel=1e-6)
+
+    def test_matches_direct_opf(self, decomp):
+        res = DcOpf(pjm5bus()).dispatch({b: 800.0 / 3 for b in ("B", "C", "D")})
+        for bus in ("B", "C", "D"):
+            assert decomp.lmp[bus] == pytest.approx(res.lmp_at(bus), abs=1e-6)
+
+    def test_consumer_congestion_positive_supplier_negative(self, decomp):
+        # Import-constrained consumers pay a congestion premium; the
+        # exporter behind the constraint (Brighton's bus E) is paid less.
+        assert decomp.congestion["D"] > 5.0
+        assert decomp.congestion["E"] < -1.0
+        assert decomp.congested
+
+    def test_slack_bus_congestion_is_zero(self, decomp):
+        # Components are relative to the reference bus (default: A).
+        assert decomp.congestion["A"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_ordering_mirrors_exposure(self, decomp):
+        # D pulls the congested line hardest, so its premium is largest.
+        assert (
+            decomp.congestion["D"]
+            > decomp.congestion["C"]
+            > decomp.congestion["B"]
+        )
+
+
+class TestOtherGrids:
+    def test_two_zone_congestion_premium(self):
+        grid = two_zone(tie_limit_mw=100.0)
+        d = decompose_lmp(grid, {"Y": 150.0}, slack="X")
+        assert d.energy == pytest.approx(10.0)
+        assert d.congestion["Y"] == pytest.approx(40.0)  # 50 - 10
+        assert d.lmp["Y"] == pytest.approx(50.0)
+
+    def test_ieee9_identity(self):
+        grid = ieee9_like()
+        d = decompose_lmp(grid, {"B5": 180.0, "B6": 180.0, "B8": 180.0})
+        for bus, total in d.lmp.items():
+            assert d.energy + d.congestion[bus] == pytest.approx(total, rel=1e-6)
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            decompose_lmp(pjm5bus(), {"B": 10_000.0})

@@ -1,0 +1,97 @@
+"""Unit tests for the grid data model (`repro.powermarket.network`)."""
+
+import pytest
+
+from repro.powermarket import Bus, Generator, Grid, Line, pjm5bus
+
+
+def _tiny_grid(**overrides):
+    kwargs = dict(
+        buses=[Bus("X"), Bus("Y")],
+        lines=[Line("X", "Y", reactance=0.1)],
+        generators=[Generator("G", "X", max_mw=100.0, cost=10.0)],
+    )
+    kwargs.update(overrides)
+    return Grid(**kwargs)
+
+
+class TestValidation:
+    def test_valid_grid_builds(self):
+        g = _tiny_grid()
+        assert g.n_buses == 2
+
+    def test_duplicate_bus_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate bus"):
+            _tiny_grid(buses=[Bus("X"), Bus("X")])
+
+    def test_unknown_line_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown bus"):
+            _tiny_grid(lines=[Line("X", "Z", reactance=0.1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            _tiny_grid(lines=[Line("X", "X", reactance=0.1)])
+
+    def test_unknown_generator_bus_rejected(self):
+        with pytest.raises(ValueError, match="unknown bus"):
+            _tiny_grid(generators=[Generator("G", "Q", max_mw=1.0, cost=1.0)])
+
+    def test_duplicate_generator_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate generator"):
+            _tiny_grid(
+                generators=[
+                    Generator("G", "X", max_mw=1.0, cost=1.0),
+                    Generator("G", "Y", max_mw=1.0, cost=1.0),
+                ]
+            )
+
+    def test_disconnected_grid_rejected(self):
+        with pytest.raises(ValueError, match="not connected"):
+            Grid(
+                buses=[Bus("X"), Bus("Y"), Bus("Z")],
+                lines=[Line("X", "Y", reactance=0.1)],
+                generators=[Generator("G", "X", max_mw=1.0, cost=1.0)],
+            )
+
+    def test_nonpositive_reactance_rejected(self):
+        with pytest.raises(ValueError, match="reactance"):
+            Line("X", "Y", reactance=0.0)
+
+    def test_negative_gen_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Generator("G", "X", max_mw=1.0, cost=1.0, min_mw=-1.0)
+        with pytest.raises(ValueError):
+            Generator("G", "X", max_mw=1.0, cost=1.0, min_mw=2.0)
+
+
+class TestQueries:
+    def test_bus_index(self):
+        g = _tiny_grid()
+        assert g.bus_index("X") == 0
+        assert g.bus_index("Y") == 1
+
+    def test_generators_at(self):
+        g = pjm5bus()
+        names = {gen.name for gen in g.generators_at("A")}
+        assert names == {"Alta", "ParkCity"}
+        assert g.generators_at("B") == []
+
+    def test_total_capacity(self):
+        assert pjm5bus().total_generation_capacity == pytest.approx(1530.0)
+
+    def test_line_susceptance(self):
+        assert Line("X", "Y", reactance=0.25).susceptance == pytest.approx(4.0)
+
+
+class TestNetworkxExport:
+    def test_topology(self):
+        g = pjm5bus().to_networkx()
+        assert set(g.nodes) == {"A", "B", "C", "D", "E"}
+        assert g.number_of_edges() == 6
+        assert g.edges[("D", "E")]["limit_mw"] == pytest.approx(240.0)
+
+    def test_node_attributes(self):
+        g = pjm5bus().to_networkx()
+        assert g.nodes["A"]["gen_capacity_mw"] == pytest.approx(210.0)
+        assert g.nodes["A"]["min_gen_cost"] == pytest.approx(14.0)
+        assert g.nodes["B"]["min_gen_cost"] is None

@@ -1,0 +1,167 @@
+"""Unit + property tests for stepped pricing policies (`repro.powermarket.pricing`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.powermarket import (
+    PAPER_DC1_PRICES,
+    SteppedPricingPolicy,
+    flat_policy,
+    paper_policies,
+    paper_policy_dc1,
+    scale_increments,
+)
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedPricingPolicy("p", (10.0,), (1.0, 2.0, 3.0))
+
+    def test_unsorted_breakpoints_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedPricingPolicy("p", (20.0, 10.0), (1.0, 2.0, 3.0))
+
+    def test_nonpositive_breakpoint_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedPricingPolicy("p", (0.0, 10.0), (1.0, 2.0, 3.0))
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedPricingPolicy("p", (10.0,), (-1.0, 2.0))
+
+    def test_empty_prices_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedPricingPolicy("p", (), ())
+
+
+class TestEvaluation:
+    def setup_method(self):
+        self.pol = SteppedPricingPolicy("B", (100.0, 200.0), (10.0, 20.0, 30.0))
+
+    def test_levels(self):
+        assert self.pol.price(0.0) == 10.0
+        assert self.pol.price(99.9) == 10.0
+        assert self.pol.price(100.0) == 20.0  # right-open intervals
+        assert self.pol.price(150.0) == 20.0
+        assert self.pol.price(200.0) == 30.0
+        assert self.pol.price(1e9) == 30.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            self.pol.price(-1.0)
+        with pytest.raises(ValueError):
+            self.pol.price_array(np.array([1.0, -2.0]))
+
+    def test_price_array_matches_scalar(self):
+        loads = np.array([0.0, 50.0, 100.0, 199.0, 200.0, 400.0])
+        arr = self.pol.price_array(loads)
+        assert arr.tolist() == [self.pol.price(x) for x in loads]
+
+    def test_segment_bounds(self):
+        bounds = self.pol.segment_bounds()
+        assert bounds == [(0.0, 100.0), (100.0, 200.0), (200.0, float("inf"))]
+
+    def test_statistics(self):
+        assert self.pol.average_price == pytest.approx(20.0)
+        assert self.pol.lowest_price == pytest.approx(10.0)
+        assert not self.pol.is_flat()
+        assert flat_policy("f", 12.0).is_flat()
+
+
+class TestPaperPolicies:
+    def test_dc1_prices_match_section_vii(self):
+        pol = paper_policy_dc1()
+        assert pol.prices == PAPER_DC1_PRICES
+        # Min-Only (Avg) constant quoted in the paper: 16.98 $/MWh.
+        assert pol.average_price == pytest.approx(16.98)
+        # Min-Only (Low): 10.00 $/MWh.
+        assert pol.lowest_price == pytest.approx(10.00)
+
+    def test_policy2_doubles_increments(self):
+        pol2 = scale_increments(paper_policy_dc1(), 2.0)
+        assert pol2.prices == pytest.approx((10.00, 17.80, 20.00, 34.00, 38.00))
+
+    def test_policy3_triples_increments(self):
+        pol3 = scale_increments(paper_policy_dc1(), 3.0)
+        assert pol3.prices == pytest.approx((10.00, 21.70, 25.00, 46.00, 52.00))
+
+    def test_factor_zero_is_flat(self):
+        pol0 = scale_increments(paper_policy_dc1(), 0.0)
+        assert pol0.is_flat()
+        assert pol0.prices[0] == pytest.approx(10.0)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scale_increments(paper_policy_dc1(), -1.0)
+
+    def test_three_locations(self):
+        pols = paper_policies()
+        assert [p.name for p in pols] == ["B", "C", "D"]
+        for p in pols:
+            assert p.n_levels == 5
+            assert p.prices[0] == pytest.approx(10.0)  # Brighton sets the floor
+
+    def test_scale_preserves_breakpoints(self):
+        pol = paper_policy_dc1()
+        assert scale_increments(pol, 2.0).breakpoints == pol.breakpoints
+
+
+@st.composite
+def policies(draw):
+    n_levels = draw(st.integers(min_value=1, max_value=6))
+    bp = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=1000.0),
+                min_size=n_levels - 1,
+                max_size=n_levels - 1,
+                unique=True,
+            )
+        )
+    )
+    prices = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=500.0),
+                min_size=n_levels,
+                max_size=n_levels,
+            )
+        )
+    )
+    # Realistic LMP step curves are non-decreasing in load, which also
+    # keeps increment scaling non-negative.
+    return SteppedPricingPolicy("h", tuple(bp), tuple(prices))
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(policies(), st.floats(min_value=0.0, max_value=2000.0))
+    def test_price_is_one_of_levels(self, pol, load):
+        assert pol.price(load) in pol.prices
+
+    @settings(max_examples=80, deadline=None)
+    @given(policies(), st.floats(min_value=0.0, max_value=2000.0))
+    def test_level_index_consistent_with_segment_bounds(self, pol, load):
+        k = pol.level_index(load)
+        lo, hi = pol.segment_bounds()[k]
+        assert lo <= load < hi
+
+    @settings(max_examples=50, deadline=None)
+    @given(policies(), st.floats(min_value=1.0, max_value=3.0))
+    def test_scaling_preserves_ordering(self, pol, factor):
+        scaled = scale_increments(pol, factor)
+        base = pol.prices[0]
+        for orig, new in zip(pol.prices, scaled.prices):
+            assert new == pytest.approx(base + factor * (orig - base))
+
+    @settings(max_examples=50, deadline=None)
+    @given(policies())
+    def test_bounds_partition_the_load_axis(self, pol):
+        bounds = pol.segment_bounds()
+        assert bounds[0][0] == 0.0
+        assert bounds[-1][1] == float("inf")
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo

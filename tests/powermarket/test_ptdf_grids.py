@@ -1,0 +1,144 @@
+"""Tests for PTDF computation and the extra benchmark grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.powermarket import (
+    DcOpf,
+    compute_ptdf,
+    congestion_exposure,
+    derive_step_policies,
+    ieee9_like,
+    injection_shift_flows,
+    pjm5bus,
+    ring,
+    two_zone,
+)
+
+
+class TestPtdfBasics:
+    def test_two_bus_all_flow_on_single_line(self):
+        grid = two_zone()
+        ptdf = compute_ptdf(grid, slack="Y")
+        # Inject at X, withdraw at Y: everything crosses X-Y.
+        assert ptdf.factor("X-Y", "X") == pytest.approx(1.0)
+        assert ptdf.factor("X-Y", "Y") == pytest.approx(0.0)  # slack column
+
+    def test_slack_column_zero(self):
+        ptdf = compute_ptdf(pjm5bus(), slack="A")
+        col = ptdf.matrix[:, ptdf.bus_names.index("A")]
+        assert np.allclose(col, 0.0)
+
+    def test_unknown_slack_rejected(self):
+        with pytest.raises(ValueError):
+            compute_ptdf(pjm5bus(), slack="Z")
+
+    def test_factors_bounded_by_one(self):
+        ptdf = compute_ptdf(pjm5bus())
+        assert np.all(np.abs(ptdf.matrix) <= 1.0 + 1e-9)
+
+    def test_flows_for_injections_balanced(self):
+        grid = pjm5bus()
+        ptdf = compute_ptdf(grid, slack="E")
+        flows = ptdf.flows_for_injections({"A": 100.0, "B": -100.0})
+        # Flow conservation at a pass-through bus: net into C equals out.
+        net_c = (
+            flows["B-C"] - flows["C-D"]
+        )  # B->C in, C->D out (orientation signs)
+        assert net_c == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPtdfAgainstOpf:
+    @pytest.mark.parametrize("total", [150.0, 450.0, 690.0])
+    def test_matches_dispatched_flows_uncongested(self, total):
+        grid = pjm5bus(ed_limit_mw=np.inf)
+        res = DcOpf(grid).dispatch({b: total / 3 for b in ("B", "C", "D")})
+        assert res.feasible
+        flows = injection_shift_flows(
+            grid,
+            res.generation,
+            {b: total / 3 for b in ("B", "C", "D")},
+        )
+        for key, mw in res.flows.items():
+            assert flows[key] == pytest.approx(mw, abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_on_random_rings(self, seed):
+        grid = ring(6, seed=seed, limit_fraction=0.0)
+        capacity = grid.total_generation_capacity
+        loads = {f"N{i}": capacity * 0.05 for i in range(1, 6, 2)}
+        res = DcOpf(grid).dispatch(loads)
+        assert res.feasible
+        flows = injection_shift_flows(grid, res.generation, loads)
+        for key, mw in res.flows.items():
+            assert flows[key] == pytest.approx(mw, abs=1e-6)
+
+
+class TestCongestionExposure:
+    def test_pjm_d_bus_loads_the_ed_line_hardest(self):
+        # The paper: the Brighton-Sundance (D-E) congestion makes D the
+        # priciest consumer bus. Demand at D must pull hardest on D-E.
+        exposure = congestion_exposure(pjm5bus(), "D-E", slack="E")
+        consumers = {b: abs(exposure[b]) for b in ("B", "C", "D")}
+        assert max(consumers, key=consumers.get) == "D"
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(KeyError):
+            congestion_exposure(pjm5bus(), "X-Y")
+
+
+class TestTwoZone:
+    def test_price_separation_at_tie_limit(self):
+        grid = two_zone(tie_limit_mw=100.0)
+        opf = DcOpf(grid)
+        below = opf.dispatch({"Y": 80.0})
+        assert below.lmp_at("Y") == pytest.approx(10.0)
+        above = opf.dispatch({"Y": 150.0})
+        assert above.lmp_at("X") == pytest.approx(10.0)
+        assert above.lmp_at("Y") == pytest.approx(50.0)
+
+
+class TestIeee9Like:
+    def test_structure(self):
+        grid = ieee9_like()
+        assert grid.n_buses == 9
+        assert len(grid.lines) == 9
+        assert grid.total_generation_capacity == pytest.approx(820.0)
+
+    def test_merit_order_at_low_load(self):
+        res = DcOpf(ieee9_like()).dispatch({"B5": 50.0, "B6": 50.0, "B8": 50.0})
+        assert res.feasible
+        assert res.generation["G1"] == pytest.approx(150.0, abs=1e-6)
+
+    def test_step_policy_derivation_on_second_grid(self):
+        grid = ieee9_like()
+        opf = DcOpf(grid)
+        loads = np.arange(30.0, 781.0, 30.0)
+        shares = {"B5": 1 / 3, "B6": 1 / 3, "B8": 1 / 3}
+        sweep = opf.lmp_sweep(shares, loads)
+        # Multi-level, non-decreasing LMP curve at every load bus.
+        for bus, series in sweep.items():
+            valid = series[~np.isnan(series)]
+            assert valid.size > 5
+            assert np.all(np.diff(valid) >= -1e-6)
+            assert len(np.unique(np.round(valid, 3))) >= 2
+
+
+class TestRing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_reproducible(self):
+        a, b = ring(8, seed=5), ring(8, seed=5)
+        assert [l.reactance for l in a.lines] == [l.reactance for l in b.lines]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=99))
+    def test_always_connected_and_dispatchable(self, n, seed):
+        grid = ring(n, seed=seed, limit_fraction=0.0)
+        res = DcOpf(grid).dispatch({grid.buses[1].name: 10.0})
+        assert res.feasible

@@ -1,0 +1,100 @@
+"""Tests for the weighted-DNS dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.routing import ResolverPopulation, WeightedDnsDispatcher, routing_error
+
+
+class TestResolverPopulation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResolverPopulation(n_resolvers=0)
+        with pytest.raises(ValueError):
+            ResolverPopulation(ttl_s=0.0)
+        with pytest.raises(ValueError):
+            ResolverPopulation(skew=-1.0)
+
+    def test_client_shares_sum_to_one(self):
+        pop = ResolverPopulation(n_resolvers=500, skew=1.0)
+        shares = pop.client_shares(np.random.default_rng(0))
+        assert shares.shape == (500,)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares > 0)
+
+    def test_skew_concentrates_load(self):
+        rng = np.random.default_rng(0)
+        flat = ResolverPopulation(n_resolvers=500, skew=0.0).client_shares(rng)
+        skewed = ResolverPopulation(n_resolvers=500, skew=1.5).client_shares(
+            np.random.default_rng(0)
+        )
+        assert skewed.max() > flat.max() * 3
+
+
+class TestDispatcher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedDnsDispatcher([])
+        d = WeightedDnsDispatcher(["a", "b"])
+        with pytest.raises(ValueError):
+            d.dispatch_hour({"a": -1.0, "b": 2.0})
+        with pytest.raises(ValueError):
+            d.dispatch_hour({"a": 0.0, "b": 0.0})
+        with pytest.raises(ValueError):
+            d.dispatch_window({"a": 1.0}, window_s=0.0)
+
+    def test_realized_fractions_sum_to_one(self):
+        d = WeightedDnsDispatcher(["a", "b", "c"], seed=1)
+        out = d.dispatch_hour({"a": 0.5, "b": 0.3, "c": 0.2})
+        assert sum(out.values()) == pytest.approx(1.0)
+
+    def test_converges_to_targets_with_many_resolvers(self):
+        pop = ResolverPopulation(n_resolvers=20_000, skew=0.2, ttl_s=60.0)
+        d = WeightedDnsDispatcher(["a", "b", "c"], pop, seed=2)
+        target = {"a": 0.5, "b": 0.3, "c": 0.2}
+        out = d.dispatch_hour(target)
+        assert routing_error(out, target) < 0.02
+
+    def test_granularity_error_with_few_resolvers(self):
+        pop = ResolverPopulation(n_resolvers=20, skew=1.0)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=3)
+        out = d.dispatch_hour({"a": 0.5, "b": 0.5})
+        # Few, skewed resolvers: realized split visibly off target.
+        assert routing_error(out, {"a": 0.5, "b": 0.5}) > 0.01
+
+    def test_ttl_lag_carries_old_allocation(self):
+        # Long TTL + short window: most resolvers keep the old answer.
+        pop = ResolverPopulation(n_resolvers=5000, ttl_s=3600.0, skew=0.2)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=4)
+        d.dispatch_hour({"a": 1.0, "b": 0.0})  # everyone cached on a
+        out = d.dispatch_window({"a": 0.0, "b": 1.0}, window_s=360.0)
+        # Only ~10% refreshed: site a still carries most traffic.
+        assert out["a"] > 0.8
+
+    def test_full_refresh_after_ttl(self):
+        pop = ResolverPopulation(n_resolvers=5000, ttl_s=300.0, skew=0.2)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=5)
+        d.dispatch_hour({"a": 1.0, "b": 0.0})
+        out = d.dispatch_hour({"a": 0.0, "b": 1.0})  # hour >> TTL
+        assert out["b"] == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        t = {"a": 0.6, "b": 0.4}
+        o1 = WeightedDnsDispatcher(["a", "b"], seed=9).dispatch_hour(t)
+        o2 = WeightedDnsDispatcher(["a", "b"], seed=9).dispatch_hour(t)
+        assert o1 == o2
+
+    def test_unnormalized_targets_accepted(self):
+        # Absolute rates work too: the dispatcher normalizes.
+        pop = ResolverPopulation(n_resolvers=20_000, skew=0.2)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=6)
+        out = d.dispatch_hour({"a": 3e6, "b": 1e6})
+        assert out["a"] == pytest.approx(0.75, abs=0.02)
+
+
+class TestRoutingError:
+    def test_zero_when_exact(self):
+        assert routing_error({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == 0.0
+
+    def test_total_variation(self):
+        assert routing_error({"a": 1.0, "b": 0.0}, {"a": 0.0, "b": 1.0}) == pytest.approx(1.0)

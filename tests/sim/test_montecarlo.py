@@ -1,0 +1,77 @@
+"""Tests for the multi-seed study utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SeedStudy, run_study, savings_study
+
+
+class TestSeedStudy:
+    def test_aggregates(self):
+        study = SeedStudy("s", (1, 2, 3, 4), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert study.mean == pytest.approx(2.5)
+        assert study.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert study.min == 1.0 and study.max == 4.0
+
+    def test_single_seed_std_zero(self):
+        study = SeedStudy("s", (1,), np.array([5.0]))
+        assert study.std == 0.0
+        lo, hi = study.confidence_interval()
+        assert lo == hi == 5.0
+
+    def test_ci_contains_mean(self):
+        study = SeedStudy("s", (1, 2, 3), np.array([1.0, 2.0, 3.0]))
+        lo, hi = study.confidence_interval()
+        assert lo <= study.mean <= hi
+
+    def test_str(self):
+        s = str(SeedStudy("metric", (1, 2), np.array([0.1, 0.2])))
+        assert "metric" in s and "mean=" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeedStudy("s", (1, 2), np.array([1.0]))
+        with pytest.raises(ValueError):
+            SeedStudy("s", (), np.array([]))
+
+
+def _square(seed: int) -> float:  # module-level: picklable for workers>1
+    return float(seed**2)
+
+
+class TestRunStudy:
+    def test_deterministic_metric(self):
+        study = run_study("sq", lambda seed: seed**2, [1, 2, 3])
+        assert study.values.tolist() == [1.0, 4.0, 9.0]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_study("x", lambda s: 0.0, [])
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_study("x", _square, [1], workers=0)
+
+    def test_parallel_matches_serial(self):
+        serial = run_study("sq", _square, [1, 2, 3, 4], workers=1)
+        parallel = run_study("sq", _square, [1, 2, 3, 4], workers=2)
+        assert parallel.values.tolist() == serial.values.tolist()
+
+    @pytest.mark.slow
+    def test_parallel_savings_study_matches_serial(self):
+        serial = savings_study(seeds=(1, 2), hours=12, max_servers=500_000)
+        parallel = savings_study(
+            seeds=(1, 2), hours=12, max_servers=500_000, workers=2
+        )
+        assert parallel.values.tolist() == pytest.approx(serial.values.tolist())
+
+
+class TestSavingsStudy:
+    @pytest.mark.slow
+    def test_savings_positive_across_seeds(self):
+        # Default (price-maker-regime) fleet: the headline claim must be
+        # seed-robust — positive, double-digit-ish savings on every seed.
+        study = savings_study(seeds=(1, 2, 3), hours=48)
+        assert study.min > 0.0
+        assert 0.05 < study.mean < 0.5
+        assert study.values.size == 3

@@ -1,0 +1,103 @@
+"""Unit tests for simulation records and aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core import CappingStep
+from repro.sim import HourRecord, SimulationResult, SiteRecord
+
+
+def make_hour(
+    hour=0,
+    step=CappingStep.COST_MIN,
+    budget=float("inf"),
+    realized=100.0,
+    served_p=80.0,
+    served_o=20.0,
+    demand_p=80.0,
+    demand_o=20.0,
+):
+    site = SiteRecord("DC1", 100.0, 100.0, 5.0, 10.0, realized, 1000)
+    return HourRecord(
+        hour=hour,
+        step=step,
+        budget=budget,
+        predicted_cost=realized,
+        realized_cost=realized,
+        demand_premium_rps=demand_p,
+        demand_ordinary_rps=demand_o,
+        served_premium_rps=served_p,
+        served_ordinary_rps=served_o,
+        sites=(site,),
+    )
+
+
+class TestHourRecord:
+    def test_totals(self):
+        h = make_hour()
+        assert h.served_total_rps == 100.0
+        assert h.total_power_mw == 5.0
+
+    def test_over_budget(self):
+        assert make_hour(budget=50.0, realized=100.0).over_budget
+        assert not make_hour(budget=100.0, realized=100.0).over_budget
+        assert not make_hour().over_budget  # inf budget
+
+
+class TestSimulationResult:
+    def _result(self, n=10):
+        r = SimulationResult("test")
+        for i in range(n):
+            r.append(make_hour(hour=i, realized=100.0 + i))
+        return r
+
+    def test_series_shapes(self):
+        r = self._result(5)
+        assert len(r) == 5
+        assert r.hourly_costs.tolist() == [100.0, 101.0, 102.0, 103.0, 104.0]
+        assert r.total_cost == pytest.approx(510.0)
+
+    def test_throughput_fractions(self):
+        r = SimulationResult("t")
+        r.append(make_hour(served_p=80.0, served_o=10.0))
+        r.append(make_hour(served_p=40.0, served_o=0.0, demand_p=80.0))
+        assert r.premium_throughput_fraction == pytest.approx(120.0 / 160.0)
+        assert r.ordinary_throughput_fraction == pytest.approx(10.0 / 40.0)
+
+    def test_throughput_with_zero_demand(self):
+        r = SimulationResult("t")
+        r.append(make_hour(demand_p=0.0, demand_o=0.0, served_p=0.0, served_o=0.0))
+        assert r.premium_throughput_fraction == 1.0
+        assert r.ordinary_throughput_fraction == 1.0
+
+    def test_hours_over_budget(self):
+        r = SimulationResult("t")
+        r.append(make_hour(budget=50.0))
+        r.append(make_hour(budget=500.0))
+        assert r.hours_over_budget == 1
+
+    def test_budget_utilization(self):
+        r = self._result(5)  # costs 100..104 -> 510 total
+        assert r.budget_utilization(1020.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            r.budget_utilization(0.0)
+
+    def test_step_counts(self):
+        r = SimulationResult("t")
+        r.append(make_hour(step=CappingStep.COST_MIN))
+        r.append(make_hour(step=CappingStep.PREMIUM_ONLY))
+        r.append(make_hour(step=CappingStep.COST_MIN))
+        counts = r.step_counts()
+        assert counts[CappingStep.COST_MIN] == 2
+        assert counts[CappingStep.PREMIUM_ONLY] == 1
+
+    def test_summary_keys(self):
+        s = self._result().summary()
+        assert set(s) == {
+            "total_cost",
+            "mean_hourly_cost",
+            "premium_throughput",
+            "ordinary_throughput",
+            "hours_over_budget",
+            "peak_power_mw",
+        }

@@ -1,0 +1,157 @@
+"""Unit tests for the branch & bound MILP solver (`repro.solver.branch_bound`)."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchBoundSolver,
+    Model,
+    SimplexSolver,
+    SolveStatus,
+    quicksum,
+)
+
+
+def _knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.binary(f"x{i}") for i in range(len(values))]
+    m.add(quicksum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.maximize(quicksum(v * x for v, x in zip(values, xs)))
+    return m, xs
+
+
+class TestBranchBound:
+    def test_knapsack_optimum(self):
+        values = [10, 13, 18, 31, 7, 15]
+        weights = [2, 3, 4, 5, 1, 3]
+        m, xs = _knapsack_model(values, weights, 10)
+        r = m.solve(backend="branch-bound")
+        assert r.ok
+        # Brute-force verification.
+        best = 0
+        n = len(values)
+        for mask in range(1 << n):
+            w = sum(weights[i] for i in range(n) if mask >> i & 1)
+            if w <= 10:
+                best = max(best, sum(values[i] for i in range(n) if mask >> i & 1))
+        assert r.objective == pytest.approx(best)
+
+    def test_integrality_enforced(self):
+        m = Model()
+        z = m.integer("z", lb=0, ub=10)
+        m.add(2 * z <= 7)
+        m.maximize(z)
+        r = m.solve(backend="branch-bound")
+        assert r.objective == pytest.approx(3.0)
+        assert r.x[0] == pytest.approx(3.0)
+
+    def test_pure_lp_passthrough(self):
+        m = Model()
+        x = m.var("x", lb=0, ub=2)
+        m.maximize(x)
+        r = m.solve(backend="branch-bound")
+        assert r.ok
+        assert r.objective == pytest.approx(2.0)
+
+    def test_infeasible_milp(self):
+        m = Model()
+        z = m.integer("z", lb=0, ub=5)
+        m.add(z >= 2)
+        m.add(z <= 1)
+        m.minimize(z)
+        r = m.solve(backend="branch-bound")
+        assert r.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_milp(self):
+        m = Model()
+        z = m.integer("z", lb=0)
+        m.maximize(z)
+        r = m.solve(backend="branch-bound")
+        assert r.status is SolveStatus.UNBOUNDED
+
+    def test_fractional_gap_requires_branching(self):
+        # LP relaxation is fractional; optimum requires exploring both branches.
+        m = Model()
+        x = m.integer("x", lb=0, ub=10)
+        y = m.integer("y", lb=0, ub=10)
+        m.add(-3 * x + 4 * y <= 4)
+        m.add(3 * x + 2 * y <= 11)
+        m.maximize(y)
+        r = m.solve(backend="branch-bound")
+        assert r.ok
+        assert float(r.objective).is_integer()
+        assert r.objective == pytest.approx(2.0)
+
+    def test_node_limit(self):
+        rng = np.random.default_rng(0)
+        n = 14
+        values = rng.integers(10, 50, size=n)
+        weights = rng.integers(5, 25, size=n)
+        m, _ = _knapsack_model(values.tolist(), weights.tolist(), int(weights.sum() // 2))
+        solver = BranchBoundSolver(max_nodes=2)
+        sf = m.to_standard_form()
+        r = solver.solve(sf)
+        assert r.status in (SolveStatus.NODE_LIMIT, SolveStatus.OPTIMAL)
+
+    def test_with_pure_simplex_engine(self):
+        m, _ = _knapsack_model([10, 13, 18], [2, 3, 4], 6)
+        r_own = m.solve(backend="simplex")  # B&B over our simplex
+        r_sp = m.solve()  # HiGHS MILP
+        assert r_own.ok
+        assert r_own.objective == pytest.approx(r_sp.objective)
+
+    def test_equality_constrained_milp(self):
+        m = Model()
+        x = m.integer("x", lb=0, ub=20)
+        y = m.integer("y", lb=0, ub=20)
+        m.add(x + y == 13)
+        m.minimize(3 * x + 5 * y)
+        r = m.solve(backend="branch-bound")
+        assert r.objective == pytest.approx(3 * 13)
+
+    def test_solution_rounded_exactly_integral(self):
+        m = Model()
+        z = m.integer("z", lb=0, ub=9)
+        m.add(3 * z <= 8.5)
+        m.maximize(z)
+        r = m.solve(backend="branch-bound")
+        assert r.x[0] == 2.0  # exactly, not 1.9999999
+
+    def test_near_integral_relaxation_rounds_like_milp_solvers(self):
+        # A relaxation optimum within int_tol of an integer is accepted as
+        # integral (standard MIP integrality-tolerance semantics).
+        m = Model()
+        z = m.integer("z", lb=0, ub=9)
+        m.add(3 * z <= 9.0 - 1e-9)
+        m.maximize(z)
+        r = m.solve(backend="branch-bound")
+        assert r.x[0] == 3.0
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_small_milps_match_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        n_cont, n_int = 3, 3
+        m = Model(f"rand{seed}")
+        xs = [m.var(f"x{i}", lb=0, ub=5) for i in range(n_cont)]
+        zs = [m.integer(f"z{i}", lb=0, ub=4) for i in range(n_int)]
+        allv = xs + zs
+        feas = rng.uniform(0, 2, size=n_cont + n_int)
+        for _ in range(4):
+            a = rng.normal(size=n_cont + n_int)
+            rhs = float(a @ feas + rng.uniform(0.5, 2.0))
+            m.add(quicksum(ai * v for ai, v in zip(a, allv)) <= rhs)
+        c = rng.normal(size=n_cont + n_int)
+        m.minimize(quicksum(ci * v for ci, v in zip(c, allv)))
+
+        r_bb = m.solve(backend="branch-bound")
+        r_sp = m.solve()
+        assert r_bb.status == r_sp.status
+        if r_sp.ok:
+            assert r_bb.objective == pytest.approx(r_sp.objective, abs=1e-6)
+            # The B&B solution must itself be feasible and integral.
+            for con in m.constraints:
+                assert con.violation(r_bb.x) <= 1e-6
+            for z in zs:
+                assert abs(r_bb.x[z.index] - round(r_bb.x[z.index])) < 1e-9

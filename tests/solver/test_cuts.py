@@ -1,0 +1,116 @@
+"""Tests for cover-cut separation and cut-enabled branch & bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import BranchBoundSolver, Model, quicksum
+from repro.solver.cuts import CoverCut, apply_cuts, find_cover_cuts
+from repro.solver.scipy_backend import ScipyLpBackend
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.binary(f"x{i}") for i in range(len(values))]
+    m.add(quicksum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.maximize(quicksum(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestCoverCut:
+    def test_structure(self):
+        cut = CoverCut((3, 1, 2))
+        assert cut.cover == (1, 2, 3)
+        assert cut.rhs == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CoverCut((1,))
+
+    def test_violation(self):
+        cut = CoverCut((0, 1))
+        assert cut.violation(np.array([0.9, 0.9])) == pytest.approx(0.8)
+        assert cut.violation(np.array([1.0, 0.0])) == pytest.approx(0.0)
+        assert cut.violation(np.array([0.0, 0.0])) == pytest.approx(-1.0)
+
+    def test_dedup_via_hash(self):
+        assert CoverCut((0, 1)) == CoverCut((1, 0))
+        assert len({CoverCut((0, 1)), CoverCut((1, 0))}) == 1
+
+
+class TestSeparation:
+    def test_finds_violated_cover(self):
+        # Two items of weight 6 into capacity 10: LP picks x = (5/6, 1)
+        # or similar fractional point; {0, 1} is a violated cover.
+        m = knapsack_model([10.0, 9.0], [6.0, 6.0], 10.0)
+        sf = m.to_standard_form()
+        relax = ScipyLpBackend().solve(sf)
+        cuts = find_cover_cuts(sf, relax.x)
+        assert CoverCut((0, 1)) in cuts
+
+    def test_no_cut_when_integral(self):
+        m = knapsack_model([10.0, 9.0], [6.0, 6.0], 10.0)
+        sf = m.to_standard_form()
+        cuts = find_cover_cuts(sf, np.array([1.0, 0.0]))
+        assert cuts == []
+
+    def test_rows_without_knapsack_structure_skipped(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=10.0)  # continuous: not a knapsack
+        b = m.binary("b")
+        m.add(x + b <= 5.0)
+        m.minimize(-x - b)
+        sf = m.to_standard_form()
+        assert find_cover_cuts(sf, np.array([4.5, 0.5])) == []
+
+    def test_apply_cuts_appends_rows(self):
+        m = knapsack_model([1.0, 1.0], [6.0, 6.0], 10.0)
+        sf = m.to_standard_form()
+        out = apply_cuts(sf, [CoverCut((0, 1))])
+        assert out.A_ub.shape[0] == sf.A_ub.shape[0] + 1
+        assert out.b_ub[-1] == 1.0
+        assert apply_cuts(sf, []) is sf
+
+
+class TestCutEnabledBranchBound:
+    def _hard_knapsack(self, n=16, seed=3):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(8, 40, size=n).astype(float)
+        values = weights + rng.uniform(0.0, 4.0, size=n)  # correlated: hard
+        capacity = float(weights.sum()) / 2
+        return values.tolist(), weights.tolist(), capacity
+
+    def test_same_optimum_with_and_without_cuts(self):
+        values, weights, capacity = self._hard_knapsack()
+        m = knapsack_model(values, weights, capacity)
+        sf = m.to_standard_form()
+        plain = BranchBoundSolver().solve(sf)
+        cut = BranchBoundSolver(cover_cuts=True).solve(sf)
+        assert plain.ok and cut.ok
+        assert cut.objective == pytest.approx(plain.objective, rel=1e-9)
+
+    def test_cuts_reduce_nodes_on_hard_knapsacks(self):
+        total_plain = total_cut = 0
+        for seed in (3, 5, 11, 17):
+            values, weights, capacity = self._hard_knapsack(seed=seed)
+            m = knapsack_model(values, weights, capacity)
+            sf = m.to_standard_form()
+            total_plain += BranchBoundSolver().solve(sf).iterations
+            total_cut += BranchBoundSolver(cover_cuts=True).solve(sf).iterations
+        assert total_cut < total_plain
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_cut_solver_matches_highs_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        weights = rng.integers(2, 20, size=n).astype(float)
+        values = rng.uniform(1.0, 30.0, size=n)
+        capacity = float(weights.sum()) * float(rng.uniform(0.3, 0.8))
+        m = knapsack_model(values.tolist(), weights.tolist(), capacity)
+        cut = m.solve(backend=BranchBoundSolver(cover_cuts=True))
+        highs = m.solve()
+        assert cut.objective == pytest.approx(highs.objective, rel=1e-9)
+        # The cut solution itself is feasible for the original knapsack.
+        assert float(weights @ np.round(cut.x)) <= capacity + 1e-9

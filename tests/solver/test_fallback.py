@@ -1,0 +1,117 @@
+"""Tests for the fallback backend (`repro.solver.fallback`)."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchBoundSolver,
+    FallbackBackend,
+    Model,
+    ScipyBackend,
+    SolveResult,
+    SolveStatus,
+)
+
+
+class _FailingBackend:
+    """Backend stub: raises or returns a fixed status."""
+
+    def __init__(self, status=None, raises=False, name="stub"):
+        self.status = status
+        self.raises = raises
+        self.name = name
+        self.calls = 0
+
+    def solve(self, sf):
+        self.calls += 1
+        if self.raises:
+            raise RuntimeError("synthetic backend crash")
+        return SolveResult(status=self.status, backend=self.name)
+
+
+def _toy_model():
+    m = Model()
+    x = m.var("x", lb=0.0, ub=4.0)
+    z = m.integer("z", lb=0, ub=3)
+    m.add(x + z <= 5)
+    m.maximize(x + 2 * z)
+    return m
+
+
+class TestFallback:
+    def test_needs_two_backends(self):
+        with pytest.raises(ValueError):
+            FallbackBackend(ScipyBackend())
+
+    def test_primary_success_skips_fallback(self):
+        secondary = _FailingBackend(status=SolveStatus.ERROR)
+        fb = FallbackBackend(ScipyBackend(), secondary)
+        res = _toy_model().solve(backend=fb)
+        assert res.ok
+        assert res.objective == pytest.approx(8.0)
+        assert secondary.calls == 0
+
+    def test_crash_falls_through(self):
+        crasher = _FailingBackend(raises=True, name="crasher")
+        fb = FallbackBackend(crasher, ScipyBackend())
+        res = _toy_model().solve(backend=fb)
+        assert res.ok
+        assert crasher.calls == 1
+
+    def test_error_status_falls_through(self):
+        erroring = _FailingBackend(status=SolveStatus.ERROR, name="err")
+        fb = FallbackBackend(erroring, BranchBoundSolver())
+        res = _toy_model().solve(backend=fb)
+        assert res.ok
+
+    def test_infeasible_not_retried_by_default(self):
+        secondary = _FailingBackend(status=SolveStatus.ERROR)
+        infeasible = _FailingBackend(status=SolveStatus.INFEASIBLE, name="inf")
+        fb = FallbackBackend(infeasible, secondary)
+        res = fb.solve(_toy_model().to_standard_form())
+        assert res.status is SolveStatus.INFEASIBLE
+        assert secondary.calls == 0
+
+    def test_infeasible_retried_when_enabled(self):
+        infeasible = _FailingBackend(status=SolveStatus.INFEASIBLE, name="inf")
+        fb = FallbackBackend(infeasible, ScipyBackend(), retry_infeasible=True)
+        res = _toy_model().solve(backend=fb)
+        assert res.ok
+
+    def test_all_crash_reports_error(self):
+        fb = FallbackBackend(
+            _FailingBackend(raises=True, name="a"),
+            _FailingBackend(raises=True, name="b"),
+        )
+        res = fb.solve(_toy_model().to_standard_form())
+        assert res.status is SolveStatus.ERROR
+        assert "a" in res.message and "b" in res.message
+
+    def test_last_retryable_result_returned_with_history(self):
+        fb = FallbackBackend(
+            _FailingBackend(status=SolveStatus.NODE_LIMIT, name="a"),
+            _FailingBackend(status=SolveStatus.ITERATION_LIMIT, name="b"),
+        )
+        res = fb.solve(_toy_model().to_standard_form())
+        assert res.status is SolveStatus.ITERATION_LIMIT
+        assert "a" in res.message
+
+    def test_genuinely_infeasible_model_agrees_across_chain(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=1.0)
+        m.add(x >= 2.0)
+        m.minimize(x)
+        fb = FallbackBackend(ScipyBackend(), BranchBoundSolver(), retry_infeasible=True)
+        res = m.solve(backend=fb)
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_usable_in_cost_minimizer(self):
+        from repro.core import CostMinimizer
+        from repro.experiments import paper_world
+
+        w = paper_world(max_servers=500_000)
+        sh = [s.hour(5) for s in w.sites]
+        lam = float(w.workload.rates_rps[5])
+        fb = FallbackBackend(ScipyBackend(), BranchBoundSolver(), retry_infeasible=True)
+        d = CostMinimizer(backend=fb).solve(sh, lam)
+        assert d.predicted_cost > 0

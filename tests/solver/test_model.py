@@ -1,0 +1,281 @@
+"""Unit tests for the algebraic modeling layer (`repro.solver.model`)."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    LinExpr,
+    Model,
+    ModelingError,
+    Sense,
+    VarType,
+    quicksum,
+)
+
+
+class TestLinExpr:
+    def test_add_variables(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        e = x + y
+        assert e.coeffs == {0: 1.0, 1: 1.0}
+        assert e.constant == 0.0
+
+    def test_scalar_multiplication(self):
+        m = Model()
+        x = m.var("x")
+        e = 3 * x
+        assert e.coeffs == {0: 3.0}
+        e2 = x * 0.5
+        assert e2.coeffs == {0: 0.5}
+
+    def test_negation_and_subtraction(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        e = -(x - 2 * y) + 1
+        assert e.coeffs == {0: -1.0, 1: 2.0}
+        assert e.constant == 1.0
+
+    def test_rsub_constant(self):
+        m = Model()
+        x = m.var("x")
+        e = 10 - x
+        assert e.coeffs == {0: -1.0}
+        assert e.constant == 10.0
+
+    def test_division(self):
+        m = Model()
+        x = m.var("x")
+        e = (4 * x) / 2
+        assert e.coeffs == {0: 2.0}
+
+    def test_coefficients_merge(self):
+        m = Model()
+        x = m.var("x")
+        e = x + x + 2 * x
+        assert e.coeffs == {0: 4.0}
+
+    def test_product_of_variables_rejected(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        with pytest.raises(ModelingError):
+            _ = x * y
+        with pytest.raises(ModelingError):
+            _ = (x + 1) * (y + 1)
+
+    def test_mixing_models_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x, y = m1.var("x"), m2.var("y")
+        with pytest.raises(ModelingError):
+            _ = x + y
+
+    def test_evaluate(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        e = 2 * x - y + 3
+        assert e.evaluate([1.0, 4.0]) == pytest.approx(1.0)
+
+    def test_quicksum_matches_sum(self):
+        m = Model()
+        xs = m.vars_array(10, "x")
+        e1 = quicksum(2.0 * x for x in xs)
+        e2 = sum((2.0 * x for x in xs), LinExpr())
+        assert e1.coeffs == e2.coeffs
+
+    def test_quicksum_empty(self):
+        e = quicksum([])
+        assert e.coeffs == {}
+        assert e.constant == 0.0
+
+    def test_quicksum_with_constants(self):
+        m = Model()
+        x = m.var("x")
+        e = quicksum([x, 5.0, 2 * x])
+        assert e.coeffs == {0: 3.0}
+        assert e.constant == 5.0
+
+
+class TestConstraints:
+    def test_le_canonical(self):
+        m = Model()
+        x = m.var("x")
+        c = m.add(2 * x + 1 <= 5)
+        assert c.kind == "<="
+        assert c.rhs == pytest.approx(4.0)
+        assert c.expr.coeffs == {0: 2.0}
+
+    def test_ge_flipped_to_le(self):
+        m = Model()
+        x = m.var("x")
+        c = m.add(x >= 3)
+        assert c.kind == "<="
+        assert c.expr.coeffs == {0: -1.0}
+        assert c.rhs == pytest.approx(-3.0)
+
+    def test_eq_kept(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        c = m.add(x + y == 7)
+        assert c.kind == "=="
+        assert c.rhs == pytest.approx(7.0)
+
+    def test_constraint_between_expressions(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        c = m.add(x + 2 <= y + 5)
+        assert c.expr.coeffs == {0: 1.0, 1: -1.0}
+        assert c.rhs == pytest.approx(3.0)
+
+    def test_violation(self):
+        m = Model()
+        x = m.var("x")
+        c = m.add(x <= 4)
+        assert c.violation([5.0]) == pytest.approx(1.0)
+        assert c.violation([3.0]) == 0.0
+
+    def test_add_non_constraint_rejected(self):
+        m = Model()
+        m.var("x")
+        with pytest.raises(ModelingError):
+            m.add(42)  # type: ignore[arg-type]
+
+    def test_foreign_constraint_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.var("x")
+        with pytest.raises(ModelingError):
+            m2.add(x <= 1)
+
+
+class TestVariables:
+    def test_bounds_validation(self):
+        m = Model()
+        with pytest.raises(ModelingError):
+            m.var("bad", lb=2.0, ub=1.0)
+
+    def test_binary_clamps_bounds(self):
+        m = Model()
+        b = m.binary("b")
+        assert b.lb == 0.0 and b.ub == 1.0
+        assert b.vtype is VarType.BINARY
+
+    def test_vars_array_names(self):
+        m = Model()
+        xs = m.vars_array(3, "lam")
+        assert [v.name for v in xs] == ["lam[0]", "lam[1]", "lam[2]"]
+
+    def test_counts(self):
+        m = Model()
+        m.var("x")
+        m.integer("n")
+        m.binary("b")
+        m.add(m.variables[0] <= 1)
+        assert m.num_vars == 3
+        assert m.num_integer_vars == 2
+        assert m.num_constraints == 1
+
+
+class TestStandardForm:
+    def test_compile_shapes(self):
+        m = Model()
+        x, y = m.var("x", ub=4), m.integer("n", ub=9)
+        m.add(x + y <= 5)
+        m.add(x - y >= -2)
+        m.add(x + 2 * y == 6)
+        m.minimize(x + y)
+        sf = m.to_standard_form()
+        assert sf.A_ub.shape == (2, 2)
+        assert sf.A_eq.shape == (1, 2)
+        assert sf.integrality.tolist() == [False, True]
+        assert sf.has_integers
+
+    def test_max_negates_costs(self):
+        m = Model()
+        x = m.var("x", ub=1)
+        m.maximize(5 * x)
+        sf = m.to_standard_form()
+        assert sf.c[0] == pytest.approx(-5.0)
+        assert m.sense is Sense.MAX
+
+    def test_objective_constant_round_trip(self):
+        m = Model()
+        x = m.var("x", lb=0, ub=2)
+        m.minimize(x + 10)
+        r = m.solve()
+        assert r.objective == pytest.approx(10.0)
+
+    def test_objective_constant_max(self):
+        m = Model()
+        x = m.var("x", lb=0, ub=2)
+        m.maximize(x + 10)
+        r = m.solve()
+        assert r.objective == pytest.approx(12.0)
+
+    def test_foreign_objective_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.var("x")
+        with pytest.raises(ModelingError):
+            m2.minimize(x)
+
+
+class TestSolveInterface:
+    def test_result_value_of_variable_and_expr(self):
+        m = Model()
+        x = m.var("x", lb=0, ub=4)
+        y = m.var("y", lb=0, ub=3)
+        m.add(x + y <= 5)
+        m.maximize(2 * x + 3 * y)
+        r = m.solve()
+        assert r.ok
+        assert r.value(x) == pytest.approx(2.0)
+        assert r.value(x + 2 * y + 1) == pytest.approx(9.0)
+
+    def test_value_raises_without_solution(self):
+        m = Model()
+        x = m.var("x", lb=0, ub=1)
+        m.add(x >= 2)  # infeasible
+        m.minimize(x)
+        r = m.solve()
+        assert not r.ok
+        with pytest.raises(ValueError):
+            r.value(x)
+
+    def test_raise_on_failure(self):
+        from repro.solver import InfeasibleError
+
+        m = Model()
+        x = m.var("x", lb=0, ub=1)
+        m.add(x >= 2)
+        m.minimize(x)
+        with pytest.raises(InfeasibleError):
+            m.solve(raise_on_failure=True)
+
+    def test_unknown_backend_rejected(self):
+        m = Model()
+        m.var("x", ub=1)
+        with pytest.raises(ModelingError):
+            m.solve(backend="no-such-backend")
+
+    def test_custom_backend_object(self):
+        from repro.solver import ScipyLpBackend
+
+        m = Model()
+        x = m.var("x", lb=0, ub=4)
+        m.minimize(-x)
+        r = m.solve(backend=ScipyLpBackend())
+        assert r.objective == pytest.approx(-4.0)
+
+    def test_unconstrained_default_objective_zero(self):
+        m = Model()
+        m.var("x", lb=0, ub=1)
+        r = m.solve()  # zero objective: any feasible point
+        assert r.ok
+        assert r.objective == pytest.approx(0.0)
+
+    def test_free_variable_lp(self):
+        m = Model()
+        x = m.var("x", lb=-np.inf, ub=np.inf)
+        m.add(x >= -7)
+        m.minimize(x)
+        for backend in (None, "simplex"):
+            r = m.solve(backend=backend)
+            assert r.objective == pytest.approx(-7.0), backend

@@ -1,0 +1,188 @@
+"""Tests for presolve reductions (`repro.solver.presolve`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import (
+    Model,
+    PresolvingBackend,
+    ScipyBackend,
+    SolveStatus,
+    presolve,
+    quicksum,
+)
+
+
+def _sf(m: Model):
+    return m.to_standard_form()
+
+
+class TestReductions:
+    def test_fixed_variable_substituted(self):
+        m = Model()
+        x = m.var("x", lb=3.0, ub=3.0)
+        y = m.var("y", lb=0.0, ub=10.0)
+        m.add(x + y <= 8.0)
+        m.minimize(2 * x + y)
+        rep = presolve(_sf(m))
+        assert rep.n_fixed == 1
+        assert rep.reduced.n_vars == 1
+        assert rep.obj_offset == pytest.approx(6.0)
+        # The substituted rhs: y <= 5.
+        assert rep.reduced.b_ub.size == 0 or rep.reduced.b_ub[0] == pytest.approx(5.0)
+
+    def test_empty_consistent_row_dropped(self):
+        m = Model()
+        x = m.var("x", lb=2.0, ub=2.0)
+        m.add(x <= 5.0)  # becomes 0 <= 3 after substitution
+        m.minimize(x)
+        rep = presolve(_sf(m))
+        assert rep.status is None
+        assert rep.reduced.A_ub.shape[0] == 0
+
+    def test_empty_inconsistent_row_infeasible(self):
+        m = Model()
+        x = m.var("x", lb=2.0, ub=2.0)
+        m.add(x <= 1.0)  # 0 <= -1: impossible
+        m.minimize(x)
+        rep = presolve(_sf(m))
+        assert rep.status is SolveStatus.INFEASIBLE
+
+    def test_singleton_row_tightens_bound(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=100.0)
+        m.add(2 * x <= 10.0)
+        m.minimize(-x)
+        rep = presolve(_sf(m))
+        assert rep.reduced.A_ub.shape[0] == 0
+        assert rep.reduced.ub[0] == pytest.approx(5.0)
+
+    def test_singleton_negative_coef_tightens_lower(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=100.0)
+        m.add(-1 * x <= -7.0)  # x >= 7
+        m.minimize(x)
+        rep = presolve(_sf(m))
+        assert rep.reduced.lb[0] == pytest.approx(7.0)
+
+    def test_singleton_equality_fixes_variable(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=100.0)
+        y = m.var("y", lb=0.0, ub=1.0)
+        m.add(3 * x == 12.0)
+        m.add(x + y <= 10.0)
+        m.minimize(y)
+        rep = presolve(_sf(m))
+        assert rep.fixed_values[0] == pytest.approx(4.0)
+
+    def test_redundant_row_dropped(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=1.0)
+        y = m.var("y", lb=0.0, ub=1.0)
+        m.add(x + y <= 100.0)  # never binding
+        m.minimize(x + y)
+        rep = presolve(_sf(m))
+        assert rep.reduced.A_ub.shape[0] == 0
+
+    def test_integer_bounds_rounded(self):
+        m = Model()
+        z = m.integer("z", lb=0.4, ub=3.7)
+        m.minimize(z)
+        rep = presolve(_sf(m))
+        assert rep.reduced.lb[0] == pytest.approx(1.0)
+        assert rep.reduced.ub[0] == pytest.approx(3.0)
+
+    def test_integer_rounding_detects_infeasibility(self):
+        m = Model()
+        m.integer("z", lb=2.2, ub=2.8)  # no integer in [2.2, 2.8]
+        rep = presolve(_sf(m))
+        assert rep.status is SolveStatus.INFEASIBLE
+
+    def test_crossed_bounds_infeasible(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=10.0)
+        m.add(x <= 2.0)
+        m.add(x >= 5.0)
+        m.minimize(x)
+        rep = presolve(_sf(m))
+        assert rep.status is SolveStatus.INFEASIBLE
+
+    def test_restore_round_trip(self):
+        m = Model()
+        x = m.var("x", lb=2.0, ub=2.0)
+        y = m.var("y", lb=0.0, ub=9.0)
+        m.minimize(y)
+        rep = presolve(_sf(m))
+        full = rep.restore(np.array([4.5]))
+        assert full.tolist() == [2.0, 4.5]
+
+
+class TestPresolvingBackend:
+    def test_matches_plain_backend(self):
+        m = Model()
+        x = m.var("x", lb=1.0, ub=1.0)
+        y = m.var("y", lb=0.0, ub=10.0)
+        z = m.integer("z", lb=0.0, ub=5.0)
+        m.add(x + y + z <= 7.0)
+        m.add(2 * y <= 12.0)
+        m.minimize(-y - 3 * z)
+        plain = m.solve()
+        pre = m.solve(backend=PresolvingBackend())
+        assert pre.ok
+        assert pre.objective == pytest.approx(plain.objective)
+        assert pre.x.size == 3
+        assert pre.x[0] == pytest.approx(1.0)
+
+    def test_fully_fixed_model(self):
+        m = Model()
+        m.var("x", lb=2.0, ub=2.0)
+        m.var("y", lb=3.0, ub=3.0)
+        m.minimize(quicksum(m.variables))
+        res = m.solve(backend=PresolvingBackend())
+        assert res.ok
+        assert res.objective == pytest.approx(5.0)
+        assert res.x.tolist() == [2.0, 3.0]
+
+    def test_presolve_infeasibility_short_circuits(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=1.0)
+        m.add(x >= 2.0)
+        m.minimize(x)
+        res = m.solve(backend=PresolvingBackend())
+        assert res.status is SolveStatus.INFEASIBLE
+        assert "presolve" in res.message
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_models_match(self, seed):
+        rng = np.random.default_rng(seed)
+        m = Model()
+        xs = []
+        for i in range(4):
+            lo = float(rng.uniform(0, 2))
+            hi = lo if rng.random() < 0.3 else lo + float(rng.uniform(0, 3))
+            xs.append(m.var(f"x{i}", lb=lo, ub=hi))
+        for _ in range(3):
+            coefs = rng.normal(size=4)
+            rhs = float(coefs @ [v.lb for v in xs] + rng.uniform(0.5, 4.0))
+            m.add(quicksum(c * v for c, v in zip(coefs, xs)) <= rhs)
+        m.minimize(quicksum(float(c) * v for c, v in zip(rng.normal(size=4), xs)))
+        plain = m.solve()
+        pre = m.solve(backend=PresolvingBackend())
+        assert pre.status == plain.status
+        if plain.ok:
+            assert pre.objective == pytest.approx(plain.objective, abs=1e-7)
+
+    def test_dispatch_milp_through_presolve(self):
+        # The real hourly MILP solved via the presolving backend.
+        from repro.core import CostMinimizer
+        from repro.experiments import paper_world
+
+        w = paper_world(max_servers=500_000)
+        sh = [s.hour(10) for s in w.sites]
+        lam = float(w.workload.rates_rps[10])
+        plain = CostMinimizer().solve(sh, lam)
+        pre = CostMinimizer(backend=PresolvingBackend()).solve(sh, lam)
+        assert pre.predicted_cost == pytest.approx(plain.predicted_cost, rel=1e-6)

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the optimization layer.
+
+Invariants exercised:
+
+* the simplex and HiGHS agree on randomized LPs (status and value);
+* branch & bound equals HiGHS MILP on randomized bounded MILPs;
+* LP relaxation always lower-bounds the MILP optimum (minimization);
+* reported solutions are primal-feasible;
+* weak duality holds on LPs with duals.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import Model, SimplexSolver, quicksum
+from repro.solver.model import StandardForm
+from repro.solver.scipy_backend import ScipyLpBackend
+
+finite = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=32)
+
+
+def _random_lp(draw) -> StandardForm:
+    n = draw(st.integers(min_value=1, max_value=5))
+    m_rows = draw(st.integers(min_value=0, max_value=4))
+    c = np.array([draw(finite) for _ in range(n)], dtype=float)
+    A = np.array([[draw(finite) for _ in range(n)] for _ in range(m_rows)], dtype=float)
+    A = A.reshape(m_rows, n)
+    # Construct a guaranteed-feasible interior point and derive rhs from it,
+    # so infeasibility never arises from rounding of generated data.
+    x0 = np.array([draw(st.floats(min_value=0.0, max_value=2.0)) for _ in range(n)])
+    slackness = np.array(
+        [draw(st.floats(min_value=0.1, max_value=2.0)) for _ in range(m_rows)]
+    )
+    b = (A @ x0 if m_rows else np.zeros(0)) + slackness
+    lb = np.zeros(n)
+    ub = np.full(n, 4.0)
+    return StandardForm(
+        c, A, b, np.zeros((0, n)), np.zeros(0), lb, ub, np.zeros(n, dtype=bool)
+    )
+
+
+@st.composite
+def lp_problems(draw):
+    return _random_lp(draw)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lp_problems())
+def test_simplex_matches_highs_on_random_lps(sf):
+    r_sx = SimplexSolver().solve(sf)
+    r_sp = ScipyLpBackend().solve(sf)
+    assert r_sx.status == r_sp.status
+    if r_sp.ok:
+        assert abs(r_sx.objective - r_sp.objective) <= 1e-6 * (1 + abs(r_sp.objective))
+        # Primal feasibility of the simplex point.
+        assert np.all(sf.A_ub @ r_sx.x <= sf.b_ub + 1e-7)
+        assert np.all(r_sx.x >= sf.lb - 1e-9)
+        assert np.all(r_sx.x <= sf.ub + 1e-9)
+
+
+@st.composite
+def milp_models(draw):
+    n_int = draw(st.integers(min_value=1, max_value=3))
+    n_cont = draw(st.integers(min_value=0, max_value=2))
+    m = Model("prop")
+    zs = [m.integer(f"z{i}", lb=0, ub=3) for i in range(n_int)]
+    xs = [m.var(f"x{i}", lb=0, ub=3) for i in range(n_cont)]
+    allv = zs + xs
+    n = len(allv)
+    rows = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(rows):
+        a = [draw(finite) for _ in range(n)]
+        # rhs chosen so x = 0 is always feasible: rhs >= 0.
+        rhs = draw(st.floats(min_value=0.0, max_value=10.0))
+        m.add(quicksum(ai * v for ai, v in zip(a, allv)) <= rhs)
+    c = [draw(finite) for _ in range(n)]
+    m.minimize(quicksum(ci * v for ci, v in zip(c, allv)))
+    return m
+
+
+@settings(max_examples=40, deadline=None)
+@given(milp_models())
+def test_branch_bound_matches_highs_on_random_milps(m):
+    r_bb = m.solve(backend="branch-bound")
+    r_sp = m.solve()
+    assert r_bb.status == r_sp.status
+    assert r_bb.ok  # 0 is always feasible by construction
+    assert abs(r_bb.objective - r_sp.objective) <= 1e-6 * (1 + abs(r_sp.objective))
+
+
+@settings(max_examples=40, deadline=None)
+@given(milp_models())
+def test_lp_relaxation_bounds_milp(m):
+    r_milp = m.solve(backend="branch-bound")
+    sf = m.to_standard_form()
+    sf.integrality[:] = False
+    r_lp = ScipyLpBackend().solve(sf)
+    assert r_lp.ok and r_milp.ok
+    # Minimization: relaxation optimum <= integer optimum.
+    assert r_lp.objective <= r_milp.objective + 1e-7 * (1 + abs(r_milp.objective))
+
+
+@settings(max_examples=40, deadline=None)
+@given(lp_problems())
+def test_weak_duality_on_simplex(sf):
+    r = SimplexSolver().solve(sf)
+    if not r.ok:
+        return
+    # Strong duality at the optimum: c@x == b@y_ub + bounds terms; we check
+    # the cheap direction via the rhs-sensitivity interpretation: all ub-row
+    # duals of a minimization must be <= 0 (loosening a <= row cannot hurt).
+    assert np.all(r.duals_ub <= 1e-7)

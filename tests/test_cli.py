@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lmp_sweep_defaults(self):
+        args = build_parser().parse_args(["lmp-sweep"])
+        assert args.max_load == 900.0
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--strategy", "min-only-low", "--hours", "24", "--policy", "2"]
+        )
+        assert args.strategy == "min-only-low"
+        assert args.hours == 24
+        assert args.policy == 2
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "9"])
+
+
+class TestCommands:
+    def test_lmp_sweep_runs(self, capsys):
+        assert main(["lmp-sweep", "--step", "200", "--max-load", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "LMP B" in out
+        assert "10.00" in out
+
+    def test_simulate_min_only_short(self, capsys):
+        assert main(["simulate", "--strategy", "min-only-avg", "--hours", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "total cost" in out
+        assert "premium throughput:  100.00%" in out
+
+    def test_simulate_capping_with_budget(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--hours",
+                    "3",
+                    "--budget-fraction",
+                    "0.9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "monthly budget" in out
+
+    def test_headroom_command(self, capsys):
+        assert main(["headroom", "--load", "450"]) == 0
+        out = capsys.readouterr().out
+        assert "headroom" in out
+        assert "10.00" in out  # Brighton-marginal LMP at 450 MW
+
+    def test_headroom_infeasible_load(self, capsys):
+        assert main(["headroom", "--load", "99999"]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_study_command(self, capsys):
+        assert main(["study", "--seeds", "1", "--hours", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "capping-savings" in out
+        assert "1/1 seeds" in out

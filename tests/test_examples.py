@@ -1,0 +1,36 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+Each example is executed in-process via runpy with a captured stdout;
+only the quick ones run here (the month-scale examples are exercised
+manually / by their underlying APIs' tests).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "lmp_exploration.py",
+    "heterogeneous_fleet.py",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200  # produced a real report
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith('#!/usr/bin/env python\n"""'), script.name
+        assert 'if __name__ == "__main__":' in text, script.name

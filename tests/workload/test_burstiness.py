@@ -1,0 +1,97 @@
+"""Tests for request-level burstiness generation and estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import QueueParams, required_servers
+from repro.workload import (
+    erlang_arrivals,
+    estimate_ca2,
+    estimate_cb2,
+    estimate_queue_params,
+    hyperexp_arrivals,
+    lognormal_sizes,
+    poisson_arrivals,
+)
+
+N = 200_000
+
+
+class TestGenerators:
+    def test_poisson_mean_and_ca2(self):
+        x = poisson_arrivals(rate=100.0, n=N, seed=1)
+        assert x.mean() == pytest.approx(0.01, rel=0.02)
+        assert estimate_ca2(x) == pytest.approx(1.0, rel=0.05)
+
+    def test_hyperexp_hits_target_ca2(self):
+        for target in (2.0, 4.0, 8.0):
+            x = hyperexp_arrivals(rate=50.0, target_ca2=target, n=N, seed=2)
+            assert x.mean() == pytest.approx(0.02, rel=0.03)
+            assert estimate_ca2(x) == pytest.approx(target, rel=0.10)
+
+    def test_erlang_hits_target_ca2(self):
+        for k in (2, 4, 10):
+            x = erlang_arrivals(rate=50.0, k=k, n=N, seed=3)
+            assert x.mean() == pytest.approx(0.02, rel=0.02)
+            assert estimate_ca2(x) == pytest.approx(1.0 / k, rel=0.08)
+
+    def test_lognormal_sizes(self):
+        s = lognormal_sizes(mean_size=10.0, target_cb2=3.0, n=N, seed=4)
+        assert s.mean() == pytest.approx(10.0, rel=0.05)
+        assert estimate_cb2(s) == pytest.approx(3.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10)
+        with pytest.raises(ValueError):
+            hyperexp_arrivals(1.0, 0.8, 10)  # needs CA2 > 1
+        with pytest.raises(ValueError):
+            erlang_arrivals(1.0, 0, 10)
+        with pytest.raises(ValueError):
+            lognormal_sizes(1.0, 0.0, 10)
+
+
+class TestEstimators:
+    def test_constant_samples_zero_cv(self):
+        assert estimate_ca2(np.full(100, 5.0)) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_ca2(np.array([1.0]))
+        with pytest.raises(ValueError):
+            estimate_ca2(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            estimate_ca2(np.zeros(10))
+
+    def test_estimate_queue_params(self):
+        arr = hyperexp_arrivals(100.0, 3.0, N, seed=5)
+        sizes = lognormal_sizes(1.0, 2.0, N, seed=6)
+        qp = estimate_queue_params(arr, sizes)
+        assert isinstance(qp, QueueParams)
+        assert qp.ca2 == pytest.approx(3.0, rel=0.12)
+        assert qp.cb2 == pytest.approx(2.0, rel=0.12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=1.5, max_value=10.0), st.integers(0, 100))
+    def test_round_trip_property(self, target, seed):
+        x = hyperexp_arrivals(rate=10.0, target_ca2=target, n=50_000, seed=seed)
+        assert estimate_ca2(x) == pytest.approx(target, rel=0.35)
+
+
+class TestProvisioningConsequences:
+    def test_bursty_traffic_needs_more_servers(self):
+        # Parameters where the variability headroom K/(Rs - 1/mu) spans
+        # several servers, so the difference survives integral rounding.
+        lam, mu, rs = 1e3, 10.0, 0.15
+        calm = estimate_queue_params(
+            erlang_arrivals(100.0, 4, N, seed=7), lognormal_sizes(1.0, 0.5, N, seed=8)
+        )
+        bursty = estimate_queue_params(
+            hyperexp_arrivals(100.0, 6.0, N, seed=9),
+            lognormal_sizes(1.0, 4.0, N, seed=10),
+        )
+        n_calm = required_servers(lam, mu, rs, calm)
+        n_bursty = required_servers(lam, mu, rs, bursty)
+        assert n_bursty > n_calm

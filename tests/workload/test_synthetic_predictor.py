@@ -1,0 +1,192 @@
+"""Tests for synthetic workload generation, the customer mix, and prediction."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    HOURS_PER_WEEK,
+    CustomerMix,
+    FlashCrowd,
+    HourOfWeekPredictor,
+    PAPER_PREMIUM_FRACTION,
+    Trace,
+    paper_two_month_workload,
+    wikipedia_like_trace,
+)
+
+
+class TestWikipediaLikeTrace:
+    def test_shape_and_positivity(self):
+        t = wikipedia_like_trace(24 * 30, peak_rps=1e6, seed=1)
+        assert t.hours == 720
+        assert np.all(t.rates_rps > 0)
+
+    def test_reproducible(self):
+        a = wikipedia_like_trace(100, 1e5, seed=9)
+        b = wikipedia_like_trace(100, 1e5, seed=9)
+        assert np.array_equal(a.rates_rps, b.rates_rps)
+        c = wikipedia_like_trace(100, 1e5, seed=10)
+        assert not np.array_equal(a.rates_rps, c.rates_rps)
+
+    def test_peak_close_to_requested(self):
+        t = wikipedia_like_trace(24 * 14, 1e6, seed=2, noise=0.0)
+        assert t.rates_rps.max() == pytest.approx(1e6, rel=0.05)
+
+    def test_weekly_pattern_visible(self):
+        t = wikipedia_like_trace(24 * 28, 1e6, seed=3, noise=0.0, start_weekday=0)
+        weekday = t.rates_rps[: 24 * 5].mean()
+        weekend = t.rates_rps[24 * 5 : 24 * 7].mean()
+        assert weekend < weekday
+
+    def test_diurnal_pattern_visible(self):
+        t = wikipedia_like_trace(24, 1e6, seed=4, noise=0.0)
+        assert t.rates_rps.argmin() in range(1, 7)
+        assert t.rates_rps.argmax() in range(14, 20)
+
+    def test_week_over_week_self_similarity(self):
+        # The budgeter depends on the weekly pattern being predictive.
+        t = wikipedia_like_trace(HOURS_PER_WEEK * 2, 1e6, seed=5, noise=0.02)
+        w1 = t.rates_rps[:HOURS_PER_WEEK]
+        w2 = t.rates_rps[HOURS_PER_WEEK:]
+        corr = np.corrcoef(w1, w2)[0, 1]
+        assert corr > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wikipedia_like_trace(0, 1e6)
+        with pytest.raises(ValueError):
+            wikipedia_like_trace(10, 0.0)
+
+
+class TestFlashCrowd:
+    def test_profile_boosts_window_only(self):
+        fc = FlashCrowd(start_hour=10, duration_h=5, magnitude=3.0)
+        prof = fc.profile(24)
+        assert prof[9] == 1.0
+        assert prof[10] == pytest.approx(3.0)
+        assert np.all(prof[10:15] > 1.0)
+        assert prof[15] == 1.0
+
+    def test_decays(self):
+        prof = FlashCrowd(0, 6, 4.0).profile(10)
+        assert np.all(np.diff(prof[:6]) < 0)
+
+    def test_applied_to_trace(self):
+        fc = FlashCrowd(5, 3, 2.0)
+        base = wikipedia_like_trace(24, 100.0, seed=0, noise=0.0)
+        boosted = wikipedia_like_trace(24, 100.0, seed=0, noise=0.0, flash_crowds=(fc,))
+        assert boosted.rates_rps[5] == pytest.approx(2.0 * base.rates_rps[5])
+        assert boosted.rates_rps[0] == pytest.approx(base.rates_rps[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(-1, 5, 2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(0, 0, 2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(0, 5, 0.5)
+
+
+class TestPaperTwoMonthWorkload:
+    def test_month_lengths_and_phases(self):
+        hist, month = paper_two_month_workload(1e6)
+        assert hist.hours == 720 and month.hours == 720
+        assert hist.start_weekday == 0  # Oct 1st 2007: Monday
+        assert month.start_weekday == 3  # Nov 1st 2007: Thursday
+
+    def test_months_differ_but_share_structure(self):
+        hist, month = paper_two_month_workload(1e6)
+        assert not np.array_equal(hist.rates_rps, month.rates_rps)
+        # Same weekly structure: high correlation by hour-of-week profile.
+        def profile(trace):
+            sums = np.zeros(HOURS_PER_WEEK)
+            counts = np.zeros(HOURS_PER_WEEK)
+            np.add.at(sums, trace.hour_of_week(), trace.rates_rps)
+            np.add.at(counts, trace.hour_of_week(), 1.0)
+            return sums / counts
+
+        assert np.corrcoef(profile(hist), profile(month))[0, 1] > 0.9
+
+
+class TestCustomerMix:
+    def test_default_is_80_20(self):
+        assert CustomerMix().premium_fraction == PAPER_PREMIUM_FRACTION
+
+    def test_split(self):
+        mix = CustomerMix(0.8)
+        t = Trace(np.array([100.0, 200.0]))
+        prem, ordi = mix.split(t)
+        assert prem.rates_rps.tolist() == pytest.approx([80.0, 160.0])
+        assert ordi.rates_rps.tolist() == pytest.approx([20.0, 40.0])
+
+    def test_scalar_helpers(self):
+        mix = CustomerMix(0.75)
+        assert mix.premium_rate(100.0) == 75.0
+        assert mix.ordinary_rate(100.0) == 25.0
+        with pytest.raises(ValueError):
+            mix.premium_rate(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CustomerMix(1.2)
+
+
+class TestHourOfWeekPredictor:
+    def _history(self, weeks=4, seed=0):
+        return wikipedia_like_trace(
+            HOURS_PER_WEEK * weeks, 1e6, seed=seed, noise=0.02, start_weekday=0
+        )
+
+    def test_needs_full_week(self):
+        with pytest.raises(ValueError):
+            HourOfWeekPredictor(Trace(np.ones(100)))
+
+    def test_window_averages_most_recent_weeks(self):
+        # Constant history -> exact prediction.
+        t = Trace(np.full(HOURS_PER_WEEK * 3, 50.0))
+        p = HourOfWeekPredictor(t, history_weeks=2)
+        assert p.predicted_rate(0) == pytest.approx(50.0)
+
+    def test_eviction_keeps_window(self):
+        rates = np.concatenate(
+            [np.full(HOURS_PER_WEEK, 10.0), np.full(HOURS_PER_WEEK, 30.0)]
+        )
+        p = HourOfWeekPredictor(Trace(rates), history_weeks=1)
+        # Only the latest week should remain.
+        assert p.predicted_rate(5) == pytest.approx(30.0)
+
+    def test_weights_sum_to_one(self):
+        p = HourOfWeekPredictor(self._history())
+        w = p.weekly_weights()
+        assert w.shape == (HOURS_PER_WEEK,)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+    def test_prediction_quality_on_selfsimilar_workload(self):
+        hist = self._history(weeks=4, seed=1)
+        future = wikipedia_like_trace(
+            HOURS_PER_WEEK, 1e6, seed=99, noise=0.02, start_weekday=0
+        )
+        p = HourOfWeekPredictor(hist)
+        forecast = p.predict_trace(HOURS_PER_WEEK, start_weekday=0)
+        rel_err = np.abs(forecast.rates_rps - future.rates_rps) / future.rates_rps
+        assert np.median(rel_err) < 0.10
+
+    def test_predict_trace_phase(self):
+        p = HourOfWeekPredictor(self._history())
+        f = p.predict_trace(24, start_weekday=2)
+        assert f.rates_rps[0] == pytest.approx(p.predicted_rate(48))
+
+    def test_online_observation(self):
+        p = HourOfWeekPredictor(Trace(np.full(HOURS_PER_WEEK, 10.0)), history_weeks=2)
+        p.observe(0, 30.0)
+        assert p.predicted_rate(0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            p.observe(200, 1.0)
+        with pytest.raises(ValueError):
+            p.observe(0, -1.0)
+
+    def test_zero_history_uniform_weights(self):
+        p = HourOfWeekPredictor(Trace(np.zeros(HOURS_PER_WEEK) + 0.0))
+        w = p.weekly_weights()
+        assert np.allclose(w, 1.0 / HOURS_PER_WEEK)

@@ -1,0 +1,113 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.workload import HOURS_PER_WEEK, Trace
+
+
+def make_trace(hours=HOURS_PER_WEEK * 2, start_weekday=0):
+    rng = np.random.default_rng(0)
+    return Trace(rng.uniform(10.0, 100.0, size=hours), start_weekday, "t")
+
+
+class TestConstruction:
+    def test_valid(self):
+        t = make_trace()
+        assert t.hours == 336
+        assert len(t) == 336
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.ones((2, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([1.0, -1.0]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([1.0, np.nan]))
+
+    def test_bad_weekday_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.ones(10), start_weekday=7)
+
+    def test_list_coerced_to_array(self):
+        t = Trace([1.0, 2.0, 3.0])
+        assert isinstance(t.rates_rps, np.ndarray)
+
+
+class TestDerived:
+    def test_requests_per_hour(self):
+        t = Trace(np.array([2.0, 3.0]))
+        assert t.requests_per_hour.tolist() == [7200.0, 10800.0]
+        assert t.total_requests == pytest.approx(18000.0)
+
+    def test_hour_of_week_phase(self):
+        t = Trace(np.ones(48), start_weekday=3)  # Thursday
+        how = t.hour_of_week()
+        assert how[0] == 3 * 24
+        assert how[-1] == (3 * 24 + 47) % HOURS_PER_WEEK
+
+    def test_hour_of_week_wraps(self):
+        t = Trace(np.ones(HOURS_PER_WEEK + 5), start_weekday=6)
+        how = t.hour_of_week()
+        assert how[HOURS_PER_WEEK] == how[0]
+
+
+class TestSlicing:
+    def test_slice_hours(self):
+        t = make_trace()
+        s = t.slice_hours(24, 72)
+        assert s.hours == 48
+        assert s.start_weekday == 1
+        assert np.array_equal(s.rates_rps, t.rates_rps[24:72])
+
+    def test_slice_validation(self):
+        t = make_trace(48)
+        with pytest.raises(ValueError):
+            t.slice_hours(10, 10)
+        with pytest.raises(ValueError):
+            t.slice_hours(0, 100)
+
+    def test_split_weeks(self):
+        t = make_trace(HOURS_PER_WEEK * 2 + 24)
+        weeks = t.split_weeks()
+        assert [w.hours for w in weeks] == [168, 168, 24]
+        assert weeks[1].start_weekday == 0
+        assert np.array_equal(
+            np.concatenate([w.rates_rps for w in weeks]), t.rates_rps
+        )
+
+
+class TestTransforms:
+    def test_scaled(self):
+        t = Trace(np.array([1.0, 2.0]))
+        assert t.scaled(3.0).rates_rps.tolist() == [3.0, 6.0]
+        with pytest.raises(ValueError):
+            t.scaled(-1.0)
+
+    def test_scaled_to_peak(self):
+        t = Trace(np.array([1.0, 4.0, 2.0]))
+        s = t.scaled_to_peak(100.0)
+        assert s.rates_rps.max() == pytest.approx(100.0)
+        assert s.rates_rps.tolist() == pytest.approx([25.0, 100.0, 50.0])
+
+    def test_scaled_to_peak_zero_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(5)).scaled_to_peak(10.0)
+
+    def test_split_conserves_mass(self):
+        t = make_trace()
+        a, b = t.split(0.8)
+        assert np.allclose(a.rates_rps + b.rates_rps, t.rates_rps)
+        assert np.allclose(a.rates_rps, 0.8 * t.rates_rps)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            make_trace().split(1.5)
