@@ -2,32 +2,60 @@
 
 Every benchmark regenerates one of the paper's figures as a text table.
 Tables are printed (visible with ``pytest -s``) *and* persisted under
-``benchmarks/results/`` so a default ``pytest benchmarks/
---benchmark-only`` run leaves the regenerated series on disk.
+``benchmarks/results/`` — both as the original fixed-width text and as
+a JSON sidecar (``<figure>.json``) so BENCH trajectory tooling can
+parse runs without scraping text. :func:`table` returns a
+:class:`Table` that remembers its header and raw rows; :func:`report`
+embeds that structure in the JSON whenever it receives one.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Iterable, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+class Table(list):
+    """Formatted table lines that remember their structured content."""
+
+    def __init__(self, lines: Iterable[str], header: Sequence[str],
+                 rows: Sequence[Sequence[object]]):
+        super().__init__(lines)
+        self.header = list(map(str, header))
+        self.rows = [list(r) for r in rows]
+
+
 def report(figure: str, title: str, lines: Iterable[str]) -> None:
-    """Print a figure's regenerated series and persist it."""
+    """Print a figure's regenerated series and persist it (txt + json)."""
     RESULTS_DIR.mkdir(exist_ok=True)
+    if not isinstance(lines, list):
+        lines = list(lines)
     body = "\n".join([f"== {figure}: {title} ==", *lines, ""])
     print("\n" + body)
     (RESULTS_DIR / f"{figure}.txt").write_text(body)
+    payload: dict = {"figure": figure, "title": title, "lines": list(lines)}
+    if isinstance(lines, Table):
+        payload["header"] = lines.header
+        payload["rows"] = lines.rows
+    (RESULTS_DIR / f"{figure}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
 
 
-def table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> list[str]:
-    """Format rows as a fixed-width text table."""
-    rows = [list(map(str, r)) for r in rows]
+def table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> Table:
+    """Format rows as a fixed-width text table (with structure attached)."""
+    raw = [list(r) for r in rows]
+    cells = [list(map(str, r)) for r in raw]
     widths = [len(h) for h in header]
-    for row in rows:
+    for row in cells:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     fmt = "  ".join(f"{{:>{w}}}" for w in widths)
-    return [fmt.format(*header), *(fmt.format(*row) for row in rows)]
+    return Table(
+        [fmt.format(*header), *(fmt.format(*row) for row in cells)],
+        header,
+        raw,
+    )

@@ -24,6 +24,30 @@ from repro.sim import Simulator
 BENCH_HOURS = int(os.environ.get("REPRO_BENCH_HOURS", "360"))
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Machine-readable telemetry sidecar for benchmark runs.
+
+    Set ``REPRO_BENCH_TELEMETRY=1`` to record spans and solver metrics
+    across the whole benchmark session and write them to
+    ``benchmarks/results/telemetry.jsonl`` (inspect with
+    ``repro telemetry summary``). Off by default so timing benchmarks
+    measure the uninstrumented no-op path.
+    """
+    if not os.environ.get("REPRO_BENCH_TELEMETRY"):
+        yield None
+        return
+    from repro.telemetry import Telemetry, use_telemetry, write_jsonl
+
+    from _report import RESULTS_DIR
+
+    tel = Telemetry()
+    with use_telemetry(tel):
+        yield tel
+    path = write_jsonl(tel, RESULTS_DIR / "telemetry.jsonl")
+    print(f"\ntelemetry sidecar written to {path}")
+
+
 @pytest.fixture(scope="session")
 def world():
     """The canonical Section VI world (Policy 1)."""

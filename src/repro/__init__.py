@@ -9,7 +9,8 @@ Subpackages
 - :mod:`repro.workload` — traces, synthetic generation, prediction;
 - :mod:`repro.core` — the bill-capping algorithms and baselines;
 - :mod:`repro.sim` — month-scale simulation;
-- :mod:`repro.experiments` — the paper's Section VI setup.
+- :mod:`repro.experiments` — the paper's Section VI setup;
+- :mod:`repro.telemetry` — metrics, tracing and solver instrumentation.
 
 The most common entry points are re-exported here.
 """
@@ -25,8 +26,9 @@ from .core import (
 )
 from .experiments import PaperWorld, paper_world
 from .sim import SimulationResult, Simulator
+from .telemetry import Telemetry, get_telemetry, use_telemetry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BillCapper",
@@ -40,5 +42,8 @@ __all__ = [
     "SimulationResult",
     "PaperWorld",
     "paper_world",
+    "Telemetry",
+    "get_telemetry",
+    "use_telemetry",
     "__version__",
 ]

@@ -12,16 +12,50 @@ Commands
     LMPs plus single-solve load-growth headroom per consumer bus.
 ``study``
     Multi-seed robustness of the capping-vs-baseline savings.
+``telemetry``
+    Summarize (``summary``) or aggregate-export (``export``) a JSONL
+    telemetry trace produced with ``--trace``.
+
+The simulation commands (``simulate``, ``compare``, ``study``) accept
+``--trace PATH``: the run then records spans and solver metrics and
+writes a JSONL sidecar to ``PATH`` on completion.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 import numpy as np
 
 __all__ = ["main"]
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace):
+    """Enable telemetry for a command when ``--trace PATH`` was given."""
+    if getattr(args, "trace", None) is None:
+        yield None
+        return
+    if not args.trace:
+        raise SystemExit("error: --trace requires a non-empty path")
+    from .telemetry import Telemetry, use_telemetry, write_jsonl
+
+    tel = Telemetry()
+    with use_telemetry(tel):
+        yield tel
+    # The run's results are already printed; a bad trace path must not
+    # look like a failed simulation.
+    try:
+        path = write_jsonl(tel, args.trace)
+    except OSError as exc:
+        print(f"\ncannot write telemetry trace to {args.trace}: "
+              f"{exc.strerror or exc}")
+        return
+    print(f"\ntelemetry trace written to {path} "
+          f"({len(tel.tracer.finished)} spans, {len(tel.registry)} metrics)")
 
 
 def _cmd_lmp_sweep(args: argparse.Namespace) -> int:
@@ -64,6 +98,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.strategy == "capping":
         budgeter = None
         if args.budget_fraction is not None:
+            # The anchor run is untraced on purpose: it exists only to
+            # scale the budget, and would double every solver metric.
             anchor = sim.run_capping(hours=args.hours)
             monthly = (
                 anchor.total_cost * world.hours / args.hours * args.budget_fraction
@@ -71,10 +107,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"monthly budget: ${monthly:,.0f} "
                   f"({args.budget_fraction:.0%} of uncapped spend)")
             budgeter = world.budgeter(monthly)
-        result = sim.run_capping(budgeter, hours=args.hours)
+        with _tracing(args):
+            result = sim.run_capping(budgeter, hours=args.hours)
     else:
         mode = PriceMode(args.strategy.removeprefix("min-only-"))
-        result = sim.run_min_only(mode, hours=args.hours)
+        with _tracing(args):
+            result = sim.run_min_only(mode, hours=args.hours)
     _print_summary(args.strategy, result)
     return 0
 
@@ -102,11 +140,12 @@ def _cmd_headroom(args: argparse.Namespace) -> int:
 def _cmd_study(args: argparse.Namespace) -> int:
     from .sim import savings_study
 
-    study = savings_study(
-        seeds=tuple(range(args.seeds)),
-        hours=args.hours,
-        policy_id=args.policy,
-    )
+    with _tracing(args):
+        study = savings_study(
+            seeds=tuple(range(args.seeds)),
+            hours=args.hours,
+            policy_id=args.policy,
+        )
     print(study)
     print(
         f"\nCost Capping beats Min-Only (Avg) on "
@@ -121,13 +160,64 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     world = _build_world(args)
     sim = Simulator(world.sites, world.workload, world.mix)
-    capping = sim.run_capping(hours=args.hours)
-    _print_summary("cost-capping (uncapped)", capping)
-    for mode in (PriceMode.AVG, PriceMode.LOW, PriceMode.CURRENT):
-        res = sim.run_min_only(mode, hours=args.hours)
-        _print_summary(f"min-only-{mode.value}", res)
-        saving = 1 - capping.total_cost / res.total_cost
-        print(f"  -> capping saves {saving:.1%} vs this baseline")
+    with _tracing(args):
+        capping = sim.run_capping(hours=args.hours)
+        _print_summary("cost-capping (uncapped)", capping)
+        for mode in (PriceMode.AVG, PriceMode.LOW, PriceMode.CURRENT):
+            res = sim.run_min_only(mode, hours=args.hours)
+            _print_summary(f"min-only-{mode.value}", res)
+            saving = 1 - capping.total_cost / res.total_cost
+            print(f"  -> capping saves {saving:.1%} vs this baseline")
+    return 0
+
+
+def _read_trace(path: str):
+    """Read a trace file for the ``telemetry`` subcommands.
+
+    Returns the snapshot, or ``None`` (after printing a one-line error)
+    when the file is missing or is not JSONL.
+    """
+    import json
+
+    from .telemetry import read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        print(f"cannot read trace file {path}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not a JSONL telemetry trace (line {exc.lineno}: {exc.msg})")
+    return None
+
+
+def _cmd_telemetry_summary(args: argparse.Namespace) -> int:
+    from .telemetry import format_summary
+
+    snap = _read_trace(args.trace_file)
+    if snap is None:
+        return 1
+    if snap.empty:
+        print("(no telemetry recorded)")
+        return 1
+    print(format_summary(snap))
+    return 0
+
+
+def _cmd_telemetry_export(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .telemetry import summarize
+
+    snap = _read_trace(args.trace_file)
+    if snap is None:
+        return 1
+    payload = json.dumps(summarize(snap), indent=2, sort_keys=True)
+    if args.out:
+        pathlib.Path(args.out).write_text(payload + "\n")
+        print(f"aggregate summary written to {args.out}")
+    else:
+        print(payload)
     return 0
 
 
@@ -148,6 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--policy", type=int, default=1, choices=(0, 1, 2, 3))
     common.add_argument("--hours", type=int, default=168)
     common.add_argument("--seed", type=int, default=7)
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record telemetry (spans + solver metrics) and write a "
+        "JSONL trace to PATH; inspect with 'repro telemetry summary PATH'",
+    )
 
     p_sim = sub.add_parser("simulate", parents=[common], help="run one strategy")
     p_sim.add_argument(
@@ -181,13 +278,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_study.add_argument("--seeds", type=int, default=3)
     p_study.set_defaults(func=_cmd_study)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect JSONL telemetry traces"
+    )
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+    p_tel_sum = tel_sub.add_parser(
+        "summary", help="aggregate a trace into human-readable tables"
+    )
+    p_tel_sum.add_argument("trace_file", help="JSONL trace (from --trace)")
+    p_tel_sum.set_defaults(func=_cmd_telemetry_summary)
+    p_tel_exp = tel_sub.add_parser(
+        "export", help="aggregate a trace into machine-readable JSON"
+    )
+    p_tel_exp.add_argument("trace_file", help="JSONL trace (from --trace)")
+    p_tel_exp.add_argument(
+        "--out", default=None, help="write JSON here instead of stdout"
+    )
+    p_tel_exp.set_defaults(func=_cmd_telemetry_export)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved unix filter. devnull keeps the interpreter from
+        # complaining again while flushing stdout at shutdown.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

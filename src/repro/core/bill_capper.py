@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry import get_telemetry
 from .allocation import CappingStep, HourlyDecision
 from .cost_min import CostMinimizer
 from .site import SiteHour
@@ -84,7 +85,23 @@ class BillCapper:
             raise ValueError("offered rates must be >= 0")
         if budget < 0:
             raise ValueError("budget must be >= 0")
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._decide(site_hours, premium_rps, ordinary_rps, budget)
+        with tel.span("capper.decide") as sp:
+            decision = self._decide(site_hours, premium_rps, ordinary_rps, budget)
+            sp.set(step=decision.step.value, predicted_cost=decision.predicted_cost)
+        tel.counter(f"capper.step.{decision.step.value}").inc()
+        tel.histogram("capper.predicted_cost").observe(decision.predicted_cost)
+        return decision
 
+    def _decide(
+        self,
+        site_hours: list[SiteHour],
+        premium_rps: float,
+        ordinary_rps: float,
+        budget: float,
+    ) -> HourlyDecision:
         demand_premium = premium_rps
         demand_ordinary = ordinary_rps
         if self.shed_beyond_capacity:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import get_telemetry
 from ..workload import HOURS_PER_WEEK, HourOfWeekPredictor
 
 __all__ = ["Budgeter"]
@@ -129,6 +130,13 @@ class Budgeter:
         # week edges (aligned with the start weekday).
         if (self.start_weekday * 24 + self._next_hour) % HOURS_PER_WEEK == 0:
             self._carry = 0.0
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.histogram("budgeter.hourly_budget").observe(max(0.0, available))
+            tel.histogram("budgeter.spend").observe(cost)
+            tel.gauge("budgeter.carryover").set(self._carry)
+            if cost > available:
+                tel.counter("budgeter.overspend_hours").inc()
 
     # -- reporting ----------------------------------------------------------------
 

@@ -32,6 +32,7 @@ from ..core import (
     Site,
 )
 from ..datacenter import LocalOptimizer
+from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..workload import CustomerMix, Trace
 from .records import HourRecord, SimulationResult, SiteRecord
 
@@ -50,11 +51,21 @@ class Simulator:
         Total offered load (premium + ordinary) per hour.
     mix:
         Premium/ordinary customer mix.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle. When set,
+        it is installed as the active bundle for the duration of every
+        run, so each simulated hour emits a ``hour`` span with
+        ``budget``/``dispatch``/``local_optimization``/``billing``
+        children and the solver stack records per-solve MILP stats into
+        the same registry. When unset, runs record into whatever
+        :func:`repro.telemetry.get_telemetry` returns (the no-op NULL
+        bundle by default).
     """
 
     sites: list[Site]
     workload: Trace
     mix: CustomerMix
+    telemetry: Telemetry | None = None
 
     def __post_init__(self):
         if not self.sites:
@@ -86,17 +97,29 @@ class Simulator:
         capper = capper or BillCapper()
         horizon = self._horizon(hours)
         result = SimulationResult(name)
-        for t in range(horizon):
-            total = float(self.workload.rates_rps[t])
-            premium = self.mix.premium_rate(total)
-            ordinary = self.mix.ordinary_rate(total)
-            budget = budgeter.hourly_budget() if budgeter else float("inf")
-            site_hours = [s.hour(t) for s in self.sites]
-            decision = capper.decide(site_hours, premium, ordinary, budget)
-            record = self._realize(t, decision)
-            if budgeter:
-                budgeter.record_spend(record.realized_cost)
-            result.append(record)
+        with use_telemetry(self.telemetry or get_telemetry()) as tel:
+            for t in range(horizon):
+                with tel.span("hour", hour=t, strategy=name) as hour_span:
+                    total = float(self.workload.rates_rps[t])
+                    premium = self.mix.premium_rate(total)
+                    ordinary = self.mix.ordinary_rate(total)
+                    with tel.span("budget"):
+                        budget = (
+                            budgeter.hourly_budget() if budgeter else float("inf")
+                        )
+                    site_hours = [s.hour(t) for s in self.sites]
+                    with tel.span("dispatch"):
+                        decision = capper.decide(
+                            site_hours, premium, ordinary, budget
+                        )
+                    record = self._realize(t, decision)
+                    if budgeter:
+                        budgeter.record_spend(record.realized_cost)
+                    hour_span.set(
+                        step=decision.step.value,
+                        realized_cost=record.realized_cost,
+                    )
+                result.append(record)
         return result
 
     def run_min_only(
@@ -117,23 +140,27 @@ class Simulator:
                 },
             )
         horizon = self._horizon(hours)
-        result = SimulationResult(f"min-only-{mode.value}")
-        for t in range(horizon):
-            total = float(self.workload.rates_rps[t])
-            site_hours = [s.hour(t) for s in self.sites]
-            decision = dispatcher.solve(site_hours, total)
-            # Min-Only is class-blind: report demand with the true mix so
-            # throughput comparisons are apples to apples.
-            decision = HourlyDecision(
-                step=CappingStep.BASELINE,
-                allocations=decision.allocations,
-                served_premium_rps=self.mix.premium_rate(total),
-                served_ordinary_rps=self.mix.ordinary_rate(total),
-                demand_premium_rps=self.mix.premium_rate(total),
-                demand_ordinary_rps=self.mix.ordinary_rate(total),
-                predicted_cost=decision.predicted_cost,
-            )
-            result.append(self._realize(t, decision))
+        name = f"min-only-{mode.value}"
+        result = SimulationResult(name)
+        with use_telemetry(self.telemetry or get_telemetry()) as tel:
+            for t in range(horizon):
+                with tel.span("hour", hour=t, strategy=name):
+                    total = float(self.workload.rates_rps[t])
+                    site_hours = [s.hour(t) for s in self.sites]
+                    with tel.span("dispatch"):
+                        decision = dispatcher.solve(site_hours, total)
+                    # Min-Only is class-blind: report demand with the true
+                    # mix so throughput comparisons are apples to apples.
+                    decision = HourlyDecision(
+                        step=CappingStep.BASELINE,
+                        allocations=decision.allocations,
+                        served_premium_rps=self.mix.premium_rate(total),
+                        served_ordinary_rps=self.mix.ordinary_rate(total),
+                        demand_premium_rps=self.mix.premium_rate(total),
+                        demand_ordinary_rps=self.mix.ordinary_rate(total),
+                        predicted_cost=decision.predicted_cost,
+                    )
+                    result.append(self._realize(t, decision))
         return result
 
     # -- internals -----------------------------------------------------------------
@@ -185,35 +212,41 @@ class Simulator:
 
     def _realize(self, t: int, decision: HourlyDecision) -> HourRecord:
         """Evaluate a dispatch decision against the exact physical models."""
+        tel = get_telemetry()
+        with tel.span("local_optimization"):
+            provisioned = []
+            for site in self.sites:
+                dispatched = decision.rate_for(site.name)
+                if site.coe_trace is None:
+                    local = self._local[site.name].decide(dispatched)
+                else:
+                    # Weather-varying cooling: rebuild the optimizer
+                    # around this hour's efficiency.
+                    local = LocalOptimizer(site.datacenter_at(t)).decide(dispatched)
+                provisioned.append((site, dispatched, local))
         site_records = []
         realized_cost = 0.0
         total_shed = 0.0
-        for site in self.sites:
-            dispatched = decision.rate_for(site.name)
-            if site.coe_trace is None:
-                local = self._local[site.name].decide(dispatched)
-            else:
-                # Weather-varying cooling: rebuild the optimizer around
-                # this hour's efficiency.
-                local = LocalOptimizer(site.datacenter_at(t)).decide(dispatched)
-            price = site.policy.price(
-                float(site.background_mw[t]) + local.power_mw
-            )
-            cost = price * local.power_mw
-            realized_cost += cost
-            total_shed += local.shed_rps
-            site_records.append(
-                SiteRecord(
-                    site=site.name,
-                    dispatched_rps=dispatched,
-                    served_rps=local.served_rps,
-                    power_mw=local.power_mw,
-                    price=price,
-                    cost=cost,
-                    n_servers=local.provisioning.n_servers,
-                    response_time_s=self._response_time(site, local),
+        with tel.span("billing"):
+            for site, dispatched, local in provisioned:
+                price = site.policy.price(
+                    float(site.background_mw[t]) + local.power_mw
                 )
-            )
+                cost = price * local.power_mw
+                realized_cost += cost
+                total_shed += local.shed_rps
+                site_records.append(
+                    SiteRecord(
+                        site=site.name,
+                        dispatched_rps=dispatched,
+                        served_rps=local.served_rps,
+                        power_mw=local.power_mw,
+                        price=price,
+                        cost=cost,
+                        n_servers=local.provisioning.n_servers,
+                        response_time_s=self._response_time(site, local),
+                    )
+                )
         # Shedding from decision/physics mismatch hits ordinary traffic
         # first: providers protect their revenue source.
         served_ordinary = max(0.0, decision.served_ordinary_rps - total_shed)

@@ -28,14 +28,32 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..telemetry import get_telemetry
+from ..telemetry.instrument import record_solver_result
 from .model import StandardForm
 from .result import SolveResult, SolveStatus
 
 __all__ = ["BranchBoundSolver"]
+
+
+class _BBStats:
+    """Per-solve accounting threaded through the search loop."""
+
+    __slots__ = ("enabled", "incumbents", "lp_time_s")
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self.incumbents = 0
+        self.lp_time_s = 0.0
+
+
+#: Shared stats sink for uninstrumented solves (attribute writes only).
+_NO_STATS = _BBStats(enabled=False)
 
 
 @dataclass(order=True)
@@ -99,7 +117,24 @@ class BranchBoundSolver:
             res = self.lp.solve(sf)
             res.backend = f"{self.name}({self.lp.name})"
             return res
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._solve_milp(sf, _NO_STATS)
+        stats = _BBStats(enabled=True)
+        t0 = time.perf_counter()
+        res = self._solve_milp(sf, stats)
+        record_solver_result(
+            tel, "branch-bound", res.status.value, res.iterations,
+            time.perf_counter() - t0,
+        )
+        tel.histogram("solver.branch-bound.nodes").observe(res.iterations)
+        tel.histogram("solver.branch-bound.lp_time_s").observe(stats.lp_time_s)
+        tel.counter("solver.branch-bound.incumbent_updates").inc(stats.incumbents)
+        if res.ok:
+            tel.histogram("solver.branch-bound.gap").observe(res.gap)
+        return res
 
+    def _solve_milp(self, sf: StandardForm, stats: _BBStats) -> SolveResult:
         if self.cover_cuts:
             sf = self._tighten_root(sf)
 
@@ -131,7 +166,12 @@ class BranchBoundSolver:
             nodes += 1
 
             relaxed = replace(sf, lb=node.lb, ub=node.ub)
-            res = self.lp.solve(relaxed)
+            if stats.enabled:
+                t_lp = time.perf_counter()
+                res = self.lp.solve(relaxed)
+                stats.lp_time_s += time.perf_counter() - t_lp
+            else:
+                res = self.lp.solve(relaxed)
             if res.status is SolveStatus.UNBOUNDED and node.depth == 0:
                 return SolveResult(
                     status=SolveStatus.UNBOUNDED, iterations=nodes, backend=self.name
@@ -148,6 +188,7 @@ class BranchBoundSolver:
                 if res.objective < incumbent_obj:
                     incumbent_obj = res.objective
                     incumbent_x = self._round_integers(res.x, int_idx)
+                    stats.incumbents += 1
                 continue
 
             # Branch: x_j <= floor(v)  /  x_j >= ceil(v).

@@ -18,6 +18,7 @@ MILP presolve, see ``repro.core.dispatch_model``).
 
 from __future__ import annotations
 
+from ..telemetry import get_telemetry
 from .model import StandardForm
 from .result import SolveResult, SolveStatus
 
@@ -57,6 +58,7 @@ class FallbackBackend:
         return False
 
     def solve(self, sf: StandardForm) -> SolveResult:
+        tel = get_telemetry()
         last: SolveResult | None = None
         errors: list[str] = []
         for backend in self.backends:
@@ -64,11 +66,16 @@ class FallbackBackend:
                 result = backend.solve(sf)
             except Exception as exc:  # noqa: BLE001 - resilience layer
                 errors.append(f"{backend.name}: {exc!r}")
+                tel.counter("solver.fallback.failovers").inc()
+                tel.counter(f"solver.fallback.failover.{backend.name}").inc()
                 continue
             if not self._retryable(result):
                 return result
             last = result
             errors.append(f"{backend.name}: {result.status.value}")
+            tel.counter("solver.fallback.failovers").inc()
+            tel.counter(f"solver.fallback.failover.{backend.name}").inc()
+        tel.counter("solver.fallback.exhausted").inc()
         if last is not None:
             last.message = "; ".join(errors)
             return last

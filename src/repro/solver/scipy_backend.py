@@ -16,10 +16,13 @@ import contextlib
 import os
 import sys
 import tempfile
+import time
 
 import numpy as np
 from scipy import optimize as sciopt
 
+from ..telemetry import get_telemetry
+from ..telemetry.instrument import record_solver_result
 from .model import StandardForm
 from .result import SolveResult, SolveStatus
 
@@ -87,6 +90,18 @@ class ScipyLpBackend:
         self.method = method
 
     def solve(self, sf: StandardForm) -> SolveResult:
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._solve_impl(sf)
+        t0 = time.perf_counter()
+        res = self._solve_impl(sf)
+        record_solver_result(
+            tel, self.name, res.status.value, res.iterations,
+            time.perf_counter() - t0,
+        )
+        return res
+
+    def _solve_impl(self, sf: StandardForm) -> SolveResult:
         # Rows with an infinite rhs can never bind; linprog rejects them,
         # so they are dropped (duals for dropped rows are restored as 0).
         finite_rows = np.isfinite(sf.b_ub)
@@ -138,6 +153,21 @@ class ScipyBackend:
     def solve(self, sf: StandardForm) -> SolveResult:
         if not sf.has_integers:
             return ScipyLpBackend().solve(sf)
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._solve_milp(sf)
+        t0 = time.perf_counter()
+        res = self._solve_milp(sf)
+        record_solver_result(
+            tel, self.name, res.status.value, res.iterations,
+            time.perf_counter() - t0,
+        )
+        tel.histogram(f"solver.{self.name}.nodes").observe(res.iterations)
+        if res.ok:
+            tel.histogram(f"solver.{self.name}.gap").observe(res.gap)
+        return res
+
+    def _solve_milp(self, sf: StandardForm) -> SolveResult:
         options: dict = {"mip_rel_gap": self.mip_rel_gap}
         if self.time_limit is not None:
             options["time_limit"] = self.time_limit
@@ -156,6 +186,8 @@ class ScipyBackend:
             status=status,
             objective=float(res.fun),
             x=np.asarray(res.x),
+            # B&B nodes, where this HiGHS build exposes them.
+            iterations=int(getattr(res, "mip_node_count", 0) or 0),
             gap=float(getattr(res, "mip_gap", 0.0) or 0.0),
             backend=self.name,
         )

@@ -26,10 +26,13 @@ Implementation notes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import get_telemetry
+from ..telemetry.instrument import record_solver_result
 from .model import StandardForm
 from .result import SolveResult, SolveStatus
 
@@ -100,6 +103,18 @@ class SimplexSolver:
         bus's load grow before the LMP changes?" directly from one
         solve.
         """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._solve_impl(sf, ranging)
+        t0 = time.perf_counter()
+        res = self._solve_impl(sf, ranging)
+        record_solver_result(
+            tel, self.name, res.status.value, res.iterations,
+            time.perf_counter() - t0,
+        )
+        return res
+
+    def _solve_impl(self, sf: StandardForm, ranging: bool) -> SolveResult:
         prep = self._reduce_bounds(sf)
         status, y, duals, iters, state = self._two_phase(prep)
         if status is not SolveStatus.OPTIMAL:

@@ -1,0 +1,217 @@
+"""Exporters: JSONL traces, aggregate summaries, human-readable tables.
+
+The on-disk format is JSON Lines — one self-describing record per line
+(``{"type": "span" | "counter" | "gauge" | "histogram" | "meta", ...}``)
+— because a month of hourly spans streams naturally, appends are atomic
+enough for sidecar files, and downstream tooling (the BENCH trajectory,
+notebook analysis) can parse it without this package.
+
+Three layers:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — lossless round-trip of a
+  :class:`~repro.telemetry.session.Telemetry` bundle;
+* :func:`summarize` — aggregate a snapshot into plain dicts (span
+  durations by name with count/total/mean/p50/p95/max, plus every
+  metric);
+* :func:`format_summary` — the aggregate as fixed-width tables for the
+  ``repro telemetry summary`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from .session import Telemetry
+
+__all__ = [
+    "TelemetrySnapshot",
+    "snapshot",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+    "format_summary",
+]
+
+#: Bump when a record's shape changes incompatibly.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Plain-data view of a telemetry bundle (live or loaded from disk)."""
+
+    spans: list[dict] = field(default_factory=list)
+    counters: dict[str, dict] = field(default_factory=dict)
+    gauges: dict[str, dict] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges or self.histograms)
+
+
+def snapshot(telemetry: Telemetry) -> TelemetrySnapshot:
+    """Freeze a live bundle into plain data."""
+    snap = TelemetrySnapshot(meta={"type": "meta", "version": FORMAT_VERSION})
+    snap.spans = telemetry.tracer.as_dicts()
+    for m in telemetry.registry.as_dicts():
+        {"counter": snap.counters, "gauge": snap.gauges,
+         "histogram": snap.histograms}[m["type"]][m["name"]] = m
+    return snap
+
+
+def write_jsonl(telemetry: Telemetry | TelemetrySnapshot, path) -> pathlib.Path:
+    """Write one JSONL record per span and per metric; returns the path."""
+    snap = telemetry if isinstance(telemetry, TelemetrySnapshot) else snapshot(telemetry)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "meta", "version": FORMAT_VERSION}) + "\n")
+        for record in snap.spans:
+            fh.write(json.dumps(record) + "\n")
+        for group in (snap.counters, snap.gauges, snap.histograms):
+            for record in group.values():
+                fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path) -> TelemetrySnapshot:
+    """Load a trace written by :func:`write_jsonl`."""
+    snap = TelemetrySnapshot()
+    with pathlib.Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                snap.spans.append(record)
+            elif kind == "counter":
+                snap.counters[record["name"]] = record
+            elif kind == "gauge":
+                snap.gauges[record["name"]] = record
+            elif kind == "histogram":
+                snap.histograms[record["name"]] = record
+            elif kind == "meta":
+                snap.meta = record
+            # Unknown kinds are skipped: newer writers stay readable.
+    return snap
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[rank]
+
+
+def summarize(snap: TelemetrySnapshot) -> dict:
+    """Aggregate a snapshot into plain dicts keyed by instrument name."""
+    by_name: dict[str, list[float]] = {}
+    for sp in snap.spans:
+        by_name.setdefault(sp["name"], []).append(sp["duration_s"])
+    spans = {}
+    for name, durs in sorted(by_name.items()):
+        durs.sort()
+        spans[name] = {
+            "count": len(durs),
+            "total_s": sum(durs),
+            "mean_s": sum(durs) / len(durs),
+            "p50_s": _percentile(durs, 0.50),
+            "p95_s": _percentile(durs, 0.95),
+            "max_s": durs[-1],
+        }
+    histograms = {}
+    for name, h in sorted(snap.histograms.items()):
+        count = h["count"]
+        histograms[name] = {
+            "count": count,
+            "total": h["total"],
+            "mean": h["total"] / count if count else 0.0,
+            "min": h["min"],
+            "max": h["max"],
+            "p50": _bucket_quantile(h, 0.50),
+            "p95": _bucket_quantile(h, 0.95),
+        }
+    return {
+        "spans": spans,
+        "counters": {n: c["value"] for n, c in sorted(snap.counters.items())},
+        "gauges": {n: g["value"] for n, g in sorted(snap.gauges.items())},
+        "histograms": histograms,
+    }
+
+
+def _bucket_quantile(h: dict, q: float) -> float:
+    """Bucket-resolution quantile from a serialized histogram record."""
+    count = h["count"]
+    if not count:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for i, c in enumerate(h["counts"]):
+        seen += c
+        if seen >= rank and c:
+            if i < len(h["boundaries"]):
+                # Clamp to the observed max (see Histogram.quantile).
+                return min(h["boundaries"][i], h["max"])
+            return h["max"]
+    return h["max"]
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _table(header: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    return [fmt.format(*header), *(fmt.format(*row) for row in rows)]
+
+
+def _si(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def format_summary(snap: TelemetrySnapshot) -> str:
+    """Render the aggregate as human-readable tables."""
+    agg = summarize(snap)
+    out: list[str] = []
+    if agg["spans"]:
+        rows = [
+            [name, str(s["count"]), _si(s["total_s"]), _si(s["mean_s"]),
+             _si(s["p50_s"]), _si(s["p95_s"]), _si(s["max_s"])]
+            for name, s in agg["spans"].items()
+        ]
+        out += ["== spans ==",
+                *_table(["span", "count", "total", "mean", "p50", "p95", "max"], rows)]
+    if agg["histograms"]:
+        rows = [
+            [name, str(h["count"]), f"{h['mean']:.4g}", f"{h['p50']:.4g}",
+             f"{h['p95']:.4g}", f"{h['max']:.4g}"]
+            for name, h in agg["histograms"].items()
+        ]
+        out += ["", "== histograms ==",
+                *_table(["histogram", "count", "mean", "p50", "p95", "max"], rows)]
+    if agg["counters"]:
+        rows = [[name, f"{v:g}"] for name, v in agg["counters"].items()]
+        out += ["", "== counters ==", *_table(["counter", "value"], rows)]
+    if agg["gauges"]:
+        rows = [[name, f"{v:g}"] for name, v in agg["gauges"].items()]
+        out += ["", "== gauges ==", *_table(["gauge", "value"], rows)]
+    if not out:
+        return "(no telemetry recorded)"
+    return "\n".join(out)

@@ -1,0 +1,25 @@
+"""Shared recording conventions for instrumented solver backends.
+
+Every LP/MILP backend reports the same four facts under
+``solver.<backend>.*``: solve count, terminal status counts, wall time,
+and iterations (simplex pivots or B&B nodes, whatever the backend's
+:attr:`~repro.solver.result.SolveResult.iterations` means). Keeping the
+naming in one place means ``repro telemetry summary`` renders a uniform
+per-backend table no matter which engines a run exercised.
+"""
+
+from __future__ import annotations
+
+from .session import Telemetry
+
+__all__ = ["record_solver_result"]
+
+
+def record_solver_result(
+    tel: Telemetry, backend: str, status_value: str, iterations: int, wall_s: float
+) -> None:
+    """Record one backend solve under the ``solver.<backend>.*`` names."""
+    tel.counter(f"solver.{backend}.solves").inc()
+    tel.counter(f"solver.{backend}.status.{status_value}").inc()
+    tel.histogram(f"solver.{backend}.wall_s").observe(wall_s)
+    tel.histogram(f"solver.{backend}.iterations").observe(iterations)

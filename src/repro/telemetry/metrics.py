@@ -1,0 +1,242 @@
+"""Zero-dependency metric primitives: counters, gauges, histograms.
+
+The hourly control loop solves a MILP every invocation period; finding
+out *where* a simulated month spends its time — LP relaxations, branch
+and bound, local provisioning, billing — requires per-solve accounting
+that costs nothing when it is switched off. These primitives follow the
+Prometheus vocabulary (counter / gauge / histogram with fixed bucket
+boundaries) but live entirely in process: a :class:`MetricRegistry`
+holds named instruments, and the paired ``Null*`` classes make every
+operation a no-op so instrumented code can run unconditionally.
+
+Design rules:
+
+* instruments are created lazily and get-or-create by name, so callers
+  never need registration ceremony at import time;
+* histogram buckets are fixed at creation (cumulative ``le`` semantics),
+  keeping ``observe`` O(#buckets) with no allocation;
+* nothing here imports anything heavier than :mod:`bisect`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram boundaries: geometric-ish, wide enough for both
+#: sub-millisecond LP solves and thousands of B&B nodes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0, 100000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, failovers, nodes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (carryover balance, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with running sum/min/max.
+
+    ``boundaries`` are upper bounds of the first ``len(boundaries)``
+    buckets; one overflow bucket catches everything above the last
+    boundary (cumulative Prometheus ``le`` semantics are recovered by
+    the exporter).
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("histogram boundaries must be sorted ascending")
+        if not boundaries:
+            raise ValueError("need at least one bucket boundary")
+        self.name = name
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.counts = [0] * (len(boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation; ``max`` for the overflow
+        bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if i < len(self.boundaries):
+                    # The bucket's upper bound, clamped to the observed
+                    # max so estimates never exceed any real value.
+                    return min(self.boundaries[i], self.max)
+                return self.max
+        return self.max
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+        }
+
+
+class MetricRegistry:
+    """Named get-or-create store for the three instrument kinds.
+
+    A name is bound to exactly one kind; asking for ``counter("x")``
+    after ``gauge("x")`` is a programming error and raises.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, boundaries)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str):
+        """Look up an instrument without creating it (None if absent)."""
+        return self._metrics.get(name)
+
+    def as_dicts(self) -> list[dict]:
+        return [m.as_dict() for m in self]
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", (1.0,))
+
+
+class NullRegistry(MetricRegistry):
+    """The disabled registry: every lookup returns a shared no-op
+    instrument, so instrumented hot paths cost one method call."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return _NULL_HISTOGRAM

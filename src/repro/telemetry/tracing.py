@@ -1,0 +1,149 @@
+"""Lightweight span tracer for the hourly control loop.
+
+A :class:`Span` measures one region of work on the monotonic clock
+(:func:`time.perf_counter`); spans nest, so an hour of simulated
+dispatch decomposes into ``budget -> dispatch -> local_optimization ->
+billing`` children and a MILP solve shows up under the ``dispatch``
+span that triggered it. The API is deliberately tiny:
+
+    with tracer.span("dispatch", hour=t) as sp:
+        decision = capper.decide(...)
+        sp.set(step=decision.step.value)
+
+Finished spans accumulate in :attr:`Tracer.finished` in completion
+order (children before parents, like any post-order walk), each
+carrying its start offset, duration, depth, parent id and free-form
+attributes — enough to rebuild the tree or feed the JSONL exporter.
+
+The :class:`NullTracer` hands out one shared no-op span so disabled
+runs pay a single method call and no allocation per region.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+__all__ = ["Span", "Tracer", "NullTracer"]
+
+
+class Span:
+    """One timed region. Use only via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "depth", "attrs",
+        "start_s", "duration_s", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int | None, depth: int, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.duration_s = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span while it is running."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter() - self._tracer.epoch_s
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = (
+            time.perf_counter() - self._tracer.epoch_s - self.start_s
+        )
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Produces nested spans and collects the finished ones.
+
+    All times are offsets from the tracer's creation instant
+    (``epoch_s`` on the perf-counter clock), so a trace is
+    self-consistent regardless of wall-clock adjustments.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.epoch_s = time.perf_counter()
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def span(self, name: str, **attrs) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(
+            self,
+            name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            attrs=attrs,
+        )
+        self._stack.append(sp)
+        return sp
+
+    def _finish(self, span: Span) -> None:
+        # Exits normally come in LIFO order; tolerate out-of-order exits
+        # (a caller holding a span across a generator boundary) by
+        # removing wherever the span sits.
+        try:
+            self._stack.remove(span)
+        except ValueError:
+            pass
+        self.finished.append(span)
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    def as_dicts(self) -> list[dict]:
+        return [s.as_dict() for s in self.finished]
+
+
+class _NullSpan(Span):
+    __slots__ = ()
+
+    def set(self, **attrs) -> "Span":
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: one shared span, no clock reads, no state."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._null = _NullSpan(self, "null", 0, None, 0, {})
+
+    def span(self, name: str, **attrs) -> Span:
+        return self._null

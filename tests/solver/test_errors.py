@@ -1,0 +1,68 @@
+"""The solver error taxonomy (`repro.solver.errors`) and its wiring.
+
+Two things are guarded: the class hierarchy downstream code catches
+against, and the ``raise_on_failure=True`` mapping from terminal solve
+statuses to exception types that the bill capper's control loop relies
+on (`repro.core.cost_min` catches :class:`InfeasibleError` semantics).
+"""
+
+import pytest
+
+from repro.solver import (
+    InfeasibleError,
+    Model,
+    ModelingError,
+    SolverError,
+    SolverLimitError,
+    UnboundedError,
+)
+from repro.solver.branch_bound import BranchBoundSolver
+
+
+class TestHierarchy:
+    def test_all_derive_from_solver_error(self):
+        for exc in (ModelingError, InfeasibleError, UnboundedError,
+                    SolverLimitError):
+            assert issubclass(exc, SolverError)
+        assert issubclass(SolverError, Exception)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(SolverError):
+            raise InfeasibleError("no feasible point")
+        with pytest.raises(SolverError):
+            raise SolverLimitError("node limit")
+
+
+class TestRaiseOnFailure:
+    def test_infeasible_model_raises_infeasible_error(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=1.0)
+        m.add(x >= 2.0)
+        m.minimize(x)
+        with pytest.raises(InfeasibleError):
+            m.solve(raise_on_failure=True)
+
+    def test_unbounded_model_raises_unbounded_error(self):
+        m = Model()
+        x = m.var("x")  # lb=0, no upper bound
+        m.maximize(x)
+        with pytest.raises(UnboundedError):
+            m.solve(raise_on_failure=True)
+
+    def test_node_limit_raises_solver_limit_error(self):
+        # A tiny knapsack with a 0-node budget and no incumbent.
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(6)]
+        m.add(sum((i + 1) * x for i, x in enumerate(xs)) <= 7)
+        m.maximize(sum((i + 2) * x for i, x in enumerate(xs)))
+        with pytest.raises(SolverLimitError):
+            m.solve(backend=BranchBoundSolver(max_nodes=0),
+                    raise_on_failure=True)
+
+    def test_default_returns_failed_result_instead(self):
+        m = Model()
+        x = m.var("x", lb=0.0, ub=1.0)
+        m.add(x >= 2.0)
+        m.minimize(x)
+        res = m.solve()
+        assert not res.ok

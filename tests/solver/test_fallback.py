@@ -105,6 +105,16 @@ class TestFallback:
         res = m.solve(backend=fb)
         assert res.status is SolveStatus.INFEASIBLE
 
+    def test_crash_then_status_then_success_chain(self):
+        # A three-deep chain degrades backend by backend until one works.
+        crasher = _FailingBackend(raises=True, name="crasher")
+        limited = _FailingBackend(status=SolveStatus.NODE_LIMIT, name="limited")
+        fb = FallbackBackend(crasher, limited, ScipyBackend())
+        res = _toy_model().solve(backend=fb)
+        assert res.ok
+        assert res.objective == pytest.approx(8.0)
+        assert crasher.calls == 1 and limited.calls == 1
+
     def test_usable_in_cost_minimizer(self):
         from repro.core import CostMinimizer
         from repro.experiments import paper_world
@@ -115,3 +125,63 @@ class TestFallback:
         fb = FallbackBackend(ScipyBackend(), BranchBoundSolver(), retry_infeasible=True)
         d = CostMinimizer(backend=fb).solve(sh, lam)
         assert d.predicted_cost > 0
+
+
+class TestFallbackTelemetry:
+    """Failovers are counted so a month's worth of backend trouble shows
+    up in ``repro telemetry summary`` instead of vanishing silently."""
+
+    def _counters(self, tel):
+        from repro.telemetry import snapshot, summarize
+
+        return summarize(snapshot(tel))["counters"]
+
+    def test_each_failover_counted(self):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        crasher = _FailingBackend(raises=True, name="crasher")
+        limited = _FailingBackend(status=SolveStatus.NODE_LIMIT, name="limited")
+        fb = FallbackBackend(crasher, limited, ScipyBackend())
+        tel = Telemetry()
+        with use_telemetry(tel):
+            res = _toy_model().solve(backend=fb)
+        assert res.ok
+        counters = self._counters(tel)
+        assert counters["solver.fallback.failovers"] == 2
+        assert counters["solver.fallback.failover.crasher"] == 1
+        assert counters["solver.fallback.failover.limited"] == 1
+        assert "solver.fallback.exhausted" not in counters
+
+    def test_successful_primary_records_nothing(self):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        fb = FallbackBackend(ScipyBackend(), _FailingBackend(raises=True))
+        tel = Telemetry()
+        with use_telemetry(tel):
+            assert _toy_model().solve(backend=fb).ok
+        assert "solver.fallback.failovers" not in self._counters(tel)
+
+    def test_exhausted_chain_counted(self):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        fb = FallbackBackend(
+            _FailingBackend(raises=True, name="a"),
+            _FailingBackend(raises=True, name="b"),
+        )
+        tel = Telemetry()
+        with use_telemetry(tel):
+            res = fb.solve(_toy_model().to_standard_form())
+        assert res.status is SolveStatus.ERROR
+        counters = self._counters(tel)
+        assert counters["solver.fallback.failovers"] == 2
+        assert counters["solver.fallback.exhausted"] == 1
+
+    def test_disabled_telemetry_costs_nothing_and_records_nothing(self):
+        from repro.telemetry import NULL, get_telemetry
+
+        assert get_telemetry() is NULL
+        fb = FallbackBackend(
+            _FailingBackend(raises=True, name="a"), ScipyBackend()
+        )
+        assert _toy_model().solve(backend=fb).ok
+        assert len(NULL.registry) == 0

@@ -1,0 +1,105 @@
+"""JSONL round-trip, aggregation, and rendering (`repro.telemetry.export`)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    format_summary,
+    read_jsonl,
+    snapshot,
+    summarize,
+    write_jsonl,
+)
+
+
+def _populated_telemetry() -> Telemetry:
+    tel = Telemetry()
+    with tel.span("hour", hour=0):
+        with tel.span("dispatch"):
+            pass
+    tel.counter("solver.stub.solves").inc(3)
+    tel.gauge("budgeter.carryover").set(12.5)
+    h = tel.histogram("solver.stub.wall_s")
+    for v in (0.001, 0.002, 0.004):
+        h.observe(v)
+    return tel
+
+
+class TestRoundTrip:
+    def test_jsonl_preserves_everything(self, tmp_path):
+        tel = _populated_telemetry()
+        path = write_jsonl(tel, tmp_path / "trace.jsonl")
+        back = read_jsonl(path)
+        orig = snapshot(tel)
+        assert back.spans == orig.spans
+        assert back.counters == orig.counters
+        assert back.gauges == orig.gauges
+        assert back.histograms == orig.histograms
+        assert back.meta["version"] == 1
+
+    def test_each_line_is_self_describing_json(self, tmp_path):
+        path = write_jsonl(_populated_telemetry(), tmp_path / "t.jsonl")
+        kinds = set()
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            kinds.add(record["type"])
+        assert kinds == {"meta", "span", "counter", "gauge", "histogram"}
+
+    def test_unknown_record_kinds_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"type": "span", "name": "x", "duration_s": 1.0,
+                        "start_s": 0.0, "depth": 0, "parent_id": None,
+                        "span_id": 1, "attrs": {}}) + "\n"
+            + json.dumps({"type": "from-the-future", "name": "y"}) + "\n"
+        )
+        snap = read_jsonl(path)
+        assert len(snap.spans) == 1
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n\n")
+        assert read_jsonl(path).empty
+
+
+class TestSummarize:
+    def test_span_aggregates(self):
+        agg = summarize(snapshot(_populated_telemetry()))
+        hour = agg["spans"]["hour"]
+        assert hour["count"] == 1
+        assert hour["total_s"] == hour["mean_s"] == hour["max_s"]
+        assert agg["spans"]["dispatch"]["max_s"] <= hour["max_s"]
+
+    def test_metric_aggregates(self):
+        agg = summarize(snapshot(_populated_telemetry()))
+        assert agg["counters"]["solver.stub.solves"] == 3.0
+        assert agg["gauges"]["budgeter.carryover"] == 12.5
+        wall = agg["histograms"]["solver.stub.wall_s"]
+        assert wall["count"] == 3
+        assert wall["mean"] == pytest.approx(0.007 / 3)
+        assert wall["p50"] <= wall["p95"] <= wall["max"]
+
+    def test_percentiles_ordered_over_many_spans(self):
+        tel = Telemetry()
+        for i in range(50):
+            with tel.span("hour", hour=i):
+                pass
+        s = summarize(snapshot(tel))["spans"]["hour"]
+        assert s["count"] == 50
+        assert s["p50_s"] <= s["p95_s"] <= s["max_s"]
+
+    def test_summary_is_json_serializable(self):
+        json.dumps(summarize(snapshot(_populated_telemetry())))
+
+
+class TestFormatting:
+    def test_tables_mention_all_sections(self):
+        out = format_summary(snapshot(_populated_telemetry()))
+        for token in ("== spans ==", "== histograms ==", "== counters ==",
+                      "== gauges ==", "hour", "solver.stub.wall_s"):
+            assert token in out
+
+    def test_empty_snapshot(self):
+        assert format_summary(snapshot(Telemetry())) == "(no telemetry recorded)"

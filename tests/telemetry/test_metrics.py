@@ -1,0 +1,117 @@
+"""Registry and instrument semantics (`repro.telemetry.metrics`)."""
+
+import pytest
+
+from repro.telemetry import MetricRegistry, NullRegistry
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricRegistry().counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_as_dict(self):
+        c = MetricRegistry().counter("events")
+        c.inc(4)
+        assert c.as_dict() == {"type": "counter", "name": "events", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricRegistry().gauge("carry")
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("h", boundaries=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+        assert h.min == 0.5 and h.max == 500.0
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # bisect_left: an observation equal to a boundary counts as <= it.
+        h = Histogram("h", boundaries=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_mean_and_quantiles(self):
+        h = Histogram("h", boundaries=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(6.6 / 4)
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.25) <= h.quantile(0.95)
+        # p50 falls in the (1, 2] bucket; estimate is its upper bound.
+        assert h.quantile(0.5) == 2.0
+        # Estimates never exceed the observed max.
+        assert h.quantile(1.0) <= h.max
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.as_dict()["min"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_iteration_sorted_by_name(self):
+        reg = MetricRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert [m.name for m in reg] == ["a", "b"]
+        assert len(reg) == 2
+
+    def test_get_does_not_create(self):
+        reg = MetricRegistry()
+        assert reg.get("missing") is None
+        assert len(reg) == 0
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(5)
+        assert reg.counter("c").value == 0.0
+        assert reg.gauge("g").value == 0.0
+        assert reg.histogram("h").count == 0
+        # Nothing is ever registered.
+        assert len(reg) == 0
+
+    def test_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")

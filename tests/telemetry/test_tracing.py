@@ -1,0 +1,118 @@
+"""Span tracer semantics (`repro.telemetry.tracing` + session scoping)."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL,
+    Telemetry,
+    Tracer,
+    get_telemetry,
+    use_telemetry,
+)
+from repro.telemetry.tracing import NullTracer
+
+
+class TestNesting:
+    def test_parent_child_depth_and_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert tr.active_depth == 2
+        assert outer.depth == 0 and outer.parent_id is None
+        assert inner.depth == 1 and inner.parent_id == outer.span_id
+        assert tr.active_depth == 0
+
+    def test_children_finish_before_parents(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        assert [s.name for s in tr.finished] == ["b", "a"]
+
+    def test_sibling_spans_share_parent(self):
+        tr = Tracer()
+        with tr.span("hour") as hour:
+            with tr.span("budget"):
+                pass
+            with tr.span("dispatch"):
+                pass
+        by_name = {s.name: s for s in tr.finished}
+        assert by_name["budget"].parent_id == hour.span_id
+        assert by_name["dispatch"].parent_id == hour.span_id
+
+    def test_durations_monotonic_and_contained(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                sum(range(1000))
+        by_name = {s.name: s for s in tr.finished}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert inner.duration_s >= 0.0
+        assert outer.duration_s >= inner.duration_s
+        assert inner.start_s >= outer.start_s
+
+    def test_attrs_at_open_and_set(self):
+        tr = Tracer()
+        with tr.span("hour", hour=7) as sp:
+            sp.set(step="cost-min")
+        assert tr.finished[0].attrs == {"hour": 7, "step": "cost-min"}
+
+    def test_exception_annotates_and_finishes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("work"):
+                raise RuntimeError("boom")
+        assert tr.finished[0].attrs["error"] == "RuntimeError"
+        assert tr.active_depth == 0
+
+    def test_as_dict_shape(self):
+        tr = Tracer()
+        with tr.span("x", k=1):
+            pass
+        d = tr.as_dicts()[0]
+        assert d["type"] == "span"
+        assert d["name"] == "x"
+        assert d["attrs"] == {"k": 1}
+        assert d["duration_s"] >= 0.0
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        tr = NullTracer()
+        with tr.span("a") as a:
+            with tr.span("b") as b:
+                assert a is b
+        assert tr.finished == []
+        assert not tr.enabled
+
+
+class TestSessionScoping:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL
+        assert not get_telemetry().enabled
+
+    def test_use_telemetry_installs_and_restores(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            assert get_telemetry() is tel
+            get_telemetry().counter("seen").inc()
+        assert get_telemetry() is NULL
+        assert tel.registry.counter("seen").value == 1.0
+
+    def test_use_telemetry_restores_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with use_telemetry(tel):
+                raise ValueError
+        assert get_telemetry() is NULL
+
+    def test_none_means_null(self):
+        with use_telemetry(None):
+            assert get_telemetry() is NULL
+
+    def test_nested_scopes(self):
+        a, b = Telemetry(), Telemetry()
+        with use_telemetry(a):
+            with use_telemetry(b):
+                assert get_telemetry() is b
+            assert get_telemetry() is a

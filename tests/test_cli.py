@@ -26,6 +26,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--policy", "9"])
 
+    def test_trace_flag_on_run_commands(self):
+        for command in ("simulate", "compare", "study"):
+            args = build_parser().parse_args([command, "--trace", "t.jsonl"])
+            assert args.trace == "t.jsonl"
+
+    def test_telemetry_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
+    def test_telemetry_summary_args(self):
+        args = build_parser().parse_args(["telemetry", "summary", "t.jsonl"])
+        assert args.trace_file == "t.jsonl"
+
 
 class TestCommands:
     def test_lmp_sweep_runs(self, capsys):
@@ -72,3 +85,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "capping-savings" in out
         assert "1/1 seeds" in out
+
+
+class TestTelemetryCommands:
+    def test_trace_sidecar_then_summary_and_export(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "simulate", "--strategy", "min-only-avg", "--hours", "2",
+            "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry trace written" in out
+        assert trace.exists()
+
+        assert main(["telemetry", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== spans ==" in out
+        assert "hour" in out and "dispatch" in out
+
+        exported = tmp_path / "agg.json"
+        assert main([
+            "telemetry", "export", str(trace), "--out", str(exported)
+        ]) == 0
+        agg = json.loads(exported.read_text())
+        assert agg["spans"]["hour"]["count"] == 2
+        assert any(k.startswith("solver.") for k in agg["counters"])
+
+    def test_summary_of_empty_trace_fails_cleanly(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["telemetry", "summary", str(empty)]) == 1
+        assert "no telemetry" in capsys.readouterr().out

@@ -20,6 +20,7 @@ SUBPACKAGES = (
     "repro.sim",
     "repro.routing",
     "repro.experiments",
+    "repro.telemetry",
 )
 
 
