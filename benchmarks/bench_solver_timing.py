@@ -9,7 +9,18 @@ These are real microbenchmarks (many rounds): the hourly cost-min MILP
 at 3 and 13 sites, the throughput-max MILP, the Min-Only LP, and one
 DC-OPF dispatch. The on-line budget is an hour, so anything in
 milliseconds leaves five orders of magnitude of headroom.
+
+Run as a script — ``PYTHONPATH=src python benchmarks/bench_solver_timing.py
+[--quick]`` — to produce the machine-readable perf baseline
+``BENCH_solver.json`` at the repo root: the repeated-hour cost-min MILP
+with and without the compiled-model cache, and branch-and-bound node
+throughput with and without warm starts, at 3 and 13 sites. CI runs the
+quick mode and validates only the JSON shape, never absolute timings.
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
@@ -22,18 +33,17 @@ from repro.core import (
 )
 from repro.powermarket import DcOpf, pjm5bus
 
-
-@pytest.fixture(scope="module")
-def site_hours_3(world):
-    return [s.hour(40) for s in world.sites]
+#: Where the machine-readable baseline lands (repo root).
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_solver.json"
 
 
-@pytest.fixture(scope="module")
-def site_hours_13(world):
-    # Replicate the three sites to 13 (the paper's large-system case),
-    # perturbing backgrounds so the MILP cannot collapse symmetric sites.
+def _replicate_13(world, t: int):
+    """The paper's large-system case: three sites replicated to 13.
+
+    Backgrounds are perturbed so the MILP cannot collapse symmetric
+    sites.
+    """
     out = []
-    t = 40
     for i in range(13):
         base = world.sites[i % 3].hour(t)
         out.append(
@@ -47,6 +57,16 @@ def site_hours_13(world):
             )
         )
     return out
+
+
+@pytest.fixture(scope="module")
+def site_hours_3(world):
+    return [s.hour(40) for s in world.sites]
+
+
+@pytest.fixture(scope="module")
+def site_hours_13(world):
+    return _replicate_13(world, 40)
 
 
 def _offered(world, fraction=0.5):
@@ -100,3 +120,225 @@ def test_cost_min_own_branch_bound(benchmark, world, site_hours_3):
     solver = CostMinimizer(backend="branch-bound")
     result = benchmark(lambda: solver.solve(site_hours_3, lam))
     assert result.predicted_cost > 0
+
+
+def test_cost_min_3_sites_scipy(benchmark, world, site_hours_3):
+    # Cold-path contrast for the default (cached + warm) case above.
+    lam = 0.5 * sum(sh.max_rate_rps for sh in site_hours_3)
+    solver = CostMinimizer(backend="scipy")
+    result = benchmark(lambda: solver.solve(site_hours_3, lam))
+    assert result.predicted_cost > 0
+
+
+def test_cost_min_13_sites_scipy(benchmark, site_hours_13):
+    lam = 0.5 * sum(sh.max_rate_rps for sh in site_hours_13)
+    solver = CostMinimizer(backend="scipy")
+    result = benchmark(lambda: solver.solve(site_hours_13, lam))
+    assert result.predicted_cost > 0
+
+
+# ---------------------------------------------------------------------------
+# Standalone perf baseline: BENCH_solver.json
+# ---------------------------------------------------------------------------
+
+#: Acceptance floors the baseline is judged against (see ARCHITECTURE.md,
+#: "Performance"). CI checks only the JSON shape; these ratios are for
+#: humans and for the repo's own perf tracking on a quiet machine.
+CRITERIA = {"model_cache_speedup_min": 3.0, "warm_node_speedup_min": 2.0}
+
+#: First simulated hour of the repeated-hour sequences. Offset from 0 so
+#: backgrounds are mid-trace (every hour has a distinct demand pattern).
+_T0 = 24
+
+
+def _hours_at(world, n_sites: int, t: int):
+    if n_sites == 3:
+        return [s.hour(t) for s in world.sites]
+    return _replicate_13(world, t)
+
+
+def _cost_min_sf(site_hours, lam):
+    """The cost-min MILP in standard form (what B&B actually consumes)."""
+    from repro.core.dispatch_model import RATE_SCALE, build_dispatch_model
+
+    dm = build_dispatch_model(site_hours, name="cost-min", step_margin_frac=0.01)
+    dm.model.add(dm.total_rate_scaled == lam / RATE_SCALE, name="serve_all")
+    dm.model.minimize(dm.total_cost)
+    return dm.model.to_standard_form()
+
+
+def _repeated_hour_case(world, n_sites: int, n_hours: int, passes: int) -> dict:
+    """Repeated-hour cost-min: cold rebuild+solve vs cached patch+warm solve.
+
+    Cold and hot run the *same* engine (own B&B over the dense simplex),
+    so the ratio isolates what the model cache + warm starts buy. SciPy
+    is timed too, as the external reference point. Each variant sweeps
+    the hour sequence ``passes`` times and keeps the fastest sweep —
+    min-of-N is the standard guard against scheduler noise at the
+    millisecond scale, and it reports the steady state (the hot path's
+    first sweep pays the one-time compile).
+    """
+    from repro.solver import BranchBoundSolver, SimplexSolver
+
+    hour_list = [_hours_at(world, n_sites, _T0 + i) for i in range(n_hours)]
+    lams = [0.5 * sum(sh.max_rate_rps for sh in hours) for hours in hour_list]
+
+    def run(make_solver) -> float:
+        best = float("inf")
+        for _ in range(passes):
+            t0 = time.perf_counter()
+            for hours, lam in zip(hour_list, lams):
+                make_solver().solve(hours, lam)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    # Cold: a fresh minimizer + cold B&B per hour — nothing carries over.
+    cold_s = run(
+        lambda: CostMinimizer(
+            backend=BranchBoundSolver(lp_solver=SimplexSolver(), warm_start=False)
+        )
+    )
+    # Hot: one default minimizer across the sequence (compiled-model
+    # cache + warm-started B&B, exactly what the Simulator holds).
+    hot = CostMinimizer()
+    hot_s = run(lambda: hot)
+    scipy_s = run(lambda: CostMinimizer(backend="scipy"))
+
+    speedup = cold_s / hot_s if hot_s > 0 else float("inf")
+    return {
+        "sites": n_sites,
+        "hours": n_hours,
+        "cold_ms_per_hour": 1e3 * cold_s / n_hours,
+        "hot_ms_per_hour": 1e3 * hot_s / n_hours,
+        "scipy_ms_per_hour": 1e3 * scipy_s / n_hours,
+        "model_cache_speedup": speedup,
+        "meets_criterion": speedup >= CRITERIA["model_cache_speedup_min"],
+    }
+
+
+def _node_throughput_case(world, n_sites: int, reps: int) -> dict:
+    """B&B node throughput (nodes/s) on one cost-min MILP, cold vs warm."""
+    from repro.solver import BranchBoundSolver, SimplexSolver
+
+    site_hours = _hours_at(world, n_sites, 40)
+    lam = 0.5 * sum(sh.max_rate_rps for sh in site_hours)
+    sf = _cost_min_sf(site_hours, lam)
+
+    cold_nodes, cold_s = 0, 0.0
+    for _ in range(reps):
+        solver = BranchBoundSolver(lp_solver=SimplexSolver(), warm_start=False)
+        t0 = time.perf_counter()
+        res = solver.solve(sf)
+        cold_s += time.perf_counter() - t0
+        cold_nodes += res.iterations
+
+    warm = BranchBoundSolver(lp_solver=SimplexSolver(), warm_start=True)
+    primed = warm.solve(sf)  # untimed: builds the root basis + incumbent
+    warm_nodes, warm_s = 0, 0.0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = warm.solve(sf, warm_x=primed.x)
+        warm_s += time.perf_counter() - t0
+        warm_nodes += res.iterations
+
+    cold_rate = cold_nodes / cold_s if cold_s > 0 else float("inf")
+    warm_rate = warm_nodes / warm_s if warm_s > 0 else float("inf")
+    speedup = warm_rate / cold_rate if cold_rate > 0 else float("inf")
+    return {
+        "sites": n_sites,
+        "reps": reps,
+        "cold_nodes": cold_nodes,
+        "warm_nodes": warm_nodes,
+        "cold_nodes_per_s": cold_rate,
+        "warm_nodes_per_s": warm_rate,
+        "warm_node_speedup": speedup,
+        "meets_criterion": speedup >= CRITERIA["warm_node_speedup_min"],
+    }
+
+
+def run_timing_suite(quick: bool = False) -> dict:
+    """Time the solver hot path and return the BENCH_solver.json payload.
+
+    ``quick`` shrinks the hour sequences and repetition counts to what a
+    CI smoke job can afford; the JSON shape is identical either way.
+    """
+    import platform
+
+    import numpy
+    import scipy
+
+    from repro.experiments import paper_world
+
+    world = paper_world(1, seed=7)
+    n_hours = 4 if quick else 12
+    reps = 1 if quick else 3
+    passes = 2 if quick else 3
+
+    cases = {
+        "cost_min_3_sites": _repeated_hour_case(world, 3, n_hours, passes),
+        "cost_min_13_sites": _repeated_hour_case(world, 13, n_hours, passes),
+        "bb_nodes_3_sites": _node_throughput_case(world, 3, reps),
+        "bb_nodes_13_sites": _node_throughput_case(world, 13, reps),
+    }
+    return {
+        "benchmark": "solver_timing",
+        "schema_version": 1,
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "cases": cases,
+        "criteria": {
+            **CRITERIA,
+            "met": all(c["meets_criterion"] for c in cases.values()),
+        },
+    }
+
+
+def _main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Solver perf baseline; writes BENCH_solver.json at the "
+        "repo root."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink sequences/reps for CI smoke runs (same JSON shape)",
+    )
+    parser.add_argument(
+        "--out", default=str(BENCH_JSON), help="output path for the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_timing_suite(quick=args.quick)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+    for name, case in payload["cases"].items():
+        if name.startswith("cost_min"):
+            print(
+                f"  {name}: cold {case['cold_ms_per_hour']:.1f} ms/h, "
+                f"hot {case['hot_ms_per_hour']:.1f} ms/h, "
+                f"scipy {case['scipy_ms_per_hour']:.1f} ms/h "
+                f"-> {case['model_cache_speedup']:.1f}x"
+            )
+        else:
+            print(
+                f"  {name}: cold {case['cold_nodes_per_s']:.0f} nodes/s, "
+                f"warm {case['warm_nodes_per_s']:.0f} nodes/s "
+                f"-> {case['warm_node_speedup']:.1f}x"
+            )
+    print(f"criteria met: {payload['criteria']['met']}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

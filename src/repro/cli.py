@@ -158,6 +158,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .core import PriceMode
     from .sim import Simulator
 
+    workers = args.workers
+    if workers > 1 and args.trace is not None:
+        # Telemetry is recorded in-process; a fanned-out run would
+        # produce an empty trace. Tracing wins.
+        print("--trace requires in-process runs; ignoring --workers")
+        workers = 1
+    if workers > 1:
+        from .sim import STRATEGIES, compare_strategies
+
+        results = compare_strategies(
+            policy_id=args.policy,
+            seed=args.seed,
+            hours=args.hours,
+            strategies=STRATEGIES,
+            workers=workers,
+        )
+        capping = results["capping"]
+        _print_summary("cost-capping (uncapped)", capping)
+        for name in STRATEGIES[1:]:
+            res = results[name]
+            _print_summary(name, res)
+            saving = 1 - capping.total_cost / res.total_cost
+            print(f"  -> capping saves {saving:.1%} vs this baseline")
+        return 0
+
     world = _build_world(args)
     sim = Simulator(world.sites, world.workload, world.mix)
     with _tracing(args):
@@ -263,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser(
         "compare", parents=[common], help="capping vs all baselines"
+    )
+    p_cmp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run the strategies in a process pool of this size "
+        "(they are independent given the world; incompatible with --trace)",
     )
     p_cmp.set_defaults(func=_cmd_compare)
 

@@ -16,8 +16,14 @@ from .baselines import MinOnlyDispatcher, PriceMode, server_only_affine_slope
 from .bill_capper import BillCapper
 from .budgeter import Budgeter
 from .cost_min import CostMinimizer
-from .dispatch_model import DispatchModel, SiteVars, build_dispatch_model
-from .linearize import LinearizedCost, add_stepped_cost
+from .dispatch_model import (
+    DispatchModel,
+    SiteVars,
+    build_dispatch_model,
+    piecewise_widths,
+)
+from .linearize import LinearizedCost, add_stepped_cost, reachable_segments
+from .model_cache import DispatchModelCache, MinOnlyCache
 from .hierarchical import (
     HierarchicalBillCapper,
     HierarchicalDispatcher,
@@ -37,9 +43,13 @@ __all__ = [
     "HourlyDecision",
     "LinearizedCost",
     "add_stepped_cost",
+    "reachable_segments",
     "DispatchModel",
     "SiteVars",
     "build_dispatch_model",
+    "piecewise_widths",
+    "DispatchModelCache",
+    "MinOnlyCache",
     "CostMinimizer",
     "ThroughputMaximizer",
     "Budgeter",

@@ -23,7 +23,7 @@ baseline underperforms, exactly as in the paper's Figures 3-4 and 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 from ..datacenter import DataCenter, WATTS_PER_MW
@@ -95,6 +95,7 @@ class MinOnlyDispatcher:
     price_mode: PriceMode
     server_slopes: dict[str, float]
     backend: object | None = None
+    model_cache: object | None = field(default=None, repr=False, compare=False)
 
     def solve(
         self, site_hours: list[SiteHour], total_rate_rps: float
@@ -103,6 +104,9 @@ class MinOnlyDispatcher:
         if total_rate_rps < 0:
             raise ValueError("total rate must be >= 0")
         from .dispatch_model import RATE_SCALE
+
+        if self.backend is None:
+            return self._solve_cached(site_hours, total_rate_rps)
 
         m = Model("min-only")
         rates = []
@@ -131,9 +135,42 @@ class MinOnlyDispatcher:
         m.minimize(quicksum(costs))
         res = m.solve(backend=self.backend, raise_on_failure=True)
 
+        lams = [max(0.0, res.value(rate)) * RATE_SCALE for rate in rates]
+        return self._decision(site_hours, total_rate_rps, lams)
+
+    def _solve_cached(
+        self, site_hours: list[SiteHour], total_rate_rps: float
+    ) -> HourlyDecision:
+        """Hot path: patch the compiled baseline LP instead of rebuilding.
+
+        Same LP, same result (the equivalence is pinned by tests); the
+        modeling layer is skipped and consecutive hours warm-start each
+        other's simplex basis.
+        """
+        from .dispatch_model import RATE_SCALE
+        from .model_cache import MinOnlyCache
+
+        for sh in site_hours:
+            if sh.name not in self.server_slopes:
+                raise KeyError(f"no server slope for site {sh.name!r}")
+        if self.model_cache is None:
+            self.model_cache = MinOnlyCache()
+        prices = [self.price_mode.constant_price(sh) for sh in site_hours]
+        res = self.model_cache.solve(
+            site_hours, total_rate_rps, prices, self.server_slopes
+        )
+        lams = [max(0.0, float(res.x[i])) * RATE_SCALE
+                for i in range(len(site_hours))]
+        return self._decision(site_hours, total_rate_rps, lams)
+
+    def _decision(
+        self,
+        site_hours: list[SiteHour],
+        total_rate_rps: float,
+        lams: list[float],
+    ) -> HourlyDecision:
         allocs = []
-        for sh, rate in zip(site_hours, rates):
-            lam = max(0.0, res.value(rate)) * RATE_SCALE
+        for sh, lam in zip(site_hours, lams):
             slope = self.server_slopes[sh.name]
             price = self.price_mode.constant_price(sh)
             power = slope * lam

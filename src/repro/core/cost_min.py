@@ -10,11 +10,12 @@ formulation that distinguishes Cost Capping from Min-Only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..solver import InfeasibleError, SolveResult
 from .allocation import Allocation, CappingStep, HourlyDecision
 from .dispatch_model import RATE_SCALE, build_dispatch_model
+from .model_cache import DispatchModelCache
 from .site import SiteHour
 
 __all__ = ["CostMinimizer"]
@@ -28,7 +29,12 @@ class CostMinimizer:
     ----------
     backend:
         Solver backend name or object (see
-        :meth:`repro.solver.Model.solve`); default HiGHS.
+        :meth:`repro.solver.Model.solve`); ``None`` (the default)
+        enables the compiled-model hot path — the MILP structure is
+        cached and patched per hour, solved by a warm-started
+        branch-and-bound with SciPy/HiGHS as automatic fallback.
+        Passing any explicit backend (including ``"scipy"``) forces the
+        cold build-and-solve path.
     step_margin_frac:
         Safety margin below price breakpoints as a fraction of each
         site's reachable power (guards against the smooth decision
@@ -38,6 +44,9 @@ class CostMinimizer:
 
     backend: object | None = None
     step_margin_frac: float = 0.01
+    model_cache: DispatchModelCache | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def solve(
         self, site_hours: list[SiteHour], total_rate_rps: float
@@ -54,6 +63,14 @@ class CostMinimizer:
             raise ValueError("total rate must be >= 0")
         if total_rate_rps == 0:
             return _zero_decision(site_hours, CappingStep.COST_MIN)
+
+        if self.backend is None:
+            if self.model_cache is None:
+                self.model_cache = DispatchModelCache()
+            dm, res = self.model_cache.solve_cost_min(
+                site_hours, total_rate_rps, self.step_margin_frac
+            )
+            return _decision_from(dm, res, CappingStep.COST_MIN)
 
         dm = build_dispatch_model(
             site_hours, name="cost-min", step_margin_frac=self.step_margin_frac

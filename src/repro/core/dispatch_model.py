@@ -27,7 +27,13 @@ from ..solver import LinExpr, Model, SolveResult, Variable, quicksum
 from .linearize import LinearizedCost, add_stepped_cost
 from .site import SiteHour
 
-__all__ = ["RATE_SCALE", "SiteVars", "DispatchModel", "build_dispatch_model"]
+__all__ = [
+    "RATE_SCALE",
+    "SiteVars",
+    "DispatchModel",
+    "build_dispatch_model",
+    "piecewise_widths",
+]
 
 #: Requests/second per internal rate unit (1 unit = 1 Mrps).
 RATE_SCALE = 1e6
@@ -127,6 +133,25 @@ def build_dispatch_model(
     return DispatchModel(m, site_vars)
 
 
+def piecewise_widths(sh: SiteHour) -> list[tuple[float, float]]:
+    """Active piecewise power segments as ``(width_scaled, slope)``.
+
+    Truncates each segment at the site's max servable rate and stops at
+    the first empty one, exactly as the LP-split construction in
+    :func:`_add_power_model` does — the compiled-model cache uses this
+    to patch segment bounds and slopes without rebuilding the model.
+    """
+    out: list[tuple[float, float]] = []
+    prev_cap = 0.0
+    for cap_rps, slope in sh.power_segments or ():
+        width = (min(cap_rps, sh.max_rate_rps) - prev_cap) / RATE_SCALE
+        prev_cap = min(cap_rps, sh.max_rate_rps)
+        if width <= 0:
+            break
+        out.append((width, slope))
+    return out
+
+
 def _add_power_model(m: Model, sh: SiteHour, rate, active, power) -> None:
     """Tie ``power`` to ``rate`` with the site's decision power model.
 
@@ -147,12 +172,7 @@ def _add_power_model(m: Model, sh: SiteHour, rate, active, power) -> None:
         return
     seg_rates = []
     terms = []
-    prev_cap = 0.0
-    for k, (cap_rps, slope) in enumerate(sh.power_segments):
-        width = (min(cap_rps, sh.max_rate_rps) - prev_cap) / RATE_SCALE
-        prev_cap = min(cap_rps, sh.max_rate_rps)
-        if width <= 0:
-            break
+    for k, (width, slope) in enumerate(piecewise_widths(sh)):
         r_k = m.var(f"lamseg[{sh.name},{k}]", lb=0.0, ub=width)
         seg_rates.append(r_k)
         terms.append((slope * RATE_SCALE) * r_k)

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from ..solver import LinExpr, Model, Variable, quicksum
 from .site import SiteHour
 
-__all__ = ["LinearizedCost", "add_stepped_cost"]
+__all__ = ["LinearizedCost", "add_stepped_cost", "reachable_segments"]
 
 #: Slack (MW) applied to right-open segment boundaries. It must exceed
 #: the solver's feasibility tolerances (HiGHS MIP feasibility: 1e-6):
@@ -63,6 +63,52 @@ class LinearizedCost:
     segment_power: list[Variable]
     segment_active: list[Variable]
     prices: list[float]
+
+
+def reachable_segments(
+    site: SiteHour,
+    max_power_mw: float | None = None,
+    margin_mw: float = 0.0,
+) -> list[tuple[int, float, float, float]]:
+    """Segment geometry of the stepped-cost linearization for one hour.
+
+    Returns one ``(k, price, p_lo, p_hi)`` tuple per *reachable* price
+    segment: ``k`` indexes the policy's price levels, ``p_lo``/``p_hi``
+    bound the site's own draw within that segment after background
+    demand, edge epsilon and the safety margin are accounted for.
+    Segments the market load can never fall in (entirely below the
+    background demand or above the site's reachable power) are dropped.
+
+    This is the single source of truth for the per-hour geometry: both
+    :func:`add_stepped_cost` (building the MILP) and the compiled-model
+    cache (patching an already-built MILP) derive their coefficients
+    from it, so the patched arrays are bit-identical to a fresh build.
+    """
+    d = site.background_mw
+    p_max = site.max_power_mw if max_power_mw is None else float(max_power_mw)
+    if not p_max < float("inf"):
+        raise ValueError(f"{site.name}: need a finite power upper bound")
+    if margin_mw < 0:
+        raise ValueError("margin_mw must be >= 0")
+    shave = _EDGE_EPS + margin_mw
+
+    out: list[tuple[int, float, float, float]] = []
+    for k, (lo, hi) in enumerate(site.policy.segment_bounds()):
+        if hi <= d + _EDGE_EPS:
+            continue  # market load can never fall in this segment
+        # Lower bound extends down by the margin so the band shaved off
+        # the previous segment stays representable (at this, higher,
+        # price); upper bound is shaved except for the segment that
+        # contains the site's maximum power, which must stay reachable.
+        p_lo = max(0.0, lo - d - margin_mw)
+        if hi == float("inf") or p_max < hi - d - _EDGE_EPS:
+            p_hi = p_max  # the site's top segment
+        else:
+            p_hi = hi - d - shave
+        if p_hi < p_lo - _EDGE_EPS:
+            continue  # segment above the site's reachable power
+        out.append((k, site.policy.prices[k], p_lo, p_hi))
+    return out
 
 
 def add_stepped_cost(
@@ -102,32 +148,10 @@ def add_stepped_cost(
         The cost expression (add it to the objective or budget row) and
         the auxiliary variables for inspection.
     """
-    d = site.background_mw
-    p_max = site.max_power_mw if max_power_mw is None else float(max_power_mw)
-    if not p_max < float("inf"):
-        raise ValueError(f"{site.name}: need a finite power upper bound")
-    if margin_mw < 0:
-        raise ValueError("margin_mw must be >= 0")
-    shave = _EDGE_EPS + margin_mw
-
     seg_power: list[Variable] = []
     seg_active: list[Variable] = []
     prices: list[float] = []
-    for k, (lo, hi) in enumerate(site.policy.segment_bounds()):
-        if hi <= d + _EDGE_EPS:
-            continue  # market load can never fall in this segment
-        # Lower bound extends down by the margin so the band shaved off
-        # the previous segment stays representable (at this, higher,
-        # price); upper bound is shaved except for the segment that
-        # contains the site's maximum power, which must stay reachable.
-        p_lo = max(0.0, lo - d - margin_mw)
-        if hi == float("inf") or p_max < hi - d - _EDGE_EPS:
-            p_hi = p_max  # the site's top segment
-        else:
-            p_hi = hi - d - shave
-        if p_hi < p_lo - _EDGE_EPS:
-            continue  # segment above the site's reachable power
-        price = site.policy.prices[k]
+    for k, price, p_lo, p_hi in reachable_segments(site, max_power_mw, margin_mw):
         y = model.binary(f"y[{site.name},{k}]")
         p = model.var(f"pseg[{site.name},{k}]", lb=0.0, ub=max(p_hi, 0.0))
         # Segment bounds gated on the selection binary.
@@ -141,7 +165,8 @@ def add_stepped_cost(
     if not seg_power:
         raise ValueError(
             f"{site.name}: no reachable price segment (background demand "
-            f"{d} MW, max power {p_max} MW)"
+            f"{site.background_mw} MW, max power "
+            f"{site.max_power_mw if max_power_mw is None else max_power_mw} MW)"
         )
     model.add(quicksum(seg_active) == 1.0, name=f"one_segment[{site.name}]")
     model.add(

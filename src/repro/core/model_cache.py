@@ -1,0 +1,480 @@
+"""Compiled-structure cache for the hourly dispatch programs.
+
+The MILP skeleton built by :func:`~repro.core.dispatch_model.
+build_dispatch_model` has identical *structure* every hour for a fixed
+site network: same variables, same rows, same sparsity. Only a handful
+of coefficients move hour to hour — backgrounds shift the reachable
+price segments' bounds, weather scales the power model, and the offered
+load / budget land in right-hand sides. Yet the cold path re-runs the
+whole ``Model`` → ``StandardForm`` pipeline (Python dict arithmetic per
+constraint) every invocation period.
+
+This module compiles each structure once, remembers where every
+hour-varying coefficient lives in the compiled arrays, and patches
+fresh values into copies of those arrays on subsequent hours — the
+modeling layer is bypassed entirely on the hot path. The cache key *is*
+the structure signature (site names, reachable-segment pattern,
+piecewise segment count, cap presence, prices), so any change of
+network shape is automatically a miss that rebuilds from scratch;
+an LRU bound keeps alternating patterns from growing the cache.
+
+Each entry also owns a warm-started branch-and-bound solver over the
+pure-NumPy simplex: consecutive hours share the root LP basis and seed
+each other's incumbents (see :mod:`repro.solver.simplex`), which is
+where most of the measured speedup comes from. Any limit/error outcome
+falls back to the SciPy/HiGHS backend on the exact same arrays, so the
+hot path can never be *less* reliable than the cold one. Equivalence of
+the patched arrays with a fresh compile, and of hot results with cold
+SciPy solves, is pinned by ``tests/core/test_model_cache.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..solver import (
+    InfeasibleError,
+    Model,
+    SolveResult,
+    SolverLimitError,
+    StandardForm,
+    UnboundedError,
+)
+from ..solver.branch_bound import BranchBoundSolver
+from ..solver.result import SolveStatus
+from ..solver.simplex import SimplexSolver
+from ..telemetry import get_telemetry
+from .dispatch_model import (
+    RATE_SCALE,
+    DispatchModel,
+    build_dispatch_model,
+    piecewise_widths,
+)
+from .linearize import reachable_segments
+from .site import SiteHour
+
+__all__ = ["DispatchModelCache", "MinOnlyCache"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class _SiteSlots:
+    """Where one site's hour-varying coefficients live in the arrays."""
+
+    rate: int  # variable indices
+    active: int
+    power: int
+    lamseg: tuple[int, ...]  # piecewise rate variables (empty: homogeneous)
+    pseg: tuple[int, ...]  # per reachable segment: power variable
+    yseg: tuple[int, ...]  # per reachable segment: selection binary
+    gate_row: int  # A_ub rows
+    cap_row: int | None
+    seg_ub_rows: tuple[int, ...]
+    seg_lb_rows: tuple[int | None, ...]  # None where p_lo == 0 (no row)
+    power_row: int  # A_eq row
+
+
+class _Entry:
+    """One compiled structure: template arrays, slots, private solver."""
+
+    __slots__ = (
+        "dm", "base", "sense_max", "slots",
+        "serve_all_row", "demand_row", "budget_row",
+        "solver", "last_x",
+    )
+
+    def __init__(self, dm: DispatchModel, base: StandardForm, sense_max: bool,
+                 slots: list[_SiteSlots], serve_all_row, demand_row, budget_row):
+        self.dm = dm
+        self.base = base
+        self.sense_max = sense_max
+        self.slots = slots
+        self.serve_all_row = serve_all_row
+        self.demand_row = demand_row
+        self.budget_row = budget_row
+        # Private engine so its structure cache and root warm basis are
+        # never thrashed by other problems; incumbents carry over hours.
+        self.solver = BranchBoundSolver(lp_solver=SimplexSolver(), warm_start=True)
+        self.last_x: np.ndarray | None = None
+
+
+class DispatchModelCache:
+    """LRU cache of compiled dispatch MILPs, patched per hour.
+
+    One instance per optimizer (each :class:`~repro.core.cost_min.
+    CostMinimizer` / :class:`~repro.core.throughput_max.
+    ThroughputMaximizer` creates its own lazily); safe to share across
+    hours and strategies for the same process, not across processes.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+
+    # -- public API -------------------------------------------------------------
+
+    def solve_cost_min(
+        self,
+        site_hours: list[SiteHour],
+        total_rate_rps: float,
+        step_margin_frac: float,
+    ) -> tuple[DispatchModel, SolveResult]:
+        """Hot-path equivalent of ``CostMinimizer``'s build-and-solve.
+
+        Returns the (rebound) dispatch model and a result with the
+        objective already fixed up exactly as ``Model.solve`` would;
+        raises the same errors as ``raise_on_failure=True``.
+        """
+        entry = self._entry("cost-min", site_hours, step_margin_frac)
+        sf = self._patched(entry, site_hours, step_margin_frac)
+        sf.b_eq[entry.serve_all_row] = total_rate_rps / RATE_SCALE
+        res = self._solve(entry, sf, "cost-min")
+        return self._rebound(entry, site_hours), res
+
+    def solve_throughput_max(
+        self,
+        site_hours: list[SiteHour],
+        offered_rate_rps: float,
+        budget: float,
+        step_margin_frac: float,
+        cost_tiebreak_weight: float,
+    ) -> tuple[DispatchModel, SolveResult]:
+        """Hot-path equivalent of ``ThroughputMaximizer``'s solve."""
+        entry = self._entry(
+            "throughput-max", site_hours, step_margin_frac,
+            extra=(float(cost_tiebreak_weight),),
+        )
+        sf = self._patched(entry, site_hours, step_margin_frac)
+        sf.b_ub[entry.demand_row] = offered_rate_rps / RATE_SCALE
+        sf.b_ub[entry.budget_row] = budget
+        res = self._solve(entry, sf, "throughput-max")
+        return self._rebound(entry, site_hours), res
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- structure lookup -------------------------------------------------------
+
+    def _entry(self, kind: str, site_hours: list[SiteHour],
+               step_margin_frac: float, extra: tuple = ()) -> _Entry:
+        key = self._structure_key(kind, site_hours, step_margin_frac, extra)
+        tel = get_telemetry()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            if tel.enabled:
+                tel.counter("core.model_cache.hit").inc()
+            return entry
+        entry = self._build(kind, site_hours, step_margin_frac, extra)
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        if tel.enabled:
+            tel.counter("core.model_cache.miss").inc()
+        return entry
+
+    @staticmethod
+    def _structure_key(kind: str, site_hours: list[SiteHour],
+                       step_margin_frac: float, extra: tuple) -> tuple:
+        parts: list = [kind, float(step_margin_frac), extra]
+        for sh in site_hours:
+            segs = reachable_segments(
+                sh, sh.max_power_mw, step_margin_frac * sh.max_power_mw
+            )
+            parts.append((
+                sh.name,
+                sh.power_cap_mw < _INF,
+                len(piecewise_widths(sh)) if sh.power_segments else -1,
+                # Which price levels are reachable, at what price, and
+                # whether each carries a lower-bound row — everything
+                # that decides rows/columns; the numeric bounds are
+                # patched per hour.
+                tuple((k, price, p_lo > 0.0) for k, price, p_lo, _ in segs),
+            ))
+        return tuple(parts)
+
+    # -- compilation ------------------------------------------------------------
+
+    def _build(self, kind: str, site_hours: list[SiteHour],
+               step_margin_frac: float, extra: tuple) -> _Entry:
+        dm = build_dispatch_model(
+            site_hours, name=kind, step_margin_frac=step_margin_frac
+        )
+        m = dm.model
+        if kind == "cost-min":
+            # Placeholder RHS; patched every solve.
+            m.add(dm.total_rate_scaled == 0.0, name="serve_all")
+            m.minimize(dm.total_cost)
+        else:
+            m.add(dm.total_rate_scaled <= 0.0, name="demand")
+            m.add(dm.total_cost <= 0.0, name="budget")
+            (weight,) = extra
+            objective = dm.total_rate_scaled
+            if weight > 0:
+                objective = objective - weight * dm.total_cost
+            m.maximize(objective)
+
+        base = m.to_standard_form()
+        ub_rows, eq_rows = self._row_maps(m)
+        var_idx = {v.name: v.index for v in m.variables}
+
+        slots = []
+        for sv in dm.sites:
+            name = sv.site.name
+            k_list = [int(v.name[v.name.rindex(",") + 1 : -1])
+                      for v in sv.cost.segment_active]
+            slots.append(_SiteSlots(
+                rate=sv.rate.index,
+                active=sv.active.index,
+                power=sv.power.index,
+                lamseg=tuple(
+                    var_idx[f"lamseg[{name},{k}]"]
+                    for k in range(len(piecewise_widths(sv.site)))
+                ) if sv.site.power_segments else (),
+                pseg=tuple(v.index for v in sv.cost.segment_power),
+                yseg=tuple(v.index for v in sv.cost.segment_active),
+                gate_row=ub_rows[f"gate[{name}]"],
+                cap_row=ub_rows.get(f"cap[{name}]"),
+                seg_ub_rows=tuple(ub_rows[f"seg_ub[{name},{k}]"] for k in k_list),
+                seg_lb_rows=tuple(
+                    ub_rows.get(f"seg_lb[{name},{k}]") for k in k_list
+                ),
+                power_row=eq_rows[f"power[{name}]"],
+            ))
+        return _Entry(
+            dm=dm,
+            base=base,
+            sense_max=m.sense.value == "max",
+            slots=slots,
+            serve_all_row=eq_rows.get("serve_all"),
+            demand_row=ub_rows.get("demand"),
+            budget_row=ub_rows.get("budget"),
+        )
+
+    @staticmethod
+    def _row_maps(m: Model) -> tuple[dict[str, int], dict[str, int]]:
+        """Constraint name → row index, per kind, in compile order."""
+        ub_rows: dict[str, int] = {}
+        eq_rows: dict[str, int] = {}
+        for con in m.constraints:
+            rows = ub_rows if con.kind == "<=" else eq_rows
+            rows[con.name] = len(rows)
+        return ub_rows, eq_rows
+
+    # -- per-hour patching ------------------------------------------------------
+
+    @staticmethod
+    def _patched(entry: _Entry, site_hours: list[SiteHour],
+                 step_margin_frac: float) -> StandardForm:
+        """Copy the template arrays and write this hour's coefficients.
+
+        The written values mirror, constraint for constraint, what
+        ``build_dispatch_model`` + ``to_standard_form`` would produce
+        (canonical ``<=`` orientation: a ``>=`` row is stored negated).
+        ``c``, ``lb`` and ``integrality`` never vary and are shared.
+        """
+        base = entry.base
+        A_ub = base.A_ub.copy()
+        b_ub = base.b_ub.copy()
+        A_eq = base.A_eq.copy()
+        ub = base.ub.copy()
+        for sl, sh in zip(entry.slots, site_hours):
+            max_rate_scaled = sh.max_rate_rps / RATE_SCALE
+            ub[sl.rate] = max_rate_scaled
+            A_ub[sl.gate_row, sl.active] = -max_rate_scaled  # rate <= mrs*z
+            ub[sl.power] = sh.max_power_mw
+            if sl.cap_row is not None:
+                b_ub[sl.cap_row] = sh.power_cap_mw
+            if sl.lamseg:
+                for idx, (width, slope) in zip(sl.lamseg, piecewise_widths(sh)):
+                    ub[idx] = width
+                    A_eq[sl.power_row, idx] = -slope * RATE_SCALE
+            else:
+                A_eq[sl.power_row, sl.rate] = (
+                    -sh.affine.slope_mw_per_rps * RATE_SCALE
+                )
+                A_eq[sl.power_row, sl.active] = -sh.affine.intercept_mw
+            segs = reachable_segments(
+                sh, sh.max_power_mw, step_margin_frac * sh.max_power_mw
+            )
+            for (_, _, p_lo, p_hi), p_i, y_i, r_ub, r_lb in zip(
+                segs, sl.pseg, sl.yseg, sl.seg_ub_rows, sl.seg_lb_rows
+            ):
+                ub[p_i] = max(p_hi, 0.0)
+                A_ub[r_ub, y_i] = -p_hi  # p <= p_hi*y
+                if r_lb is not None:
+                    A_ub[r_lb, y_i] = p_lo  # p >= p_lo*y, negated
+        return StandardForm(
+            c=base.c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=base.b_eq.copy(),
+            lb=base.lb,
+            ub=ub,
+            integrality=base.integrality,
+            obj_constant=base.obj_constant,
+        )
+
+    # -- solving ----------------------------------------------------------------
+
+    def _solve(self, entry: _Entry, sf: StandardForm, name: str) -> SolveResult:
+        res = entry.solver.solve(sf, warm_x=entry.last_x)
+        if not res.ok and res.status not in (
+            SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED
+        ):
+            # Limit/error outcome: re-solve cold with the default
+            # SciPy/HiGHS MILP backend on the exact same arrays.
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.counter("core.model_cache.fallback").inc()
+            from ..solver.scipy_backend import ScipyBackend
+
+            res = ScipyBackend().solve(sf)
+        if res.ok:
+            entry.last_x = res.x
+            value = res.objective + sf.obj_constant
+            if entry.sense_max:
+                value = -value
+            res.objective = value
+            return res
+        if res.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(f"model {name!r} is infeasible")
+        if res.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError(f"model {name!r} is unbounded")
+        raise SolverLimitError(
+            f"model {name!r}: {res.status.value} ({res.message})"
+        )
+
+    @staticmethod
+    def _rebound(entry: _Entry, site_hours: list[SiteHour]) -> DispatchModel:
+        """Rebind the cached SiteVars to *this* hour's SiteHours.
+
+        Decision decoding reads current-hour data (e.g. the zero-power
+        price at the hour's background demand) off ``SiteVars.site``.
+        """
+        return DispatchModel(
+            entry.dm.model,
+            [dataclasses.replace(sv, site=sh)
+             for sv, sh in zip(entry.dm.sites, site_hours)],
+        )
+
+
+class MinOnlyCache:
+    """Compiled-LP cache for the Min-Only baseline dispatcher.
+
+    The baseline's problem is a tiny LP whose structure depends only on
+    the site list and which sites have finite power caps; prices (in
+    ``CURRENT`` mode), believed rate limits and the offered load vary
+    per hour and are patched into the objective, bounds and right-hand
+    sides. Consecutive hours warm-start each other's simplex basis.
+    """
+
+    def __init__(self):
+        self._key: tuple | None = None
+        self._base: StandardForm | None = None
+        self._cap_rows: list[int | None] = []
+        self._solver = SimplexSolver()
+        self._warm = None
+
+    def solve(
+        self,
+        site_hours: list[SiteHour],
+        total_rate_rps: float,
+        constant_prices: list[float],
+        server_slopes: dict[str, float],
+    ) -> SolveResult:
+        """Solve the baseline LP; ``x[i]`` is site *i*'s rate (scaled).
+
+        Raises the same errors as ``Model.solve(raise_on_failure=True)``.
+        """
+        key = tuple(
+            (sh.name, server_slopes[sh.name], sh.power_cap_mw < _INF)
+            for sh in site_hours
+        )
+        tel = get_telemetry()
+        if key != self._key:
+            self._compile(key, site_hours, server_slopes)
+            if tel.enabled:
+                tel.counter("core.model_cache.miss").inc()
+        elif tel.enabled:
+            tel.counter("core.model_cache.hit").inc()
+
+        base = self._base
+        sf = StandardForm(
+            c=base.c.copy(),
+            A_ub=base.A_ub,
+            b_ub=base.b_ub.copy(),
+            A_eq=base.A_eq,
+            b_eq=base.b_eq.copy(),
+            lb=base.lb,
+            ub=base.ub.copy(),
+            integrality=base.integrality,
+        )
+        for i, (sh, price) in enumerate(zip(site_hours, constant_prices)):
+            slope = server_slopes[sh.name]
+            sf.c[i] = price * slope * RATE_SCALE
+            believed_max = sh.physical_rate_rps
+            if sh.power_cap_mw < _INF:
+                believed_max = min(believed_max, sh.power_cap_mw / slope)
+            sf.ub[i] = believed_max / RATE_SCALE
+            if self._cap_rows[i] is not None:
+                sf.b_ub[self._cap_rows[i]] = sh.power_cap_mw
+        sf.b_eq[0] = total_rate_rps / RATE_SCALE
+
+        res, warm = self._solver.solve_warm(sf, warm=self._warm)
+        if warm is not None:
+            warm.pin = True  # held across hours; never consume in place
+            self._warm = warm
+        if not res.ok and res.status not in (
+            SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED
+        ):
+            if tel.enabled:
+                tel.counter("core.model_cache.fallback").inc()
+            from ..solver.scipy_backend import ScipyLpBackend
+
+            res = ScipyLpBackend().solve(sf)
+        if res.ok:
+            return res
+        if res.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError("model 'min-only' is infeasible")
+        if res.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError("model 'min-only' is unbounded")
+        raise SolverLimitError(
+            f"model 'min-only': {res.status.value} ({res.message})"
+        )
+
+    def _compile(self, key: tuple, site_hours: list[SiteHour],
+                 server_slopes: dict[str, float]) -> None:
+        n = len(site_hours)
+        cap_rows: list[int | None] = []
+        rows = []
+        for i, sh in enumerate(site_hours):
+            if sh.power_cap_mw < _INF:
+                row = np.zeros(n)
+                row[i] = server_slopes[sh.name] * RATE_SCALE  # MW per Mrps
+                cap_rows.append(len(rows))
+                rows.append(row)
+            else:
+                cap_rows.append(None)
+        A_ub = np.array(rows) if rows else np.zeros((0, n))
+        self._base = StandardForm(
+            c=np.zeros(n),
+            A_ub=A_ub,
+            b_ub=np.zeros(len(rows)),
+            A_eq=np.ones((1, n)),
+            b_eq=np.zeros(1),
+            lb=np.zeros(n),
+            ub=np.zeros(n),
+            integrality=np.zeros(n, dtype=bool),
+        )
+        self._cap_rows = cap_rows
+        self._key = key
+        self._warm = None  # structure changed: stale basis is useless

@@ -10,12 +10,13 @@ admission policy on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..solver import InfeasibleError
 from .allocation import CappingStep, HourlyDecision
 from .cost_min import _decision_from, _zero_decision
 from .dispatch_model import RATE_SCALE, build_dispatch_model
+from .model_cache import DispatchModelCache
 from .site import SiteHour
 
 __all__ = ["ThroughputMaximizer"]
@@ -39,6 +40,9 @@ class ThroughputMaximizer:
     backend: object | None = None
     cost_tiebreak_weight: float = 1e-6
     step_margin_frac: float = 0.01
+    model_cache: DispatchModelCache | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def solve(
         self,
@@ -58,6 +62,16 @@ class ThroughputMaximizer:
             raise ValueError("budget must be >= 0")
         if offered_rate_rps == 0:
             decision = _zero_decision(site_hours, CappingStep.THROUGHPUT_MAX)
+            return _with_budget(decision, budget)
+
+        if self.backend is None:
+            if self.model_cache is None:
+                self.model_cache = DispatchModelCache()
+            dm, res = self.model_cache.solve_throughput_max(
+                site_hours, offered_rate_rps, budget,
+                self.step_margin_frac, self.cost_tiebreak_weight,
+            )
+            decision = _decision_from(dm, res, CappingStep.THROUGHPUT_MAX)
             return _with_budget(decision, budget)
 
         dm = build_dispatch_model(

@@ -10,6 +10,7 @@ from .analysis import (
     site_breakdown,
 )
 from .montecarlo import SeedStudy, run_study, savings_study
+from .parallel import STRATEGIES, compare_strategies, run_one_strategy
 from .records import HourRecord, SimulationResult, SiteRecord
 from .simulator import Simulator
 
@@ -28,4 +29,7 @@ __all__ = [
     "SeedStudy",
     "run_study",
     "savings_study",
+    "STRATEGIES",
+    "compare_strategies",
+    "run_one_strategy",
 ]

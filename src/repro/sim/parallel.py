@@ -1,0 +1,96 @@
+"""Process-pool fan-out for multi-strategy comparison runs.
+
+``repro compare`` replays the *same* world under several dispatch
+strategies (Cost Capping plus the Min-Only baselines). The strategies
+are independent given the world — no strategy observes another's
+decisions — so, exactly like the seed fan-out in
+:mod:`repro.sim.montecarlo`, they can run in separate processes. Each
+worker regenerates the (deterministic, seed-keyed) world locally
+instead of pickling simulators across the pool, keeping the task
+payload to a handful of scalars.
+
+Telemetry note: spans and solver metrics are recorded in-process, so a
+parallel run only captures what the parent recorded. Use ``workers=1``
+when tracing a comparison end to end.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+__all__ = ["STRATEGIES", "compare_strategies", "run_one_strategy"]
+
+#: Strategy names accepted by :func:`compare_strategies`, in the order
+#: ``repro compare`` reports them.
+STRATEGIES: tuple[str, ...] = (
+    "capping",
+    "min-only-avg",
+    "min-only-low",
+    "min-only-current",
+)
+
+
+def run_one_strategy(
+    strategy: str,
+    policy_id: int = 1,
+    seed: int = 7,
+    hours: int = 168,
+    budget_fraction: float | None = None,
+):
+    """Run one strategy on a freshly built paper world (picklable task).
+
+    Module-level by design: :class:`~concurrent.futures.
+    ProcessPoolExecutor` tasks must be picklable. Returns the
+    strategy's :class:`~repro.sim.records.SimulationResult`.
+    """
+    from ..core import PriceMode
+    from ..experiments import paper_world
+    from .simulator import Simulator
+
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    world = paper_world(policy_id, seed=seed)
+    sim = Simulator(world.sites, world.workload, world.mix)
+    if strategy == "capping":
+        budgeter = None
+        if budget_fraction is not None:
+            anchor = sim.run_capping(hours=hours)
+            monthly = anchor.total_cost * world.hours / hours * budget_fraction
+            budgeter = world.budgeter(monthly)
+        return sim.run_capping(budgeter, hours=hours)
+    mode = PriceMode(strategy.removeprefix("min-only-"))
+    return sim.run_min_only(mode, hours=hours)
+
+
+def compare_strategies(
+    policy_id: int = 1,
+    seed: int = 7,
+    hours: int = 168,
+    strategies: Sequence[str] = STRATEGIES,
+    workers: int = 1,
+    budget_fraction: float | None = None,
+):
+    """Run several strategies over the same world; optionally in parallel.
+
+    Returns ``{strategy: SimulationResult}`` in the order given.
+    ``workers > 1`` fans the strategies out over a process pool; the
+    serial path produces identical results (each worker regenerates the
+    identical seed-keyed world), which the test suite pins.
+    """
+    strategies = tuple(strategies)
+    if not strategies:
+        raise ValueError("at least one strategy required")
+    unknown = [s for s in strategies if s not in STRATEGIES]
+    if unknown:
+        raise ValueError(f"unknown strategies {unknown}; expected among {STRATEGIES}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    args = [(s, policy_id, seed, hours, budget_fraction) for s in strategies]
+    if workers == 1 or len(strategies) == 1:
+        results = [run_one_strategy(*a) for a in args]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(strategies))) as pool:
+            results = list(pool.map(run_one_strategy, *zip(*args)))
+    return dict(zip(strategies, results))

@@ -20,6 +20,7 @@ and 9: all strategies are billed by the same ground truth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core import (
@@ -30,8 +31,9 @@ from ..core import (
     MinOnlyDispatcher,
     PriceMode,
     Site,
+    SiteHour,
 )
-from ..datacenter import LocalOptimizer
+from ..datacenter import LocalOptimizer, required_servers, response_time
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..workload import CustomerMix, Trace
 from .records import HourRecord, SimulationResult, SiteRecord
@@ -77,6 +79,12 @@ class Simulator:
                 f"demand traces ({horizon} h)"
             )
         self._local = {s.name: LocalOptimizer(s.datacenter) for s in self.sites}
+        # Hour-keyed memos shared by every strategy run on this instance:
+        # SiteHour snapshots are immutable and weather-hour optimizers
+        # are deterministic, so building either once per (site, hour) is
+        # enough however many strategies replay the same month.
+        self._hours_memo: dict[int, list[SiteHour]] = {}
+        self._local_at_memo: dict[tuple[str, int], LocalOptimizer] = {}
 
     # -- strategies ------------------------------------------------------------
 
@@ -107,7 +115,7 @@ class Simulator:
                         budget = (
                             budgeter.hourly_budget() if budgeter else float("inf")
                         )
-                    site_hours = [s.hour(t) for s in self.sites]
+                    site_hours = self._site_hours(t)
                     with tel.span("dispatch"):
                         decision = capper.decide(
                             site_hours, premium, ordinary, budget
@@ -146,7 +154,7 @@ class Simulator:
             for t in range(horizon):
                 with tel.span("hour", hour=t, strategy=name):
                     total = float(self.workload.rates_rps[t])
-                    site_hours = [s.hour(t) for s in self.sites]
+                    site_hours = self._site_hours(t)
                     with tel.span("dispatch"):
                         decision = dispatcher.solve(site_hours, total)
                     # Min-Only is class-blind: report demand with the true
@@ -173,10 +181,6 @@ class Simulator:
         pool; for simplicity the aggregate model is evaluated with the
         site's nominal service rate when available.
         """
-        import math
-
-        from ..datacenter import required_servers, response_time
-
         dc = site.datacenter
         n = local.provisioning.n_servers
         if n == 0 or local.served_rps <= 0:
@@ -203,6 +207,21 @@ class Simulator:
             )
         return worst
 
+    def _site_hours(self, t: int) -> list[SiteHour]:
+        """Per-hour market snapshots, built once per hour per instance."""
+        hours = self._hours_memo.get(t)
+        if hours is None:
+            hours = self._hours_memo[t] = [s.hour(t) for s in self.sites]
+        return hours
+
+    def _local_at(self, site: Site, t: int) -> LocalOptimizer:
+        """Weather-hour local optimizer, built once per (site, hour)."""
+        key = (site.name, t)
+        local = self._local_at_memo.get(key)
+        if local is None:
+            local = self._local_at_memo[key] = LocalOptimizer(site.datacenter_at(t))
+        return local
+
     def _horizon(self, hours: int | None) -> int:
         if hours is None:
             return self.workload.hours
@@ -220,9 +239,9 @@ class Simulator:
                 if site.coe_trace is None:
                     local = self._local[site.name].decide(dispatched)
                 else:
-                    # Weather-varying cooling: rebuild the optimizer
-                    # around this hour's efficiency.
-                    local = LocalOptimizer(site.datacenter_at(t)).decide(dispatched)
+                    # Weather-varying cooling: the optimizer around this
+                    # hour's efficiency (memoized across strategy runs).
+                    local = self._local_at(site, t).decide(dispatched)
                 provisioned.append((site, dispatched, local))
         site_records = []
         realized_cost = 0.0

@@ -29,7 +29,7 @@ import heapq
 import itertools
 import math
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -44,12 +44,14 @@ __all__ = ["BranchBoundSolver"]
 class _BBStats:
     """Per-solve accounting threaded through the search loop."""
 
-    __slots__ = ("enabled", "incumbents", "lp_time_s")
+    __slots__ = ("enabled", "incumbents", "lp_time_s", "seeded", "warm_nodes")
 
     def __init__(self, enabled: bool):
         self.enabled = enabled
         self.incumbents = 0
         self.lp_time_s = 0.0
+        self.seeded = 0
+        self.warm_nodes = 0
 
 
 #: Shared stats sink for uninstrumented solves (attribute writes only).
@@ -58,17 +60,20 @@ _NO_STATS = _BBStats(enabled=False)
 
 @dataclass(order=True)
 class _Node:
+    """Heap entry; ordered by (bound, depth, tie) only.
+
+    ``tie`` is always distinct, so the array payloads below never take
+    part in comparisons (``compare=False`` keeps them out of the
+    generated ordering methods).
+    """
+
     bound: float  # LP bound of the parent (priority key)
     depth: int
     tie: int
-    lb: np.ndarray = None  # type: ignore[assignment]
-    ub: np.ndarray = None  # type: ignore[assignment]
-
-    def __post_init__(self):
-        # heapq compares the dataclass fields in order; arrays must not
-        # take part in comparisons, hence they are excluded via order
-        # fields only (bound, depth, tie are always distinct by `tie`).
-        pass
+    lb: np.ndarray = field(default=None, compare=False)  # type: ignore[assignment]
+    ub: np.ndarray = field(default=None, compare=False)  # type: ignore[assignment]
+    #: Parent's optimal basis (a simplex WarmBasis token), when available.
+    warm: object = field(default=None, compare=False, repr=False)
 
 
 class BranchBoundSolver:
@@ -86,6 +91,14 @@ class BranchBoundSolver:
     max_nodes:
         Hard node limit; exceeding it returns the incumbent (if any)
         with :attr:`SolveStatus.NODE_LIMIT`, or a failed result.
+    warm_start:
+        When the LP engine supports basis reuse (``solve_warm``, as
+        :class:`~repro.solver.simplex.SimplexSolver` does), re-solve
+        each node LP from its parent's optimal basis with dual simplex
+        pivots instead of a cold two-phase solve, and remember the root
+        basis across ``solve`` calls so consecutive hourly dispatches
+        warm-start each other. Results are engine-identical; this only
+        changes how the node LPs are solved.
     """
 
     name = "branch-bound"
@@ -98,6 +111,7 @@ class BranchBoundSolver:
         max_nodes: int = 100_000,
         cover_cuts: bool = False,
         cut_rounds: int = 3,
+        warm_start: bool = True,
     ):
         if lp_solver is None:
             from .scipy_backend import ScipyLpBackend
@@ -109,20 +123,30 @@ class BranchBoundSolver:
         self.max_nodes = max_nodes
         self.cover_cuts = cover_cuts
         self.cut_rounds = cut_rounds
+        self.warm_start = warm_start
+        self._root_warm = None  # last root basis, reused across solves
 
     # -- public API --------------------------------------------------------------
 
-    def solve(self, sf: StandardForm) -> SolveResult:
+    def solve(self, sf: StandardForm, warm_x: np.ndarray | None = None) -> SolveResult:
+        """Solve ``sf``; ``warm_x`` optionally seeds the incumbent.
+
+        ``warm_x`` is a full solution vector from a structurally
+        identical previous solve (e.g. last hour's dispatch). Its
+        integer pattern is fixed and completed with one LP; when
+        feasible, the completion becomes the starting incumbent, which
+        tightens pruning from the first node. Optimality is unaffected.
+        """
         if not sf.has_integers:
             res = self.lp.solve(sf)
             res.backend = f"{self.name}({self.lp.name})"
             return res
         tel = get_telemetry()
         if not tel.enabled:
-            return self._solve_milp(sf, _NO_STATS)
+            return self._solve_milp(sf, _NO_STATS, warm_x)
         stats = _BBStats(enabled=True)
         t0 = time.perf_counter()
-        res = self._solve_milp(sf, stats)
+        res = self._solve_milp(sf, stats, warm_x)
         record_solver_result(
             tel, "branch-bound", res.status.value, res.iterations,
             time.perf_counter() - t0,
@@ -130,29 +154,50 @@ class BranchBoundSolver:
         tel.histogram("solver.branch-bound.nodes").observe(res.iterations)
         tel.histogram("solver.branch-bound.lp_time_s").observe(stats.lp_time_s)
         tel.counter("solver.branch-bound.incumbent_updates").inc(stats.incumbents)
+        tel.counter("solver.branch-bound.seeded_incumbents").inc(stats.seeded)
+        tel.counter("solver.branch-bound.warm_nodes").inc(stats.warm_nodes)
         if res.ok:
             tel.histogram("solver.branch-bound.gap").observe(res.gap)
         return res
 
-    def _solve_milp(self, sf: StandardForm, stats: _BBStats) -> SolveResult:
+    def _solve_milp(
+        self, sf: StandardForm, stats: _BBStats, warm_x: np.ndarray | None = None
+    ) -> SolveResult:
         if self.cover_cuts:
             sf = self._tighten_root(sf)
 
         int_idx = np.flatnonzero(sf.integrality)
+        use_warm = self.warm_start and hasattr(self.lp, "solve_warm")
         tie = itertools.count()
         root = _Node(bound=-math.inf, depth=0, tie=next(tie))
         root.lb = sf.lb.copy()
         root.ub = sf.ub.copy()
+        if use_warm:
+            # Consecutive solves of the same network shape (the hourly
+            # dispatch loop) warm-start each other's root; solve_warm
+            # validates compatibility and falls back to cold otherwise.
+            root.warm = self._root_warm
         heap: list[_Node] = [root]
 
         incumbent_x: np.ndarray | None = None
         incumbent_obj = math.inf
         best_bound = -math.inf
         nodes = 0
-        lp_infeasible_everywhere = True
+        limit_dropped = 0  # subtrees dropped on a non-INFEASIBLE LP failure
+
+        if warm_x is not None and int_idx.size and warm_x.shape == sf.lb.shape:
+            seeded = self._seed_incumbent(sf, warm_x, int_idx)
+            if seeded is not None:
+                incumbent_obj, incumbent_x = seeded
+                stats.incumbents += 1
+                stats.seeded += 1
 
         while heap:
             node = heapq.heappop(heap)
+            if node.warm is not None:
+                # Release this node's claim on the parent tableau; the
+                # last user may consume it in place instead of copying.
+                node.warm.refs -= 1
             if node.bound >= incumbent_obj - self._abs_gap(incumbent_obj):
                 continue  # pruned by bound
             if nodes >= self.max_nodes:
@@ -166,19 +211,30 @@ class BranchBoundSolver:
             nodes += 1
 
             relaxed = replace(sf, lb=node.lb, ub=node.ub)
-            if stats.enabled:
-                t_lp = time.perf_counter()
-                res = self.lp.solve(relaxed)
-                stats.lp_time_s += time.perf_counter() - t_lp
+            t_lp = time.perf_counter() if stats.enabled else 0.0
+            if use_warm:
+                res, warm_out = self.lp.solve_warm(relaxed, warm=node.warm)
+                if node.warm is not None:
+                    stats.warm_nodes += 1
             else:
                 res = self.lp.solve(relaxed)
+                warm_out = None
+            if stats.enabled:
+                stats.lp_time_s += time.perf_counter() - t_lp
+            if use_warm and node.depth == 0:
+                self._root_warm = warm_out
+                if warm_out is not None:
+                    # The root basis is reused by the next solve; never
+                    # let a child consume its tableau in place.
+                    warm_out.pin = True
             if res.status is SolveStatus.UNBOUNDED and node.depth == 0:
                 return SolveResult(
                     status=SolveStatus.UNBOUNDED, iterations=nodes, backend=self.name
                 )
             if not res.ok:
-                continue  # infeasible subtree
-            lp_infeasible_everywhere = False
+                if res.status is not SolveStatus.INFEASIBLE:
+                    limit_dropped += 1
+                continue  # infeasible (or unsolvable) subtree
             if res.objective >= incumbent_obj - self._abs_gap(incumbent_obj):
                 continue  # bound-pruned after solving
 
@@ -197,22 +253,63 @@ class BranchBoundSolver:
             down.lb = node.lb
             down.ub = node.ub.copy()
             down.ub[frac_var] = math.floor(v)
+            down.warm = warm_out
             up = _Node(bound=res.objective, depth=node.depth + 1, tie=next(tie))
             up.lb = node.lb.copy()
             up.lb[frac_var] = math.ceil(v)
             up.ub = node.ub
+            up.warm = warm_out
+            if warm_out is not None:
+                warm_out.refs += 2
             heapq.heappush(heap, down)
             heapq.heappush(heap, up)
 
         if incumbent_x is None:
-            status = (
-                SolveStatus.INFEASIBLE if lp_infeasible_everywhere else SolveStatus.INFEASIBLE
+            if limit_dropped:
+                # Some subtrees were dropped on iteration/node limits or
+                # solver errors, not proven infeasible — the search hit a
+                # limit, so infeasibility cannot be claimed.
+                return SolveResult(
+                    status=SolveStatus.NODE_LIMIT,
+                    iterations=nodes,
+                    backend=self.name,
+                    message=(
+                        f"{limit_dropped} node LP(s) failed with solver limits; "
+                        "no incumbent found"
+                    ),
+                )
+            return SolveResult(
+                status=SolveStatus.INFEASIBLE, iterations=nodes, backend=self.name
             )
-            return SolveResult(status=status, iterations=nodes, backend=self.name)
         best_bound = incumbent_obj  # queue exhausted: proven optimal
         return self._finish(SolveStatus.OPTIMAL, incumbent_obj, incumbent_x, nodes, best_bound)
 
     # -- helpers ------------------------------------------------------------------
+
+    def _seed_incumbent(self, sf: StandardForm, warm_x: np.ndarray, int_idx: np.ndarray):
+        """Fix ``warm_x``'s integer pattern, complete with one LP.
+
+        Returns ``(objective, x)`` of a feasible integral solution, or
+        ``None`` when last hour's pattern is no longer feasible.
+        """
+        vals = np.round(np.clip(warm_x[int_idx], sf.lb[int_idx], sf.ub[int_idx]))
+        vals = np.clip(vals, sf.lb[int_idx], sf.ub[int_idx])
+        lb = sf.lb.copy()
+        ub = sf.ub.copy()
+        lb[int_idx] = vals
+        ub[int_idx] = vals
+        fixed = replace(sf, lb=lb, ub=ub)
+        if self.warm_start and self._root_warm is not None:
+            # Fixing integer bounds is a bounds-only change from last
+            # hour's root, so its (pinned, never consumed) basis makes a
+            # dual-feasible start; solve_warm falls back to cold when the
+            # structure no longer matches.
+            res, _ = self.lp.solve_warm(fixed, warm=self._root_warm)
+        else:
+            res = self.lp.solve(fixed)
+        if not res.ok:
+            return None
+        return float(res.objective), self._round_integers(res.x, int_idx)
 
     def _tighten_root(self, sf: StandardForm) -> StandardForm:
         """Root-node cover-cut rounds: separate, append, re-solve.

@@ -1,0 +1,48 @@
+"""Tests for the multi-strategy process-pool fan-out (`repro.sim.parallel`)."""
+
+import pytest
+
+from repro.sim import STRATEGIES, compare_strategies, run_one_strategy
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            run_one_strategy("min-only-median", hours=1)
+
+    def test_unknown_strategies_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown strategies"):
+            compare_strategies(strategies=("capping", "nope"), hours=1)
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compare_strategies(strategies=(), hours=1)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            compare_strategies(strategies=("capping",), workers=0, hours=1)
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial(self):
+        """The pool only changes *where* each strategy runs; every worker
+        regenerates the identical seed-keyed world, so results match the
+        in-process run exactly."""
+        strategies = ("capping", "min-only-avg")
+        kwargs = dict(policy_id=1, seed=7, hours=2, strategies=strategies)
+        serial = compare_strategies(workers=1, **kwargs)
+        parallel = compare_strategies(workers=2, **kwargs)
+        assert set(serial) == set(parallel) == set(strategies)
+        for name in strategies:
+            s, p = serial[name].summary(), parallel[name].summary()
+            assert s == p
+
+    def test_result_order_follows_request(self):
+        res = compare_strategies(
+            strategies=("min-only-avg", "capping"), hours=1
+        )
+        assert list(res) == ["min-only-avg", "capping"]
+
+    def test_all_strategies_listed(self):
+        assert STRATEGIES[0] == "capping"
+        assert all(s.startswith("min-only-") for s in STRATEGIES[1:])

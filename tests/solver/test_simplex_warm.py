@@ -1,0 +1,171 @@
+"""Warm-start equivalence and dual/ranging edge cases for the simplex.
+
+The warm-start contract (`SimplexSolver.solve_warm`) is that results are
+*identical* to a cold solve — the basis token only changes how the
+optimum is reached. The randomized suites here drive the exact reuse
+patterns the branch-and-bound and the hourly model cache rely on:
+right-hand-side drift between hours, bounds-only changes between tree
+nodes, and stale/foreign tokens that must fall back to a cold solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solver import ScipyLpBackend, SimplexSolver, SolveStatus
+from repro.solver.model import StandardForm
+
+
+def _sf(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, lb=None, ub=None):
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    A_ub = np.zeros((0, n)) if A_ub is None else np.asarray(A_ub, dtype=float)
+    b_ub = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float)
+    A_eq = np.zeros((0, n)) if A_eq is None else np.asarray(A_eq, dtype=float)
+    b_eq = np.zeros(0) if b_eq is None else np.asarray(b_eq, dtype=float)
+    lb = np.zeros(n) if lb is None else np.asarray(lb, dtype=float)
+    ub = np.full(n, np.inf) if ub is None else np.asarray(ub, dtype=float)
+    return StandardForm(c, A_ub, b_ub, A_eq, b_eq, lb, ub, np.zeros(n, dtype=bool))
+
+
+def _random_feasible(rng, n=6, m_rows=4):
+    A = rng.normal(size=(m_rows, n))
+    x_feas = rng.uniform(0.5, 2.0, size=n)
+    b = A @ x_feas + rng.uniform(0.1, 1.0, size=m_rows)
+    c = rng.normal(size=n)
+    return _sf(c=c, A_ub=A, b_ub=b, ub=np.full(n, 10.0))
+
+
+class TestWarmEqualsCold:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_rhs_drift(self, seed):
+        """Hour-to-hour pattern: same structure, drifting right-hand side."""
+        rng = np.random.default_rng(seed)
+        sf = _random_feasible(rng)
+        solver = SimplexSolver()
+        _, warm = solver.solve_warm(sf)
+        for _ in range(4):
+            sf = StandardForm(
+                sf.c, sf.A_ub, sf.b_ub + rng.uniform(-0.05, 0.05, sf.b_ub.size),
+                sf.A_eq, sf.b_eq, sf.lb, sf.ub, sf.integrality,
+            )
+            warm_res, warm = solver.solve_warm(sf, warm=warm)
+            cold_res = SimplexSolver().solve(sf)
+            assert warm_res.status == cold_res.status
+            if cold_res.ok:
+                assert warm_res.objective == pytest.approx(
+                    cold_res.objective, abs=1e-8
+                )
+                assert warm_res.objective == pytest.approx(
+                    ScipyLpBackend().solve(sf).objective, abs=1e-6
+                )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bounds_only_changes(self, seed):
+        """Branch-and-bound pattern: only lb/ub move between solves."""
+        rng = np.random.default_rng(1000 + seed)
+        sf = _random_feasible(rng)
+        solver = SimplexSolver()
+        base_res, warm = solver.solve_warm(sf)
+        assert base_res.ok
+        for _ in range(4):
+            j = int(rng.integers(sf.n_vars))
+            lb, ub = sf.lb.copy(), sf.ub.copy()
+            pivot = float(np.floor(base_res.x[j]))
+            if rng.random() < 0.5:
+                ub[j] = pivot
+            else:
+                lb[j] = min(pivot + 1.0, ub[j])
+            child = StandardForm(
+                sf.c, sf.A_ub, sf.b_ub, sf.A_eq, sf.b_eq, lb, ub, sf.integrality
+            )
+            warm_res, _ = solver.solve_warm(child, warm=warm)
+            cold_res = SimplexSolver().solve(child)
+            assert warm_res.status == cold_res.status
+            if cold_res.ok:
+                assert warm_res.objective == pytest.approx(
+                    cold_res.objective, abs=1e-8
+                )
+
+    def test_stale_foreign_token_falls_back(self):
+        """A token from a structurally different LP must not corrupt results."""
+        solver = SimplexSolver()
+        big = _sf(c=[-1.0, -2.0, -3.0], A_ub=[[1, 1, 1]], b_ub=[6.0])
+        _, foreign = solver.solve_warm(big)
+        small = _sf(c=[-1.0], A_ub=[[1.0]], b_ub=[2.0])
+        res, _ = solver.solve_warm(small, warm=foreign)
+        assert res.ok
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_infeasible_after_tightening(self):
+        """Warm re-solve must still prove infeasibility, not mis-report."""
+        solver = SimplexSolver()
+        sf = _sf(c=[1.0, 1.0], A_ub=[[1.0, 1.0]], b_ub=[1.0])
+        _, warm = solver.solve_warm(sf)
+        tight = StandardForm(
+            sf.c, sf.A_ub, sf.b_ub, sf.A_eq, sf.b_eq,
+            np.array([2.0, 0.0]), sf.ub, sf.integrality,
+        )
+        res, _ = solver.solve_warm(tight, warm=warm)
+        assert res.status is SolveStatus.INFEASIBLE
+
+
+class TestDegenerateAndFlippedDuals:
+    def test_flipped_row_duals_match_scipy(self):
+        """Rows with negative RHS are negated internally; dual signs must
+        map back to the user's orientation."""
+        # min x + 2y  s.t.  -x - y <= -3  (i.e. x + y >= 3), x,y >= 0.
+        sf = _sf(c=[1.0, 2.0], A_ub=[[-1.0, -1.0]], b_ub=[-3.0])
+        r_sx = SimplexSolver().solve(sf)
+        r_sp = ScipyLpBackend().solve(sf)
+        assert r_sx.ok and r_sp.ok
+        assert r_sx.objective == pytest.approx(3.0)
+        assert r_sx.duals_ub[0] == pytest.approx(r_sp.duals_ub[0], abs=1e-8)
+        # Binding >= row written as <= with negative RHS: dual is
+        # negative (raising b_ub, i.e. relaxing, lowers the objective).
+        assert r_sx.duals_ub[0] < 0
+
+    def test_flipped_row_dual_is_rhs_sensitivity(self):
+        sf = _sf(c=[1.0, 2.0], A_ub=[[-1.0, -1.0]], b_ub=[-3.0])
+        base = SimplexSolver().solve(sf, ranging=True)
+        lo, hi = base.rhs_range_ub[0]
+        assert lo < 0.0 < hi or lo <= 0.0 <= hi
+        eps = min(0.1, hi / 2 if hi > 0 else 0.1)
+        bumped = _sf(c=[1.0, 2.0], A_ub=[[-1.0, -1.0]], b_ub=[-3.0 + eps])
+        r2 = SimplexSolver().solve(bumped)
+        assert r2.objective - base.objective == pytest.approx(
+            base.duals_ub[0] * eps, abs=1e-8
+        )
+
+    def test_degenerate_optimum_duals_are_consistent(self):
+        """Redundant binding rows make the dual non-unique; any returned
+        vector must still satisfy strong duality and dual feasibility."""
+        # min -x - y  s.t.  x + y <= 2  (twice), x <= 1, y <= 1.
+        sf = _sf(
+            c=[-1.0, -1.0],
+            A_ub=[[1.0, 1.0], [1.0, 1.0]],
+            b_ub=[2.0, 2.0],
+            ub=[1.0, 1.0],
+        )
+        res = SimplexSolver().solve(sf)
+        assert res.ok
+        assert res.objective == pytest.approx(-2.0)
+        y = res.duals_ub
+        assert np.all(y <= 1e-9)  # <= rows of a minimization: duals <= 0
+        # Strong duality with bound duals folded in: reduced costs on
+        # the (binding) upper bounds absorb whatever the rows don't.
+        reduced = sf.c - sf.A_ub.T @ y
+        assert np.all(reduced >= -1e-9) or res.objective == pytest.approx(
+            float(y @ sf.b_ub + np.minimum(reduced, 0.0) @ sf.ub), abs=1e-8
+        )
+
+    def test_degenerate_ranging_brackets_zero(self):
+        sf = _sf(
+            c=[-1.0, -1.0],
+            A_ub=[[1.0, 1.0], [1.0, 1.0]],
+            b_ub=[2.0, 2.0],
+            ub=[1.0, 1.0],
+        )
+        res = SimplexSolver().solve(sf, ranging=True)
+        assert res.rhs_range_ub is not None
+        for lo, hi in res.rhs_range_ub:
+            assert lo <= 1e-9 and hi >= -1e-9
