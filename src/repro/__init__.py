@@ -10,7 +10,8 @@ Subpackages
 - :mod:`repro.core` — the bill-capping algorithms and baselines;
 - :mod:`repro.sim` — month-scale simulation;
 - :mod:`repro.experiments` — the paper's Section VI setup;
-- :mod:`repro.telemetry` — metrics, tracing and solver instrumentation.
+- :mod:`repro.telemetry` — metrics, tracing and solver instrumentation;
+- :mod:`repro.resilience` — fault injection and graceful degradation.
 
 The most common entry points are re-exported here.
 """
@@ -25,10 +26,11 @@ from .core import (
     ThroughputMaximizer,
 )
 from .experiments import PaperWorld, paper_world
+from .resilience import DegradationPolicy, FaultInjector, FaultSpec
 from .sim import SimulationResult, Simulator
 from .telemetry import Telemetry, get_telemetry, use_telemetry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BillCapper",
@@ -45,5 +47,8 @@ __all__ = [
     "Telemetry",
     "get_telemetry",
     "use_telemetry",
+    "FaultSpec",
+    "FaultInjector",
+    "DegradationPolicy",
     "__version__",
 ]

@@ -4,8 +4,11 @@ Commands
 --------
 ``lmp-sweep``
     Print the PJM five-bus LMP step curves (the paper's Figure 1).
-``simulate``
+``simulate`` (alias ``run``)
     Simulate a strategy over the paper world and print the summary.
+    ``--faults SPEC`` runs the month under deterministic fault
+    injection (stale prices, sensor dropout, solver failures, budgeter
+    restarts) with graceful degradation instead of crashes.
 ``compare``
     Run Cost Capping and the Min-Only baselines side by side.
 ``headroom``
@@ -86,6 +89,8 @@ def _print_summary(name: str, result) -> None:
     print(f"  premium throughput:  {s['premium_throughput']:.2%}")
     print(f"  ordinary throughput: {s['ordinary_throughput']:.2%}")
     print(f"  hours over budget:   {int(s['hours_over_budget'])}")
+    if s.get("degraded_hours"):
+        print(f"  degraded hours:      {int(s['degraded_hours'])}")
     print(f"  peak power:          {s['peak_power_mw']:.1f} MW")
 
 
@@ -93,6 +98,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core import PriceMode
     from .sim import Simulator
 
+    faults = None
+    degradation = None
+    if args.faults:
+        from .resilience import DegradationPolicy, FaultInjector, FaultSpec
+
+        if args.strategy != "capping":
+            print("error: --faults is only supported with --strategy capping")
+            return 2
+        try:
+            spec = FaultSpec.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        faults = FaultInjector(spec)
+        degradation = DegradationPolicy(args.degradation)
     world = _build_world(args)
     sim = Simulator(world.sites, world.workload, world.mix)
     if args.strategy == "capping":
@@ -108,12 +128,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   f"({args.budget_fraction:.0%} of uncapped spend)")
             budgeter = world.budgeter(monthly)
         with _tracing(args):
-            result = sim.run_capping(budgeter, hours=args.hours)
+            result = sim.run_capping(
+                budgeter, hours=args.hours, faults=faults, degradation=degradation
+            )
     else:
         mode = PriceMode(args.strategy.removeprefix("min-only-"))
         with _tracing(args):
             result = sim.run_min_only(mode, hours=args.hours)
     _print_summary(args.strategy, result)
+    if faults is not None:
+        injected = {
+            k: v for k, v in faults.schedule_counts(args.hours).items() if v
+        }
+        print(f"  injected faults:     "
+              + (", ".join(f"{k}={v}" for k, v in injected.items()) or "none")
+              + f" (policy={degradation.value})")
     return 0
 
 
@@ -271,7 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
         "JSONL trace to PATH; inspect with 'repro telemetry summary PATH'",
     )
 
-    p_sim = sub.add_parser("simulate", parents=[common], help="run one strategy")
+    p_sim = sub.add_parser(
+        "simulate", aliases=["run"], parents=[common], help="run one strategy"
+    )
     p_sim.add_argument(
         "--strategy",
         default="capping",
@@ -283,6 +314,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="monthly budget as a fraction of the uncapped spend "
         "(capping only; omit for pure cost minimization)",
+    )
+    p_sim.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection, e.g. "
+        "'price_stale=0.1,solver_error=0.05,budget_loss=0.02,seed=3' "
+        "(channels: price_stale, sensor_dropout, solver_error, "
+        "solver_timeout, budget_loss; capping only)",
+    )
+    p_sim.add_argument(
+        "--degradation",
+        default="proportional",
+        choices=("hold-last", "proportional", "premium-shed"),
+        help="dispatch policy for hours whose solver stack fails "
+        "(used with --faults; also applies to genuine solver failures)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 

@@ -15,6 +15,7 @@ class CappingStep(Enum):
     THROUGHPUT_MAX = "throughput-max"  # step 2, ordinary load throttled
     PREMIUM_ONLY = "premium-only"  # budget insufficient even for premium
     BASELINE = "baseline"  # produced by a Min-Only baseline
+    DEGRADED = "degraded"  # solver stack down; degradation policy dispatched
 
 
 @dataclass(frozen=True)

@@ -20,12 +20,17 @@ Section III: every invocation period the bill capper
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..solver import SolverError
 from ..telemetry import get_telemetry
 from .allocation import CappingStep, HourlyDecision
 from .cost_min import CostMinimizer
 from .site import SiteHour
 from .throughput_max import ThroughputMaximizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.degradation import DegradationPolicy
 
 __all__ = ["BillCapper"]
 
@@ -53,6 +58,13 @@ class BillCapper:
         realized bill (exact stepped models) runs slightly above the
         smooth decision estimate; reserving a small headroom keeps
         realized spending under the true budget.
+    degradation:
+        When set, a :class:`~repro.solver.SolverError` escaping the
+        whole solver stack (past the fallback chain) no longer
+        propagates: the hour is dispatched by this
+        :class:`~repro.resilience.DegradationPolicy` instead, marked
+        :attr:`~repro.core.allocation.CappingStep.DEGRADED`. ``None``
+        (the default) preserves the raise-on-failure behaviour.
     """
 
     cost_minimizer: CostMinimizer = field(default_factory=CostMinimizer)
@@ -61,6 +73,11 @@ class BillCapper:
     )
     shed_beyond_capacity: bool = True
     budget_safety: float = 0.98
+    degradation: "DegradationPolicy | None" = None
+    #: Last successfully solved decision, feeding the hold-last policy.
+    _last_good: HourlyDecision | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def decide(
         self,
@@ -68,6 +85,8 @@ class BillCapper:
         premium_rps: float,
         ordinary_rps: float,
         budget: float,
+        *,
+        forced_failure: Exception | None = None,
     ) -> HourlyDecision:
         """Run the two-step algorithm for one invocation period.
 
@@ -80,6 +99,10 @@ class BillCapper:
         budget:
             The budgeter's hourly budget Cs ($); ``inf`` disables
             capping (pure cost minimization).
+        forced_failure:
+            Fault-injection hook: when given, the solve is skipped and
+            this exception is raised in its place, exercising exactly
+            the degradation path a genuine solver-stack failure takes.
         """
         if premium_rps < 0 or ordinary_rps < 0:
             raise ValueError("offered rates must be >= 0")
@@ -87,12 +110,51 @@ class BillCapper:
             raise ValueError("budget must be >= 0")
         tel = get_telemetry()
         if not tel.enabled:
-            return self._decide(site_hours, premium_rps, ordinary_rps, budget)
+            return self._guarded(
+                site_hours, premium_rps, ordinary_rps, budget, forced_failure
+            )
         with tel.span("capper.decide") as sp:
-            decision = self._decide(site_hours, premium_rps, ordinary_rps, budget)
+            decision = self._guarded(
+                site_hours, premium_rps, ordinary_rps, budget, forced_failure
+            )
             sp.set(step=decision.step.value, predicted_cost=decision.predicted_cost)
         tel.counter(f"capper.step.{decision.step.value}").inc()
         tel.histogram("capper.predicted_cost").observe(decision.predicted_cost)
+        return decision
+
+    def _guarded(
+        self,
+        site_hours: list[SiteHour],
+        premium_rps: float,
+        ordinary_rps: float,
+        budget: float,
+        forced_failure: Exception | None,
+    ) -> HourlyDecision:
+        """Run the two-step solve, degrading instead of crashing the hour."""
+        try:
+            if forced_failure is not None:
+                raise forced_failure
+            decision = self._decide(site_hours, premium_rps, ordinary_rps, budget)
+        except SolverError as exc:
+            if self.degradation is None:
+                raise
+            # Imported here: resilience depends on core's result types,
+            # so a module-level import would be circular.
+            from ..resilience.degradation import degraded_decision
+
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.counter("capper.degraded").inc()
+                tel.counter(f"capper.degraded.{type(exc).__name__}").inc()
+            return degraded_decision(
+                self.degradation,
+                site_hours,
+                premium_rps,
+                ordinary_rps,
+                budget,
+                last=self._last_good,
+            )
+        self._last_good = decision
         return decision
 
     def _decide(
@@ -133,11 +195,14 @@ class BillCapper:
         )
         throughput = step2.served_total_rps
         if throughput >= premium_rps * (1 - 1e-9):
+            # The tolerance admits throughput a hair below premium_rps;
+            # report what the maximizer actually achieved, never more.
+            served_premium = min(premium_rps, throughput)
             return self._classed(
                 step2,
                 CappingStep.THROUGHPUT_MAX,
-                served_premium=premium_rps,
-                served_ordinary=max(0.0, throughput - premium_rps),
+                served_premium=served_premium,
+                served_ordinary=max(0.0, throughput - served_premium),
                 demand_premium=demand_premium,
                 demand_ordinary=demand_ordinary,
                 budget=budget,

@@ -121,7 +121,13 @@ class Budgeter:
         if hour >= self.month_hours:
             raise RuntimeError("budgeting period exhausted")
         self._spent[hour] = cost
-        available = self.base_budget(hour) + (self._carry if self.carryover else 0.0)
+        # Same floor as hourly_budget(): carry and the overspend test are
+        # relative to the budget the capper was actually handed, not to a
+        # claw-back-driven negative balance it never saw.
+        available = max(
+            0.0,
+            self.base_budget(hour) + (self._carry if self.carryover else 0.0),
+        )
         self._carry = available - cost
         if not self.claw_back_deficit:
             self._carry = max(0.0, self._carry)
@@ -132,11 +138,76 @@ class Budgeter:
             self._carry = 0.0
         tel = get_telemetry()
         if tel.enabled:
-            tel.histogram("budgeter.hourly_budget").observe(max(0.0, available))
+            tel.histogram("budgeter.hourly_budget").observe(available)
             tel.histogram("budgeter.spend").observe(cost)
             tel.gauge("budgeter.carryover").set(self._carry)
             if cost > available:
                 tel.counter("budgeter.overspend_hours").inc()
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    #: Checkpoint schema version; bump when the payload shape changes.
+    CHECKPOINT_VERSION = 1
+
+    def checkpoint(self) -> dict:
+        """Snapshot the full budgeting state as a JSON-serializable dict.
+
+        A budgeter restored from this snapshot produces exactly the
+        same remaining hourly budgets as the original: the month
+        weights, per-hour spend, carryover and position all round-trip.
+        """
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "monthly_budget": self.monthly_budget,
+            "month_hours": self.month_hours,
+            "start_weekday": self.start_weekday,
+            "carryover": self.carryover,
+            "claw_back_deficit": self.claw_back_deficit,
+            "weights": self._weights.tolist(),
+            "spent": self._spent.tolist(),
+            "next_hour": self._next_hour,
+            "carry": self._carry,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "Budgeter":
+        """Rebuild a budgeter from a :meth:`checkpoint` snapshot.
+
+        No predictor is needed: the derived month weights are part of
+        the snapshot. Raises :class:`ValueError` on version or shape
+        mismatches rather than resuming from corrupt state.
+        """
+        version = state.get("version")
+        if version != cls.CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported budgeter checkpoint version {version!r} "
+                f"(expected {cls.CHECKPOINT_VERSION})"
+            )
+        month_hours = int(state["month_hours"])
+        weights = np.asarray(state["weights"], dtype=float)
+        spent = np.asarray(state["spent"], dtype=float)
+        next_hour = int(state["next_hour"])
+        if month_hours <= 0:
+            raise ValueError("checkpoint month_hours must be positive")
+        if weights.shape != (month_hours,) or spent.shape != (month_hours,):
+            raise ValueError(
+                "checkpoint weights/spent do not match month_hours "
+                f"({weights.shape}/{spent.shape} vs {month_hours})"
+            )
+        if not 0 <= next_hour <= month_hours:
+            raise ValueError(f"checkpoint next_hour {next_hour} out of range")
+        b = cls.__new__(cls)
+        b.monthly_budget = float(state["monthly_budget"])
+        b.month_hours = month_hours
+        b.start_weekday = int(state["start_weekday"])
+        b.carryover = bool(state["carryover"])
+        b.claw_back_deficit = bool(state["claw_back_deficit"])
+        b._weights = weights
+        b._base = b.monthly_budget * weights
+        b._spent = spent
+        b._next_hour = next_hour
+        b._carry = float(state["carry"])
+        return b
 
     # -- reporting ----------------------------------------------------------------
 

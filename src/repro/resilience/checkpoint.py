@@ -1,0 +1,45 @@
+"""Budgeter checkpoint files: durable month state across restarts.
+
+A real deployment's budgeter is a long-lived process holding the
+month's spend and carryover in memory; losing it mid-month would reset
+the hourly budgets to the no-history split. These helpers persist the
+:meth:`repro.core.Budgeter.checkpoint` payload as JSON so a restarted
+controller resumes with the exact carryover and spend state, and the
+simulator's ``budget_loss`` fault can prove the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.budgeter import Budgeter
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(budgeter: Budgeter, path) -> Path:
+    """Write the budgeter's checkpoint to ``path`` (atomic replace)."""
+    path = Path(path)
+    payload = json.dumps(budgeter.checkpoint(), sort_keys=True)
+    # Write-then-rename so a crash mid-write never leaves a truncated
+    # checkpoint: the previous one stays intact until the new is whole.
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(payload + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path) -> Budgeter:
+    """Rebuild a budgeter from a checkpoint file written by
+    :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        state = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not a budgeter checkpoint (line {exc.lineno}: {exc.msg})"
+        ) from None
+    if not isinstance(state, dict):
+        raise ValueError(f"{path} is not a budgeter checkpoint (not an object)")
+    return Budgeter.restore(state)

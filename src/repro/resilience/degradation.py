@@ -1,0 +1,125 @@
+"""Degraded dispatch: what the control loop does when it cannot solve.
+
+The two-step bill-capping algorithm needs a working MILP stack; when
+the whole solver chain fails (or is fault-injected to fail), the loop
+must still emit *some* dispatch for the hour. The policies here trade
+optimality for availability — none of them touches a solver:
+
+* ``HOLD_LAST`` — repeat the last successful allocation, clamped to
+  this hour's capacities (the classic "freeze the actuators" fallback;
+  falls back to ``PROPORTIONAL`` on the first hour).
+* ``PROPORTIONAL`` — split the offered load across the sites in
+  proportion to their servable capacity. Price-blind but always
+  feasible and serves everything that physically fits.
+* ``PREMIUM_SHED`` — serve premium traffic only (capacity-proportional)
+  and shed all ordinary requests: the cheapest safe hour when budget
+  state is unknown, mirroring the paper's "premium QoS must be
+  guaranteed" priority.
+
+Degraded decisions carry :attr:`~repro.core.allocation.CappingStep.DEGRADED`
+so records, telemetry and plots can separate them from solved hours.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..core.allocation import Allocation, CappingStep, HourlyDecision
+from ..core.site import SiteHour
+
+__all__ = ["DegradationPolicy", "degraded_decision"]
+
+
+class DegradationPolicy(enum.Enum):
+    """Which no-solver dispatch policy a degraded hour uses."""
+
+    HOLD_LAST = "hold-last"
+    PROPORTIONAL = "proportional"
+    PREMIUM_SHED = "premium-shed"
+
+
+def degraded_decision(
+    policy: DegradationPolicy,
+    site_hours: list[SiteHour],
+    premium_rps: float,
+    ordinary_rps: float,
+    budget: float,
+    last: HourlyDecision | None = None,
+) -> HourlyDecision:
+    """Build this hour's dispatch without solving anything.
+
+    Parameters
+    ----------
+    policy:
+        The degradation policy to apply.
+    site_hours:
+        This hour's market/power snapshots (possibly themselves stale).
+    premium_rps, ordinary_rps:
+        Offered load per customer class.
+    budget:
+        The hourly budget in force (recorded, not enforced: degraded
+        hours are availability-first).
+    last:
+        The most recent successfully solved decision, for ``HOLD_LAST``.
+    """
+    if premium_rps < 0 or ordinary_rps < 0:
+        raise ValueError("offered rates must be >= 0")
+    if policy is DegradationPolicy.HOLD_LAST and last is not None:
+        rates = _held_rates(site_hours, last)
+    elif policy is DegradationPolicy.PREMIUM_SHED:
+        rates = _proportional_rates(site_hours, premium_rps)
+    else:  # PROPORTIONAL, or HOLD_LAST with no history yet
+        rates = _proportional_rates(site_hours, premium_rps + ordinary_rps)
+
+    allocations = tuple(
+        _allocation(sh, rate) for sh, rate in zip(site_hours, rates)
+    )
+    total_served = sum(rates)
+    served_premium = min(premium_rps, total_served)
+    if policy is DegradationPolicy.PREMIUM_SHED:
+        served_ordinary = 0.0
+    else:
+        served_ordinary = min(ordinary_rps, max(0.0, total_served - served_premium))
+    return HourlyDecision(
+        step=CappingStep.DEGRADED,
+        allocations=allocations,
+        served_premium_rps=served_premium,
+        served_ordinary_rps=served_ordinary,
+        demand_premium_rps=premium_rps,
+        demand_ordinary_rps=ordinary_rps,
+        predicted_cost=sum(a.predicted_cost for a in allocations),
+        budget=budget,
+    )
+
+
+def _proportional_rates(site_hours: list[SiteHour], total_rps: float) -> list[float]:
+    """Capacity-proportional split of ``total_rps``, clamped to capacity."""
+    caps = [max(0.0, sh.max_rate_rps) for sh in site_hours]
+    capacity = sum(caps)
+    if capacity <= 0 or total_rps <= 0:
+        return [0.0] * len(site_hours)
+    served = min(total_rps, capacity)
+    return [served * cap / capacity for cap in caps]
+
+
+def _held_rates(site_hours: list[SiteHour], last: HourlyDecision) -> list[float]:
+    """The last decision's per-site rates, clamped to today's limits."""
+    previous = {a.site: a.rate_rps for a in last.allocations}
+    return [
+        min(max(0.0, previous.get(sh.name, 0.0)), sh.max_rate_rps)
+        for sh in site_hours
+    ]
+
+
+def _allocation(sh: SiteHour, rate_rps: float) -> Allocation:
+    """Predicted power/price/cost for ``rate_rps`` at ``sh`` (smooth model)."""
+    power = sh.affine.power_mw(rate_rps) if rate_rps > 0 else 0.0
+    power = min(power, sh.power_cap_mw)
+    price = sh.marginal_price(power)
+    return Allocation(
+        site=sh.name,
+        rate_rps=rate_rps,
+        predicted_power_mw=power,
+        predicted_price=price,
+        predicted_cost=price * power,
+    )

@@ -59,6 +59,11 @@ class HourRecord:
         return self.realized_cost > self.budget * (1 + 1e-9)
 
     @property
+    def degraded(self) -> bool:
+        """True when a degradation policy (not a solve) dispatched this hour."""
+        return self.step is CappingStep.DEGRADED
+
+    @property
     def total_power_mw(self) -> float:
         return sum(s.power_mw for s in self.sites)
 
@@ -138,6 +143,11 @@ class SimulationResult:
     def hours_over_budget(self) -> int:
         return int(sum(h.over_budget for h in self.hours))
 
+    @property
+    def degraded_hours(self) -> int:
+        """Hours dispatched by a degradation policy instead of a solve."""
+        return int(sum(h.degraded for h in self.hours))
+
     def budget_utilization(self, monthly_budget: float) -> float:
         """Total spend as a fraction of the monthly budget."""
         if monthly_budget <= 0:
@@ -159,6 +169,7 @@ class SimulationResult:
             "premium_throughput": self.premium_throughput_fraction,
             "ordinary_throughput": self.ordinary_throughput_fraction,
             "hours_over_budget": float(self.hours_over_budget),
+            "degraded_hours": float(self.degraded_hours),
             "peak_power_mw": float(self.hourly_power_mw.max()) if self.hours else 0.0,
         }
 

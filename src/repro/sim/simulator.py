@@ -20,6 +20,7 @@ and 9: all strategies are billed by the same ground truth.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -34,6 +35,7 @@ from ..core import (
     SiteHour,
 )
 from ..datacenter import LocalOptimizer, required_servers, response_time
+from ..resilience import DegradationPolicy, FaultInjector
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..workload import CustomerMix, Trace
 from .records import HourRecord, SimulationResult, SiteRecord
@@ -95,19 +97,60 @@ class Simulator:
         capper: BillCapper | None = None,
         hours: int | None = None,
         name: str = "cost-capping",
+        faults: FaultInjector | None = None,
+        degradation: DegradationPolicy | None = None,
     ) -> SimulationResult:
         """Run the two-step Cost Capping algorithm.
 
         ``budgeter=None`` disables capping — every hour gets an infinite
         budget, i.e. pure Section IV cost minimization. Build a budgeter
         from history with e.g. :meth:`repro.experiments.PaperWorld.budgeter`.
+
+        ``faults`` injects the :class:`~repro.resilience.FaultInjector`'s
+        deterministic per-hour faults: stale market snapshots, dead
+        background-demand sensors, solver-stack failures, and budgeter
+        state loss (recovered from an hourly checkpoint). Every faulted
+        hour still carries a dispatch decision — solver failures fall
+        back to ``degradation`` (default
+        :attr:`~repro.resilience.DegradationPolicy.PROPORTIONAL`) and
+        are recorded as :attr:`~repro.core.CappingStep.DEGRADED` hours.
+        With ``faults=None`` the loop is bit-identical to a plain run.
         """
         capper = capper or BillCapper()
         horizon = self._horizon(hours)
+        if budgeter is not None:
+            remaining = budgeter.month_hours - budgeter.current_hour
+            if horizon > remaining:
+                raise ValueError(
+                    f"horizon of {horizon} h exceeds the budgeter's remaining "
+                    f"{remaining} budgeted hours (month_hours="
+                    f"{budgeter.month_hours}, {budgeter.current_hour} already "
+                    f"recorded); pass fewer hours or a longer budgeting period"
+                )
+        if degradation is not None:
+            capper.degradation = degradation
+        elif faults is not None and capper.degradation is None:
+            capper.degradation = DegradationPolicy.PROPORTIONAL
         result = SimulationResult(name)
         with use_telemetry(self.telemetry or get_telemetry()) as tel:
+            # Hourly checkpoint backing the budget_loss fault: a lost
+            # budgeter is restored from here, exactly as a restarted
+            # controller would resume from its last persisted state.
+            ckpt = (
+                budgeter.checkpoint()
+                if budgeter is not None and faults is not None
+                else None
+            )
             for t in range(horizon):
+                hf = faults.faults_for(t) if faults is not None else None
                 with tel.span("hour", hour=t, strategy=name) as hour_span:
+                    if hf is not None and hf.any:
+                        for kind in hf.kinds:
+                            tel.counter(f"resilience.injected.{kind}").inc()
+                        hour_span.set(faults=",".join(hf.kinds))
+                    if hf is not None and hf.budget_loss and budgeter is not None:
+                        budgeter = Budgeter.restore(ckpt)
+                        tel.counter("resilience.budgeter_restarts").inc()
                     total = float(self.workload.rates_rps[t])
                     premium = self.mix.premium_rate(total)
                     ordinary = self.mix.ordinary_rate(total)
@@ -115,14 +158,20 @@ class Simulator:
                         budget = (
                             budgeter.hourly_budget() if budgeter else float("inf")
                         )
-                    site_hours = self._site_hours(t)
+                    site_hours = self._observed_site_hours(t, hf)
+                    forced = hf.solver_exception() if hf is not None else None
                     with tel.span("dispatch"):
                         decision = capper.decide(
-                            site_hours, premium, ordinary, budget
+                            site_hours, premium, ordinary, budget,
+                            forced_failure=forced,
                         )
+                    if decision.step is CappingStep.DEGRADED:
+                        tel.counter("resilience.degraded_hours").inc()
                     record = self._realize(t, decision)
                     if budgeter:
                         budgeter.record_spend(record.realized_cost)
+                        if ckpt is not None:
+                            ckpt = budgeter.checkpoint()
                     hour_span.set(
                         step=decision.step.value,
                         realized_cost=record.realized_cost,
@@ -213,6 +262,29 @@ class Simulator:
         if hours is None:
             hours = self._hours_memo[t] = [s.hour(t) for s in self.sites]
         return hours
+
+    def _observed_site_hours(self, t: int, hf) -> list[SiteHour]:
+        """The snapshots the *dispatcher* sees at hour ``t``.
+
+        Normally the truth; under an injected sensing fault the view is
+        degraded — a stale price feed serves the whole previous-hour
+        snapshot, a sensor dropout serves the previous hour's background
+        demand under current prices. Hour 0 has no previous snapshot to
+        go stale, so faults there are no-ops. Realized billing always
+        uses the true hour regardless (see :meth:`_realize`).
+        """
+        current = self._site_hours(t)
+        if hf is None or t == 0:
+            return current
+        if hf.stale_prices:
+            return self._site_hours(t - 1)
+        if hf.sensor_dropout:
+            previous = self._site_hours(t - 1)
+            return [
+                dataclasses.replace(sh, background_mw=prev.background_mw)
+                for sh, prev in zip(current, previous)
+            ]
+        return current
 
     def _local_at(self, site: Site, t: int) -> LocalOptimizer:
         """Weather-hour local optimizer, built once per (site, hour)."""

@@ -18,6 +18,8 @@ MILP presolve, see ``repro.core.dispatch_model``).
 
 from __future__ import annotations
 
+import dataclasses
+
 from ..telemetry import get_telemetry
 from .model import StandardForm
 from .result import SolveResult, SolveStatus
@@ -77,8 +79,10 @@ class FallbackBackend:
             tel.counter(f"solver.fallback.failover.{backend.name}").inc()
         tel.counter("solver.fallback.exhausted").inc()
         if last is not None:
-            last.message = "; ".join(errors)
-            return last
+            # Callers (and model-cache diagnostics) may still hold the
+            # backend's own result object; report the exhausted chain on
+            # a copy rather than mutating it behind their back.
+            return dataclasses.replace(last, message="; ".join(errors))
         return SolveResult(
             status=SolveStatus.ERROR,
             backend=self.name,

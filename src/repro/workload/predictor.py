@@ -67,7 +67,11 @@ class HourOfWeekPredictor:
 
     def predicted_rate(self, hour_of_week: int) -> float:
         """Mean rate observed at this hour-of-week over the window."""
-        buf = self._buffers[hour_of_week % HOURS_PER_WEEK]
+        # Same validation as observe(): silently wrapping out-of-range
+        # hours would hide caller indexing bugs on the query side only.
+        if not 0 <= hour_of_week < HOURS_PER_WEEK:
+            raise ValueError("hour_of_week must be in 0..167")
+        buf = self._buffers[hour_of_week]
         if not buf:
             raise ValueError(f"no observations for hour-of-week {hour_of_week}")
         return float(np.mean(buf))

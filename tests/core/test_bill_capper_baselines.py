@@ -82,6 +82,65 @@ class TestBillCapper:
         assert d.budget == 1234.5
 
 
+class TestStep2Reporting:
+    """Regression: step 2 used to report ``served_premium = premium_rps``
+    even when the maximizer's throughput landed a hair *below* the
+    premium load (inside the 1e-9 acceptance tolerance), overstating
+    premium service and pushing served_ordinary negative."""
+
+    class _StubOptimizer:
+        """Duck-typed optimizer returning a canned decision."""
+
+        def __init__(self, decision):
+            self.decision = decision
+
+        def solve(self, site_hours, total_rate_rps, budget=None):
+            return self.decision
+
+    @staticmethod
+    def _decision(served_total, cost):
+        from repro.core import HourlyDecision
+
+        return HourlyDecision(
+            step=CappingStep.THROUGHPUT_MAX,
+            allocations=(),
+            served_premium_rps=served_total,
+            served_ordinary_rps=0.0,
+            demand_premium_rps=served_total,
+            demand_ordinary_rps=0.0,
+            predicted_cost=cost,
+        )
+
+    def test_served_premium_clamped_to_achieved_throughput(self):
+        premium = 1e6
+        achieved = premium * (1 - 5e-10)  # within tolerance, below demand
+        capper = BillCapper(
+            cost_minimizer=self._StubOptimizer(self._decision(premium, 1e9)),
+            throughput_maximizer=self._StubOptimizer(
+                self._decision(achieved, 10.0)
+            ),
+            shed_beyond_capacity=False,
+        )
+        d = capper.decide([], premium, 0.0, budget=100.0)
+        assert d.step is CappingStep.THROUGHPUT_MAX
+        assert d.served_premium_rps == pytest.approx(achieved, abs=0.0)
+        assert d.served_premium_rps <= achieved
+        assert d.served_ordinary_rps == 0.0
+
+    def test_surplus_throughput_still_goes_to_ordinary(self):
+        premium, ordinary = 1e6, 5e5
+        capper = BillCapper(
+            cost_minimizer=self._StubOptimizer(self._decision(premium, 1e9)),
+            throughput_maximizer=self._StubOptimizer(
+                self._decision(premium + 2e5, 10.0)
+            ),
+            shed_beyond_capacity=False,
+        )
+        d = capper.decide([], premium, ordinary, budget=100.0)
+        assert d.served_premium_rps == pytest.approx(premium)
+        assert d.served_ordinary_rps == pytest.approx(2e5)
+
+
 class TestMinOnly:
     def _dispatcher(self, mode, sites):
         slopes = {s.name: 0.3e-6 for s in sites}  # server-only: below true slope

@@ -95,6 +95,30 @@ class TestCarryover:
         assert b.hourly_budget() < b.base_budget(1)
         assert b.hourly_budget() >= 0.0
 
+    def test_claw_back_carry_matches_handed_budget(self):
+        # Regression: record_spend used to compute its `available` figure
+        # without the zero floor hourly_budget() applies, so a deep
+        # deficit kept accruing against budgets the capper never saw.
+        b = Budgeter(240.0, _flat_predictor(), month_hours=240,
+                     claw_back_deficit=True)
+        b.hourly_budget()
+        b.record_spend(10.0)  # deficit worth several base budgets
+        assert b.hourly_budget() == 0.0  # clawed all the way back
+        b.record_spend(0.0)  # spent exactly what was handed
+        # Nothing was over- or under-spent against the handed (floored)
+        # budget, so the next hour is back to its base allocation.
+        assert b.hourly_budget() == pytest.approx(b.base_budget(2))
+
+    def test_claw_back_overspend_measured_against_handed_budget(self):
+        b = Budgeter(480.0, _flat_predictor(), month_hours=240,
+                     claw_back_deficit=True)  # base budget 2.0/hour
+        b.hourly_budget()
+        b.record_spend(10.0)
+        assert b.hourly_budget() == 0.0
+        b.record_spend(1.0)  # premium-only hour violating the zero budget
+        # Only that $1 overspend carries forward, not the stale deficit.
+        assert b.hourly_budget() == pytest.approx(b.base_budget(2) - 1.0)
+
     def test_carryover_disabled(self):
         b = Budgeter(240.0, _flat_predictor(), month_hours=240, carryover=False)
         b.hourly_budget()

@@ -1,0 +1,43 @@
+"""Shared fixtures for resilience tests: hand-tuned site snapshots."""
+
+import pytest
+
+from repro.core import SiteHour
+from repro.datacenter import AffinePower
+from repro.powermarket import SteppedPricingPolicy
+
+
+def site_hour(
+    name="S",
+    slope=0.5e-6,  # MW per rps
+    intercept=0.0,
+    policy=None,
+    background=50.0,
+    power_cap=1e4,
+    max_rate=2e7,
+):
+    """A hand-tuned SiteHour with a simple affine power model."""
+    policy = policy or SteppedPricingPolicy(
+        name, (100.0, 200.0), (10.0, 20.0, 40.0)
+    )
+    return SiteHour(
+        name=name,
+        affine=AffinePower(slope, intercept),
+        policy=policy,
+        background_mw=background,
+        power_cap_mw=power_cap,
+        max_rate_rps=max_rate,
+    )
+
+
+@pytest.fixture
+def three_sites():
+    pol = lambda n, p1: SteppedPricingPolicy(n, (100.0, 200.0), (p1, p1 * 2, p1 * 4))
+    return [
+        site_hour("A", slope=0.5e-6, policy=pol("A", 10.0), background=50.0,
+                  max_rate=1e7),
+        site_hour("B", slope=0.4e-6, policy=pol("B", 12.0), background=40.0,
+                  max_rate=2e7),
+        site_hour("C", slope=0.6e-6, policy=pol("C", 8.0), background=30.0,
+                  max_rate=1e7),
+    ]

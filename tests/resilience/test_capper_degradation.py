@@ -1,0 +1,113 @@
+"""BillCapper degradation: solver-stack failures become degraded hours."""
+
+import pytest
+
+from repro.core import BillCapper, CappingStep
+from repro.resilience import DegradationPolicy
+from repro.solver import InfeasibleError, SolverError, SolverLimitError
+from repro.telemetry import Telemetry, snapshot, summarize, use_telemetry
+
+
+class _ExplodingMinimizer:
+    """Cost-minimizer stub whose solver stack always dies."""
+
+    def __init__(self, exc=None):
+        self.exc = exc or SolverLimitError("stub: node limit exhausted")
+        self.calls = 0
+
+    def solve(self, site_hours, total_rate_rps):
+        self.calls += 1
+        raise self.exc
+
+
+class TestDegradationOff:
+    def test_solver_failure_propagates_by_default(self, three_sites):
+        capper = BillCapper(cost_minimizer=_ExplodingMinimizer())
+        with pytest.raises(SolverLimitError):
+            capper.decide(three_sites, 1e6, 1e6, float("inf"))
+
+    def test_forced_failure_propagates_by_default(self, three_sites):
+        capper = BillCapper()
+        with pytest.raises(SolverError):
+            capper.decide(
+                three_sites, 1e6, 1e6, float("inf"),
+                forced_failure=SolverError("injected"),
+            )
+
+
+class TestDegradationOn:
+    def test_solver_failure_becomes_degraded_decision(self, three_sites):
+        capper = BillCapper(
+            cost_minimizer=_ExplodingMinimizer(),
+            degradation=DegradationPolicy.PROPORTIONAL,
+        )
+        d = capper.decide(three_sites, 1e6, 2e6, 50.0)
+        assert d.step is CappingStep.DEGRADED
+        assert d.served_premium_rps == pytest.approx(1e6)
+        assert d.served_ordinary_rps == pytest.approx(2e6)
+        assert d.budget == 50.0
+
+    def test_infeasible_also_degrades(self, three_sites):
+        capper = BillCapper(
+            cost_minimizer=_ExplodingMinimizer(InfeasibleError("stub")),
+            degradation=DegradationPolicy.PREMIUM_SHED,
+        )
+        d = capper.decide(three_sites, 1e6, 2e6, 50.0)
+        assert d.step is CappingStep.DEGRADED
+        assert d.served_ordinary_rps == 0.0
+
+    def test_non_solver_errors_still_propagate(self, three_sites):
+        capper = BillCapper(
+            cost_minimizer=_ExplodingMinimizer(TypeError("a genuine bug")),
+            degradation=DegradationPolicy.PROPORTIONAL,
+        )
+        with pytest.raises(TypeError):
+            capper.decide(three_sites, 1e6, 1e6, float("inf"))
+
+    def test_hold_last_uses_previous_successful_decision(self, three_sites):
+        capper = BillCapper(degradation=DegradationPolicy.HOLD_LAST)
+        good = capper.decide(three_sites, 1e6, 1e6, float("inf"))
+        assert good.step is CappingStep.COST_MIN
+        held = capper.decide(
+            three_sites, 5e6, 5e6, float("inf"),
+            forced_failure=SolverError("injected"),
+        )
+        assert held.step is CappingStep.DEGRADED
+        assert {a.site: a.rate_rps for a in held.allocations} == pytest.approx(
+            {a.site: a.rate_rps for a in good.allocations}
+        )
+
+    def test_degraded_hours_do_not_pollute_hold_last_history(self, three_sites):
+        capper = BillCapper(degradation=DegradationPolicy.HOLD_LAST)
+        good = capper.decide(three_sites, 1e6, 1e6, float("inf"))
+        for _ in range(2):  # two consecutive failures hold the same plan
+            held = capper.decide(
+                three_sites, 8e6, 8e6, float("inf"),
+                forced_failure=SolverError("injected"),
+            )
+            assert {a.site: a.rate_rps for a in held.allocations} == pytest.approx(
+                {a.site: a.rate_rps for a in good.allocations}
+            )
+
+    def test_validation_still_raises_before_degradation(self, three_sites):
+        capper = BillCapper(degradation=DegradationPolicy.PROPORTIONAL)
+        with pytest.raises(ValueError):
+            capper.decide(three_sites, -1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            capper.decide(three_sites, 1.0, 0.0, -10.0)
+
+
+class TestTelemetry:
+    def test_degraded_decisions_counted(self, three_sites):
+        capper = BillCapper(
+            cost_minimizer=_ExplodingMinimizer(),
+            degradation=DegradationPolicy.PROPORTIONAL,
+        )
+        tel = Telemetry()
+        with use_telemetry(tel):
+            capper.decide(three_sites, 1e6, 1e6, 50.0)
+            capper.decide(three_sites, 1e6, 1e6, 50.0)
+        counters = summarize(snapshot(tel))["counters"]
+        assert counters["capper.degraded"] == 2
+        assert counters["capper.degraded.SolverLimitError"] == 2
+        assert counters["capper.step.degraded"] == 2

@@ -1,0 +1,142 @@
+"""Tests for the no-solver degraded dispatch policies."""
+
+import pytest
+
+from repro.core import CappingStep
+from repro.resilience import DegradationPolicy, degraded_decision
+
+from .conftest import site_hour
+
+
+class TestProportional:
+    def test_splits_by_capacity(self, three_sites):
+        d = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 4e6, 4e6, 100.0
+        )
+        assert d.step is CappingStep.DEGRADED
+        rates = {a.site: a.rate_rps for a in d.allocations}
+        # Capacities are 1e7/2e7/1e7: site B gets half the load.
+        assert rates["B"] == pytest.approx(rates["A"] * 2)
+        assert rates["A"] == pytest.approx(rates["C"])
+        assert sum(rates.values()) == pytest.approx(8e6)
+
+    def test_serves_everything_when_capacity_allows(self, three_sites):
+        d = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 3e6, 2e6, 100.0
+        )
+        assert d.served_premium_rps == pytest.approx(3e6)
+        assert d.served_ordinary_rps == pytest.approx(2e6)
+
+    def test_clamps_to_capacity(self, three_sites):
+        capacity = sum(sh.max_rate_rps for sh in three_sites)
+        d = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, capacity, capacity, 0.0
+        )
+        assert d.served_total_rps == pytest.approx(capacity)
+        assert d.served_premium_rps == pytest.approx(capacity)
+        assert d.served_ordinary_rps == pytest.approx(0.0)
+        for a in d.allocations:
+            sh = next(s for s in three_sites if s.name == a.site)
+            assert a.rate_rps <= sh.max_rate_rps * (1 + 1e-12)
+
+    def test_zero_demand(self, three_sites):
+        d = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 0.0, 0.0, 10.0
+        )
+        assert d.served_total_rps == 0.0
+        assert d.predicted_cost == 0.0
+
+    def test_predicted_cost_uses_smooth_model(self, three_sites):
+        d = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 4e6, 4e6, 100.0
+        )
+        for a in d.allocations:
+            sh = next(s for s in three_sites if s.name == a.site)
+            assert a.predicted_power_mw == pytest.approx(
+                sh.affine.power_mw(a.rate_rps)
+            )
+            assert a.predicted_cost == pytest.approx(
+                a.predicted_price * a.predicted_power_mw
+            )
+
+    def test_budget_and_demand_recorded(self, three_sites):
+        d = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 1e6, 2e6, 42.0
+        )
+        assert d.budget == 42.0
+        assert d.demand_premium_rps == 1e6
+        assert d.demand_ordinary_rps == 2e6
+
+    def test_negative_rates_rejected(self, three_sites):
+        with pytest.raises(ValueError):
+            degraded_decision(
+                DegradationPolicy.PROPORTIONAL, three_sites, -1.0, 0.0, 1.0
+            )
+
+
+class TestPremiumShed:
+    def test_serves_premium_only(self, three_sites):
+        d = degraded_decision(
+            DegradationPolicy.PREMIUM_SHED, three_sites, 3e6, 5e6, 100.0
+        )
+        assert d.served_premium_rps == pytest.approx(3e6)
+        assert d.served_ordinary_rps == 0.0
+        assert d.demand_ordinary_rps == 5e6
+        assert sum(a.rate_rps for a in d.allocations) == pytest.approx(3e6)
+
+    def test_cheaper_than_proportional(self, three_sites):
+        full = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 3e6, 5e6, 100.0
+        )
+        shed = degraded_decision(
+            DegradationPolicy.PREMIUM_SHED, three_sites, 3e6, 5e6, 100.0
+        )
+        assert shed.predicted_cost < full.predicted_cost
+
+
+class TestHoldLast:
+    def test_repeats_last_allocation(self, three_sites):
+        last = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 2e6, 2e6, 100.0
+        )
+        held = degraded_decision(
+            DegradationPolicy.HOLD_LAST, three_sites, 9e6, 9e6, 100.0, last=last
+        )
+        assert {a.site: a.rate_rps for a in held.allocations} == {
+            a.site: a.rate_rps for a in last.allocations
+        }
+
+    def test_clamps_to_current_capacity(self, three_sites):
+        last = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 1e7, 1e7, 100.0
+        )
+        # Site B's servable rate shrank since the held hour.
+        shrunk = [
+            site_hour("B", max_rate=1e6) if sh.name == "B" else sh
+            for sh in three_sites
+        ]
+        held = degraded_decision(
+            DegradationPolicy.HOLD_LAST, shrunk, 1e7, 1e7, 100.0, last=last
+        )
+        rates = {a.site: a.rate_rps for a in held.allocations}
+        assert rates["B"] == pytest.approx(1e6)
+
+    def test_without_history_falls_back_to_proportional(self, three_sites):
+        held = degraded_decision(
+            DegradationPolicy.HOLD_LAST, three_sites, 4e6, 4e6, 100.0, last=None
+        )
+        prop = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites, 4e6, 4e6, 100.0
+        )
+        assert [a.rate_rps for a in held.allocations] == [
+            a.rate_rps for a in prop.allocations
+        ]
+
+    def test_sites_missing_from_history_get_zero(self, three_sites):
+        last = degraded_decision(
+            DegradationPolicy.PROPORTIONAL, three_sites[:2], 2e6, 2e6, 100.0
+        )
+        held = degraded_decision(
+            DegradationPolicy.HOLD_LAST, three_sites, 2e6, 2e6, 100.0, last=last
+        )
+        assert {a.site: a.rate_rps for a in held.allocations}["C"] == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the deterministic fault injector (`repro.resilience.faults`)."""
+
+import pytest
+
+from repro.resilience import FAULT_KINDS, FaultInjector, FaultSpec
+from repro.solver import SolverError, SolverLimitError
+
+
+class TestFaultSpec:
+    def test_defaults_inject_nothing(self):
+        spec = FaultSpec()
+        assert not spec.any_enabled
+        inj = FaultInjector(spec)
+        assert not any(inj.faults_for(t).any for t in range(100))
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(price_stale=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(solver_error=-0.1)
+
+    def test_parse_round_trip(self):
+        spec = FaultSpec.parse("price_stale=0.1, solver_error=0.05, seed=42")
+        assert spec.price_stale == pytest.approx(0.1)
+        assert spec.solver_error == pytest.approx(0.05)
+        assert spec.seed == 42
+        assert spec.sensor_dropout == 0.0
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown fault channel"):
+            FaultSpec.parse("disk_full=0.5")
+
+    def test_parse_rejects_malformed_entries(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultSpec.parse("price_stale")
+        with pytest.raises(ValueError, match="bad value"):
+            FaultSpec.parse("price_stale=lots")
+
+    def test_parse_empty_spec_is_clean(self):
+        assert not FaultSpec.parse("").any_enabled
+
+
+class TestFaultInjector:
+    def test_deterministic_per_hour(self):
+        spec = FaultSpec(price_stale=0.5, solver_error=0.3, budget_loss=0.2, seed=7)
+        a, b = FaultInjector(spec), FaultInjector(spec)
+        for t in range(200):
+            assert a.faults_for(t) == b.faults_for(t)
+
+    def test_call_order_independent(self):
+        inj = FaultInjector(FaultSpec(price_stale=0.5, seed=1))
+        forward = [inj.faults_for(t) for t in range(50)]
+        backward = [inj.faults_for(t) for t in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+    def test_seeds_differ(self):
+        mk = lambda seed: FaultInjector(
+            FaultSpec(price_stale=0.5, solver_error=0.5, seed=seed)
+        )
+        schedule = lambda inj: [inj.faults_for(t) for t in range(100)]
+        assert schedule(mk(1)) != schedule(mk(2))
+
+    def test_certain_faults_fire_every_hour(self):
+        inj = FaultInjector(FaultSpec(solver_error=1.0, sensor_dropout=1.0))
+        for t in range(20):
+            hf = inj.faults_for(t)
+            assert hf.solver_error and hf.sensor_dropout
+            assert not hf.stale_prices and not hf.budget_loss
+
+    def test_rates_roughly_respected(self):
+        inj = FaultInjector(FaultSpec(price_stale=0.3, seed=9))
+        counts = inj.schedule_counts(2000)
+        assert 0.2 < counts["price_stale"] / 2000 < 0.4
+        assert counts["solver_error"] == 0
+
+    def test_negative_hour_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(FaultSpec()).faults_for(-1)
+
+    def test_schedule_counts_covers_all_channels(self):
+        counts = FaultInjector(FaultSpec()).schedule_counts(10)
+        assert set(counts) == set(FAULT_KINDS)
+
+
+class TestHourFaults:
+    def test_kinds_match_spec_keys(self):
+        inj = FaultInjector(
+            FaultSpec(price_stale=1.0, solver_timeout=1.0, budget_loss=1.0)
+        )
+        assert inj.faults_for(0).kinds == (
+            "price_stale", "solver_timeout", "budget_loss",
+        )
+
+    def test_solver_exception_timeout_wins(self):
+        inj = FaultInjector(FaultSpec(solver_error=1.0, solver_timeout=1.0))
+        exc = inj.faults_for(0).solver_exception()
+        assert isinstance(exc, SolverLimitError)
+
+    def test_solver_exception_error(self):
+        inj = FaultInjector(FaultSpec(solver_error=1.0))
+        exc = inj.faults_for(0).solver_exception()
+        assert isinstance(exc, SolverError)
+        assert not isinstance(exc, SolverLimitError)
+
+    def test_no_solver_fault_no_exception(self):
+        inj = FaultInjector(FaultSpec(price_stale=1.0))
+        assert inj.faults_for(0).solver_exception() is None

@@ -99,5 +99,6 @@ class TestSimulationResult:
             "premium_throughput",
             "ordinary_throughput",
             "hours_over_budget",
+            "degraded_hours",
             "peak_power_mw",
         }

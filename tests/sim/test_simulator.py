@@ -102,6 +102,24 @@ class TestValidation:
         with pytest.raises(ValueError):
             sim.run_capping(hours=10**6)
 
+    def test_horizon_beyond_budgeting_period_rejected(self, world, sim):
+        # Regression: this used to crash mid-month with an opaque
+        # RuntimeError("budgeting period exhausted") after simulating
+        # (and paying for) month_hours of dispatch.
+        from repro.core import Budgeter
+
+        short = Budgeter(1e6, world.predictor(), month_hours=24)
+        with pytest.raises(ValueError, match="exceeds the budgeter's remaining"):
+            sim.run_capping(short, hours=48)
+
+    def test_partially_spent_budgeter_counts_remaining_hours(self, world, sim):
+        budgeter = world.budgeter(1e6)
+        for _ in range(budgeter.month_hours - 10):
+            budgeter.hourly_budget()
+            budgeter.record_spend(0.0)
+        with pytest.raises(ValueError, match="remaining 10 budgeted hours"):
+            sim.run_capping(budgeter, hours=48)
+
     def test_workload_longer_than_background_rejected(self, world):
         from repro.core import Site
         from repro.sim import Simulator

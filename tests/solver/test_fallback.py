@@ -115,6 +115,23 @@ class TestFallback:
         assert res.objective == pytest.approx(8.0)
         assert crasher.calls == 1 and limited.calls == 1
 
+    def test_exhausted_chain_does_not_mutate_backend_result(self):
+        # Regression: the exhausted-chain path used to write the failure
+        # history into `last.message` in place — corrupting the result
+        # object the losing backend (and anything caching it) still held.
+        class _Remembering(_FailingBackend):
+            def solve(self, sf):
+                self.result = super().solve(sf)
+                return self.result
+
+        a = _Remembering(status=SolveStatus.NODE_LIMIT, name="a")
+        b = _Remembering(status=SolveStatus.ITERATION_LIMIT, name="b")
+        res = FallbackBackend(a, b).solve(_toy_model().to_standard_form())
+        assert res is not b.result
+        assert b.result.message == ""
+        assert res.status is SolveStatus.ITERATION_LIMIT
+        assert "a" in res.message and "b" in res.message
+
     def test_usable_in_cost_minimizer(self):
         from repro.core import CostMinimizer
         from repro.experiments import paper_world

@@ -21,6 +21,7 @@ SUBPACKAGES = (
     "repro.routing",
     "repro.experiments",
     "repro.telemetry",
+    "repro.resilience",
 )
 
 

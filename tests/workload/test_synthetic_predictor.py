@@ -186,6 +186,16 @@ class TestHourOfWeekPredictor:
         with pytest.raises(ValueError):
             p.observe(0, -1.0)
 
+    def test_predicted_rate_validates_like_observe(self):
+        # Regression: predicted_rate used to wrap out-of-range hours
+        # with `% 168` while observe raised — hiding query-side
+        # indexing bugs that the write side would have caught.
+        p = HourOfWeekPredictor(Trace(np.full(HOURS_PER_WEEK, 10.0)))
+        with pytest.raises(ValueError, match="0..167"):
+            p.predicted_rate(HOURS_PER_WEEK)
+        with pytest.raises(ValueError, match="0..167"):
+            p.predicted_rate(-1)
+
     def test_zero_history_uniform_weights(self):
         p = HourOfWeekPredictor(Trace(np.zeros(HOURS_PER_WEEK) + 0.0))
         w = p.weekly_weights()
