@@ -10,9 +10,12 @@ served vs offered requests per class. Claims reproduced:
   lost to imperfect historical budgeting (the paper's 0.99%).
 """
 
+import os
+
 import pytest
 
 from repro.experiments import PAPER_BUDGET_LEVELS
+from repro.sim.sweep import capped_month_metric, run_sweep, sweep_grid
 
 from conftest import BENCH_HOURS, monthly_budget_from, run_once
 
@@ -21,12 +24,28 @@ from _report import report, table
 
 @pytest.fixture(scope="module")
 def sweep(world, simulator, uncapped):
-    out = {}
-    for label, fraction in PAPER_BUDGET_LEVELS.items():
-        monthly = monthly_budget_from(uncapped, world, fraction)
-        budgeter = world.budgeter(monthly)
-        out[label] = simulator.run_capping(budgeter, hours=BENCH_HOURS)
-    return out
+    """The paper's five budget levels through the scenario-sweep engine.
+
+    Budget levels are independent given the world, so they form a
+    one-axis sweep; ``REPRO_BENCH_WORKERS=N`` fans them over a process
+    pool (results are identical to the serial run — each worker
+    regenerates the same seed-keyed world).
+    """
+    labels = list(PAPER_BUDGET_LEVELS)
+    scenarios = sweep_grid(
+        monthly_budget=[
+            monthly_budget_from(uncapped, world, PAPER_BUDGET_LEVELS[label])
+            for label in labels
+        ]
+    )
+    for sc in scenarios:
+        sc["hours"] = BENCH_HOURS
+    results = run_sweep(
+        capped_month_metric,
+        scenarios,
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+    )
+    return dict(zip(labels, results))
 
 
 def test_fig10_budget_sweep(benchmark, world, simulator, uncapped, sweep):

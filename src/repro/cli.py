@@ -15,6 +15,10 @@ Commands
     LMPs plus single-solve load-growth headroom per consumer bus.
 ``study``
     Multi-seed robustness of the capping-vs-baseline savings.
+``sweep``
+    Grid sweep of one strategy over seeds x budget fractions via the
+    scenario-sweep engine (``--workers`` fans scenarios over a process
+    pool; solver counters merge back into ``--trace``).
 ``telemetry``
     Summarize (``summary``) or aggregate-export (``export``) a JSONL
     telemetry trace produced with ``--trace``.
@@ -225,6 +229,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sim.sweep import run_sweep, strategy_metric, sweep_grid
+
+    fractions: list[float | None] = []
+    for token in args.budget_fractions.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lower() in ("none", "uncapped"):
+            fractions.append(None)
+            continue
+        try:
+            value = float(token)
+        except ValueError:
+            print(f"error: bad budget fraction {token!r}")
+            return 2
+        if value <= 0.0:
+            print(f"error: budget fractions must be positive, got {token}")
+            return 2
+        fractions.append(value)
+    if not fractions:
+        print("error: --budget-fractions needs at least one value")
+        return 2
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1")
+        return 2
+
+    scenarios = sweep_grid(
+        seed=[args.seed + i for i in range(args.seeds)],
+        budget_fraction=fractions,
+    )
+    for sc in scenarios:
+        sc.update(
+            strategy=args.strategy, policy_id=args.policy, hours=args.hours
+        )
+    with _tracing(args):
+        results = run_sweep(strategy_metric, scenarios, workers=args.workers)
+
+    print(f"{len(scenarios)} scenarios "
+          f"({args.seeds} seeds x {len(fractions)} budgets), "
+          f"strategy={args.strategy}, {args.hours}h, "
+          f"workers={args.workers}")
+    print(f"{'seed':>6} {'budget':>8} {'total $':>14} {'premium':>8} "
+          f"{'ordinary':>9} {'over':>5}")
+    for sc, res in zip(scenarios, results):
+        s = res.summary()
+        frac = (
+            "   -" if sc["budget_fraction"] is None
+            else f"{sc['budget_fraction']:.2f}"
+        )
+        print(f"{sc['seed']:>6} {frac:>8} {s['total_cost']:>14,.0f} "
+              f"{s['premium_throughput']:>8.2%} "
+              f"{s['ordinary_throughput']:>9.2%} "
+              f"{int(s['hours_over_budget']):>5}")
+    return 0
+
+
 def _read_trace(path: str):
     """Read a trace file for the ``telemetry`` subcommands.
 
@@ -344,6 +405,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(they are independent given the world; incompatible with --trace)",
     )
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="grid sweep of one strategy over seeds x budget fractions",
+    )
+    p_sweep.add_argument(
+        "--strategy",
+        default="capping",
+        choices=("capping", "min-only-avg", "min-only-low", "min-only-current"),
+    )
+    p_sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="number of consecutive seeds starting at --seed",
+    )
+    p_sweep.add_argument(
+        "--budget-fractions",
+        default="none,0.95,0.85",
+        help="comma-separated monthly budgets as fractions of the "
+        "uncapped spend; 'none' runs uncapped (capping only)",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate scenarios in a process pool of this size; "
+        "telemetry counters are merged back into --trace either way",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_head = sub.add_parser(
         "headroom", help="LMPs + load-growth headroom on the 5-bus system"

@@ -1,0 +1,273 @@
+"""Exact segment-enumeration solver for the hourly dispatch MILPs.
+
+Profiling a simulated capping month puts ~85% of wall time inside
+branch-and-bound LP solves. Yet for the common homogeneous-fleet case
+the MILP's combinatorial core is tiny: per site, exactly one price
+segment binary is selected (``one_segment``), the active gate ``z``
+either holds the site at zero or admits the affine power model
+``p = a lam + b``, and *for a fixed selection* the continuous problem
+collapses to a one- or two-constraint LP over boxed per-site rates
+whose greedy solution is exact:
+
+* **cost-min** — minimize ``sum m_i lam_i`` subject to
+  ``sum lam_i = L`` and ``lam_i in [lo_i, hi_i]``, with marginal cost
+  ``m_i = price_i * a_i``. Forcing every ``lam_i`` to its lower bound
+  and filling the remainder in ascending-marginal order is the classic
+  transportation greedy (exchange argument: moving load from a larger
+  to a smaller marginal never increases cost).
+* **throughput-max** — maximize ``sum lam_i - w * cost`` subject to a
+  demand row and a budget row. Ascending-marginal filling is again
+  exact because a smaller ``m_i`` simultaneously has the larger
+  objective gain ``1 - w m_i`` *and* the smaller budget consumption
+  per unit of rate — the two greedy orders coincide.
+
+This module enumerates every per-site choice combination (one array
+axis per combination, solved simultaneously with NumPy), evaluates each
+fixed-selection subproblem in closed form, and returns the best — the
+exact MILP optimum — without touching the simplex. Decision equivalence
+with the branch-and-bound and SciPy engines is pinned by
+``tests/core/test_enum_kernel.py`` (objective and served totals; per-
+site splits may legitimately differ between engines at alternate
+optima).
+
+The kernel *bails out* (returns ``None``; the caller proceeds with the
+compiled MILP) whenever its assumptions don't hold: piecewise-power
+(heterogeneous) sites, non-positive slopes, negative prices or
+intercepts, a tie-break weight large enough to make rate unprofitable,
+or more than :data:`MAX_COMBOS` combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..solver.result import SolveResult, SolveStatus
+from .dispatch_model import RATE_SCALE
+from .linearize import reachable_segments
+from .site import SiteHour
+
+__all__ = ["MAX_COMBOS", "solve_cost_min", "solve_throughput_max"]
+
+#: Enumeration ceiling: beyond this many per-site choice combinations
+#: the branch-and-bound MILP (whose search is *not* exhaustive) wins.
+MAX_COMBOS = 4096
+
+#: Constraint-feasibility slack, matching MILP feasibility tolerances.
+_FEAS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class _SiteChoices:
+    """One site's admissible (segment | inactive) choices.
+
+    Arrays are aligned per choice: ``lo``/``hi`` bound the scaled rate,
+    ``m`` is the marginal cost per scaled rate unit, ``f`` the fixed
+    cost of being active in that segment, ``price`` the segment price.
+    ``pos[j] >= 0`` indexes the entry's segment variables; a negative
+    ``pos`` encodes the inactive choice, selecting segment
+    ``-pos - 1`` with zero power.
+    """
+
+    a: float  # MW per scaled rate unit
+    b: float  # intercept MW
+    lo: np.ndarray
+    hi: np.ndarray
+    m: np.ndarray
+    f: np.ndarray
+    price: np.ndarray
+    pos: tuple[int, ...]
+
+
+def _prepare(
+    site_hours: list[SiteHour], step_margin_frac: float
+) -> tuple[list[_SiteChoices], np.ndarray] | None:
+    """Per-site choice sets and the combination index matrix.
+
+    Returns None when any bail-out condition triggers, including a site
+    with *no* admissible choice (the MILP then owns the infeasibility
+    diagnosis).
+    """
+    sites: list[_SiteChoices] = []
+    for sh in site_hours:
+        if sh.power_segments:
+            return None
+        a = sh.affine.slope_mw_per_rps * RATE_SCALE
+        b = sh.affine.intercept_mw
+        if not a > 0.0 or b < 0.0:
+            return None
+        mrs = sh.max_rate_rps / RATE_SCALE
+        segs = reachable_segments(
+            sh, sh.max_power_mw, step_margin_frac * sh.max_power_mw
+        )
+        lo, hi, m, f, price, pos = [], [], [], [], [], []
+        inactive_at = None
+        for j, (_, seg_price, p_lo, p_hi) in enumerate(segs):
+            if seg_price < 0.0:
+                return None
+            if inactive_at is None and p_lo == 0.0:
+                inactive_at = j
+            lam_lo = max(0.0, (p_lo - b) / a)
+            lam_hi = min(mrs, (p_hi - b) / a)
+            if lam_hi < lam_lo:
+                continue
+            lo.append(lam_lo)
+            hi.append(lam_hi)
+            m.append(seg_price * a)
+            f.append(seg_price * b)
+            price.append(seg_price)
+            pos.append(j)
+        if inactive_at is not None:
+            # z = 0: rate and power pinned at zero, the slack segment's
+            # binary absorbs the one_segment equality at no cost.
+            lo.append(0.0)
+            hi.append(0.0)
+            m.append(0.0)
+            f.append(0.0)
+            price.append(0.0)
+            pos.append(-(inactive_at + 1))
+        if not lo:
+            return None
+        sites.append(_SiteChoices(
+            a=a, b=b,
+            lo=np.array(lo), hi=np.array(hi),
+            m=np.array(m), f=np.array(f), price=np.array(price),
+            pos=tuple(pos),
+        ))
+    n_combos = 1
+    for sc in sites:
+        n_combos *= sc.lo.size
+        if n_combos > MAX_COMBOS:
+            return None
+    grids = np.meshgrid(
+        *[np.arange(sc.lo.size) for sc in sites], indexing="ij"
+    )
+    idx = np.stack([g.ravel() for g in grids], axis=1)
+    return sites, idx
+
+
+def _gather(sites: list[_SiteChoices], idx: np.ndarray, field: str) -> np.ndarray:
+    """(n_combos, n_sites) matrix of one choice attribute."""
+    return np.stack(
+        [getattr(sc, field)[idx[:, i]] for i, sc in enumerate(sites)], axis=1
+    )
+
+
+def _unsort(order_row: np.ndarray, values_row: np.ndarray) -> np.ndarray:
+    out = np.empty_like(values_row)
+    out[order_row] = values_row
+    return out
+
+
+def _result(
+    entry, sites: list[_SiteChoices], idx_row: np.ndarray, lam: np.ndarray,
+    objective: float,
+) -> SolveResult:
+    """Materialize the winning combination as a full solution vector."""
+    x = np.zeros(entry.base.c.size)
+    for i, (sc, sl) in enumerate(zip(sites, entry.slots)):
+        pos = sc.pos[idx_row[i]]
+        if pos < 0:
+            x[sl.yseg[-pos - 1]] = 1.0
+            continue
+        li = float(lam[i])
+        p = sc.a * li + sc.b
+        x[sl.rate] = li
+        x[sl.active] = 1.0
+        x[sl.power] = p
+        x[sl.pseg[pos]] = p
+        x[sl.yseg[pos]] = 1.0
+    return SolveResult(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        x=x,
+        backend="enum-kernel",
+    )
+
+
+def solve_cost_min(
+    entry, site_hours: list[SiteHour], total_rate_scaled: float,
+    step_margin_frac: float,
+) -> SolveResult | None:
+    """Exact minimum-cost dispatch of ``total_rate_scaled`` (Mrps)."""
+    prep = _prepare(site_hours, step_margin_frac)
+    if prep is None:
+        return None
+    sites, idx = prep
+    LO, HI, M, F = (_gather(sites, idx, k) for k in ("lo", "hi", "m", "f"))
+    sum_lo = LO.sum(axis=1)
+    feasible = (sum_lo <= total_rate_scaled + _FEAS_TOL) & (
+        HI.sum(axis=1) >= total_rate_scaled - _FEAS_TOL
+    )
+    if not feasible.any():
+        return None  # the MILP owns the infeasibility diagnosis
+    remaining = np.maximum(total_rate_scaled - sum_lo, 0.0)
+    order = np.argsort(M, axis=1, kind="stable")
+    caps = np.take_along_axis(HI - LO, order, axis=1)
+    m_sorted = np.take_along_axis(M, order, axis=1)
+    before = np.concatenate(
+        [np.zeros((caps.shape[0], 1)), np.cumsum(caps, axis=1)[:, :-1]], axis=1
+    )
+    take = np.clip(remaining[:, None] - before, 0.0, caps)
+    cost = F.sum(axis=1) + (M * LO).sum(axis=1) + (m_sorted * take).sum(axis=1)
+    cost = np.where(feasible, cost, np.inf)
+    best = int(np.argmin(cost))
+    lam = LO[best] + _unsort(order[best], take[best])
+    # Re-derive the objective exactly as the MILP prices it:
+    # sum_i price_i * (a_i lam_i + b_i) over active sites.
+    objective = 0.0
+    prices = _gather(sites, idx, "price")
+    for i, sc in enumerate(sites):
+        if sc.pos[idx[best, i]] >= 0:
+            objective += prices[best, i] * (sc.a * float(lam[i]) + sc.b)
+    return _result(entry, sites, idx[best], lam, objective)
+
+
+def solve_throughput_max(
+    entry, site_hours: list[SiteHour], demand_scaled: float, budget: float,
+    step_margin_frac: float, weight: float,
+) -> SolveResult | None:
+    """Exact budget-capped throughput maximization (rates in Mrps)."""
+    prep = _prepare(site_hours, step_margin_frac)
+    if prep is None:
+        return None
+    sites, idx = prep
+    LO, HI, M, F = (_gather(sites, idx, k) for k in ("lo", "hi", "m", "f"))
+    if weight < 0.0 or (weight > 0.0 and weight * M.max(initial=0.0) >= 1.0):
+        return None  # rate would be unprofitable: greedy order invalid
+    base_cost = F.sum(axis=1) + (M * LO).sum(axis=1)
+    sum_lo = LO.sum(axis=1)
+    feasible = (base_cost <= budget + _FEAS_TOL) & (
+        sum_lo <= demand_scaled + _FEAS_TOL
+    )
+    if not feasible.any():
+        return None
+    order = np.argsort(M, axis=1, kind="stable")
+    caps = np.take_along_axis(HI - LO, order, axis=1)
+    m_sorted = np.take_along_axis(M, order, axis=1)
+    budget_left = np.maximum(budget - base_cost, 0.0)
+    demand_left = np.maximum(demand_scaled - sum_lo, 0.0)
+    take = np.zeros_like(caps)
+    for j in range(caps.shape[1]):
+        m_j = m_sorted[:, j]
+        by_budget = np.divide(
+            budget_left, m_j, out=np.full_like(m_j, np.inf), where=m_j > 0.0
+        )
+        t = np.minimum(caps[:, j], np.minimum(demand_left, by_budget))
+        take[:, j] = t
+        demand_left = np.maximum(demand_left - t, 0.0)
+        budget_left = np.maximum(budget_left - m_j * t, 0.0)
+    served = sum_lo + take.sum(axis=1)
+    cost = base_cost + (m_sorted * take).sum(axis=1)
+    value = np.where(feasible, served - weight * cost, -np.inf)
+    best = int(np.argmax(value))
+    lam = LO[best] + _unsort(order[best], take[best])
+    # Objective exactly as the MILP prices it (user sense: maximize).
+    prices = _gather(sites, idx, "price")
+    exact_cost = 0.0
+    for i, sc in enumerate(sites):
+        if sc.pos[idx[best, i]] >= 0:
+            exact_cost += prices[best, i] * (sc.a * float(lam[i]) + sc.b)
+    objective = float(lam.sum() - weight * exact_cost)
+    return _result(entry, sites, idx[best], lam, objective)

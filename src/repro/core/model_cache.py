@@ -31,6 +31,7 @@ SciPy solves, is pinned by ``tests/core/test_model_cache.py``.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -48,6 +49,8 @@ from ..solver.branch_bound import BranchBoundSolver
 from ..solver.result import SolveStatus
 from ..solver.simplex import SimplexSolver
 from ..telemetry import get_telemetry
+from ..telemetry.instrument import record_solver_result
+from . import enum_kernel
 from .dispatch_model import (
     RATE_SCALE,
     DispatchModel,
@@ -79,11 +82,63 @@ class _SiteSlots:
     power_row: int  # A_eq row
 
 
+class _PatchIndex:
+    """Fancy-index arrays for vectorized per-hour patching.
+
+    Precomputed once per compiled entry from the slot layout, so
+    :meth:`DispatchModelCache._patched` writes whole coefficient groups
+    with single NumPy fancy-indexed assignments instead of a per-site
+    Python loop. Flattened segment arrays iterate site-major in slot
+    order — the same order the per-hour geometry is collected in.
+    """
+
+    __slots__ = (
+        "rate", "active", "power", "gate",
+        "cap_sites", "cap_rows",
+        "hom_sites", "hom_rows", "hom_rate", "hom_active",
+        "seg_site", "seg_pseg", "seg_yseg", "seg_ub_rows",
+        "lb_rows", "lb_pos",
+    )
+
+    def __init__(self, slots: list[_SiteSlots]):
+        idx = lambda xs: np.asarray(xs, dtype=np.intp)
+        self.rate = idx([sl.rate for sl in slots])
+        self.active = idx([sl.active for sl in slots])
+        self.power = idx([sl.power for sl in slots])
+        self.gate = idx([sl.gate_row for sl in slots])
+        cap = [i for i, sl in enumerate(slots) if sl.cap_row is not None]
+        self.cap_sites = idx(cap)
+        self.cap_rows = idx([slots[i].cap_row for i in cap])
+        hom = [i for i, sl in enumerate(slots) if not sl.lamseg]
+        self.hom_sites = idx(hom)
+        self.hom_rows = idx([slots[i].power_row for i in hom])
+        self.hom_rate = idx([slots[i].rate for i in hom])
+        self.hom_active = idx([slots[i].active for i in hom])
+        seg_site, pseg, yseg, ub_rows, lb_rows, lb_pos = [], [], [], [], [], []
+        for i, sl in enumerate(slots):
+            for p_i, y_i, r_ub, r_lb in zip(
+                sl.pseg, sl.yseg, sl.seg_ub_rows, sl.seg_lb_rows
+            ):
+                if r_lb is not None:
+                    lb_rows.append(r_lb)
+                    lb_pos.append(len(seg_site))
+                seg_site.append(i)
+                pseg.append(p_i)
+                yseg.append(y_i)
+                ub_rows.append(r_ub)
+        self.seg_site = idx(seg_site)
+        self.seg_pseg = idx(pseg)
+        self.seg_yseg = idx(yseg)
+        self.seg_ub_rows = idx(ub_rows)
+        self.lb_rows = idx(lb_rows)
+        self.lb_pos = idx(lb_pos)
+
+
 class _Entry:
     """One compiled structure: template arrays, slots, private solver."""
 
     __slots__ = (
-        "dm", "base", "sense_max", "slots",
+        "dm", "base", "sense_max", "slots", "patch",
         "serve_all_row", "demand_row", "budget_row",
         "solver", "last_x",
     )
@@ -94,6 +149,7 @@ class _Entry:
         self.base = base
         self.sense_max = sense_max
         self.slots = slots
+        self.patch = _PatchIndex(slots)
         self.serve_all_row = serve_all_row
         self.demand_row = demand_row
         self.budget_row = budget_row
@@ -112,10 +168,23 @@ class DispatchModelCache:
     hours and strategies for the same process, not across processes.
     """
 
-    def __init__(self, maxsize: int = 32):
+    #: Process-wide default for new caches. Benchmarks flip this to
+    #: time the pure branch-and-bound path without threading a flag
+    #: through every optimizer constructor.
+    default_use_enum_kernel = True
+
+    def __init__(self, maxsize: int = 32, use_enum_kernel: bool | None = None):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        #: Try the exact segment-enumeration kernel before the MILP
+        #: (see :mod:`repro.core.enum_kernel`). It bails to the MILP
+        #: whenever its assumptions don't hold; set False to force the
+        #: branch-and-bound path (benchmarks, fallback tests).
+        self.use_enum_kernel = (
+            self.default_use_enum_kernel
+            if use_enum_kernel is None else use_enum_kernel
+        )
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
 
     # -- public API -------------------------------------------------------------
@@ -133,6 +202,15 @@ class DispatchModelCache:
         raises the same errors as ``raise_on_failure=True``.
         """
         entry = self._entry("cost-min", site_hours, step_margin_frac)
+        if self.use_enum_kernel:
+            res = self._try_kernel(
+                enum_kernel.solve_cost_min,
+                entry, site_hours, total_rate_rps / RATE_SCALE,
+                step_margin_frac,
+            )
+            if res is not None:
+                entry.last_x = res.x
+                return self._rebound(entry, site_hours), res
         sf = self._patched(entry, site_hours, step_margin_frac)
         sf.b_eq[entry.serve_all_row] = total_rate_rps / RATE_SCALE
         res = self._solve(entry, sf, "cost-min")
@@ -151,11 +229,44 @@ class DispatchModelCache:
             "throughput-max", site_hours, step_margin_frac,
             extra=(float(cost_tiebreak_weight),),
         )
+        if self.use_enum_kernel:
+            res = self._try_kernel(
+                enum_kernel.solve_throughput_max,
+                entry, site_hours, offered_rate_rps / RATE_SCALE, budget,
+                step_margin_frac, cost_tiebreak_weight,
+            )
+            if res is not None:
+                entry.last_x = res.x
+                return self._rebound(entry, site_hours), res
         sf = self._patched(entry, site_hours, step_margin_frac)
         sf.b_ub[entry.demand_row] = offered_rate_rps / RATE_SCALE
         sf.b_ub[entry.budget_row] = budget
         res = self._solve(entry, sf, "throughput-max")
         return self._rebound(entry, site_hours), res
+
+    @staticmethod
+    def _try_kernel(solver_fn, *args) -> SolveResult | None:
+        """Run one enumeration-kernel attempt, instrumented like a backend.
+
+        A solved hour records under ``solver.enum-kernel.*`` alongside
+        the LP/MILP engines (so per-backend telemetry tables stay
+        uniform) plus the ``core.enum_kernel.solved`` counter; a bail
+        records only ``core.enum_kernel.bail`` — the MILP that takes
+        over does its own solver accounting.
+        """
+        tel = get_telemetry()
+        t0 = time.perf_counter()
+        res = solver_fn(*args)
+        if tel.enabled:
+            if res is not None:
+                tel.counter("core.enum_kernel.solved").inc()
+                record_solver_result(
+                    tel, res.backend, res.status.value, res.iterations,
+                    time.perf_counter() - t0,
+                )
+            else:
+                tel.counter("core.enum_kernel.bail").inc()
+        return res
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -281,36 +392,56 @@ class DispatchModelCache:
         ``c``, ``lb`` and ``integrality`` never vary and are shared.
         """
         base = entry.base
+        pi = entry.patch
         A_ub = base.A_ub.copy()
         b_ub = base.b_ub.copy()
         A_eq = base.A_eq.copy()
         ub = base.ub.copy()
+
+        # Whole-fleet coefficient groups in single fancy-indexed writes.
+        # Every value is produced by the same elementwise expression the
+        # old per-site loop used, so the arrays stay bit-identical.
+        mrs = np.array([sh.max_rate_rps for sh in site_hours]) / RATE_SCALE
+        max_power = np.array([sh.max_power_mw for sh in site_hours])
+        ub[pi.rate] = mrs
+        A_ub[pi.gate, pi.active] = -mrs  # rate <= mrs*z
+        ub[pi.power] = max_power
+        if pi.cap_rows.size:
+            b_ub[pi.cap_rows] = [
+                site_hours[i].power_cap_mw for i in pi.cap_sites
+            ]
+        if pi.hom_rows.size:
+            slopes = np.array(
+                [site_hours[i].affine.slope_mw_per_rps for i in pi.hom_sites]
+            )
+            A_eq[pi.hom_rows, pi.hom_rate] = (-slopes) * RATE_SCALE
+            A_eq[pi.hom_rows, pi.hom_active] = [
+                -site_hours[i].affine.intercept_mw for i in pi.hom_sites
+            ]
+        # Piecewise (heterogeneous) sites: per-segment widths and slopes.
         for sl, sh in zip(entry.slots, site_hours):
-            max_rate_scaled = sh.max_rate_rps / RATE_SCALE
-            ub[sl.rate] = max_rate_scaled
-            A_ub[sl.gate_row, sl.active] = -max_rate_scaled  # rate <= mrs*z
-            ub[sl.power] = sh.max_power_mw
-            if sl.cap_row is not None:
-                b_ub[sl.cap_row] = sh.power_cap_mw
             if sl.lamseg:
                 for idx, (width, slope) in zip(sl.lamseg, piecewise_widths(sh)):
                     ub[idx] = width
                     A_eq[sl.power_row, idx] = -slope * RATE_SCALE
-            else:
-                A_eq[sl.power_row, sl.rate] = (
-                    -sh.affine.slope_mw_per_rps * RATE_SCALE
-                )
-                A_eq[sl.power_row, sl.active] = -sh.affine.intercept_mw
-            segs = reachable_segments(
+        # Price-segment geometry, flattened site-major in slot order
+        # (the same order _PatchIndex was built in).
+        p_lo_flat: list[float] = []
+        p_hi_flat: list[float] = []
+        for sh in site_hours:
+            for _, _, p_lo, p_hi in reachable_segments(
                 sh, sh.max_power_mw, step_margin_frac * sh.max_power_mw
-            )
-            for (_, _, p_lo, p_hi), p_i, y_i, r_ub, r_lb in zip(
-                segs, sl.pseg, sl.yseg, sl.seg_ub_rows, sl.seg_lb_rows
             ):
-                ub[p_i] = max(p_hi, 0.0)
-                A_ub[r_ub, y_i] = -p_hi  # p <= p_hi*y
-                if r_lb is not None:
-                    A_ub[r_lb, y_i] = p_lo  # p >= p_lo*y, negated
+                p_lo_flat.append(p_lo)
+                p_hi_flat.append(p_hi)
+        p_hi_arr = np.array(p_hi_flat)
+        ub[pi.seg_pseg] = np.maximum(p_hi_arr, 0.0)
+        A_ub[pi.seg_ub_rows, pi.seg_yseg] = -p_hi_arr  # p <= p_hi*y
+        if pi.lb_rows.size:
+            # p >= p_lo*y, stored negated.
+            A_ub[pi.lb_rows, pi.seg_yseg[pi.lb_pos]] = np.array(
+                p_lo_flat
+            )[pi.lb_pos]
         return StandardForm(
             c=base.c,
             A_ub=A_ub,

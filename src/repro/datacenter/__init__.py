@@ -7,8 +7,15 @@ cooling-efficiency-based cooling power — composed into the per-site
 """
 
 from .battery import Battery, BatteryState
+from .batched import SiteBank, supports_batching
 from .cooling import PAPER_COOLING_EFFICIENCIES, CoolingModel, synthetic_coe_trace
-from .erlang import erlang_b, erlang_c, mmm_required_servers, mmm_response_time
+from .erlang import (
+    ErlangCache,
+    erlang_b,
+    erlang_c,
+    mmm_required_servers,
+    mmm_response_time,
+)
 from .datacenter import (
     AffinePower,
     CapacityError,
@@ -55,4 +62,7 @@ __all__ = [
     "erlang_c",
     "mmm_response_time",
     "mmm_required_servers",
+    "ErlangCache",
+    "SiteBank",
+    "supports_batching",
 ]

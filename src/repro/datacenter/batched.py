@@ -1,0 +1,237 @@
+"""Batched (NumPy) evaluation of the per-site physical models.
+
+The simulator's realized-billing loop and the benchmarks evaluate the
+exact stepped power model — integral servers, stepped fat-tree switch
+counts, cooling overhead — once per site per hour, through layers of
+small Python objects. :class:`SiteBank` hoists every per-site constant
+(server coefficients, queueing headroom, fat-tree geometry, switch
+powers, cooling efficiency) into arrays at construction and evaluates
+whole ``(site, request-rate)`` grids in single vectorized calls.
+
+The arithmetic mirrors the scalar classes operation for operation —
+same expressions, same association order, same ``ceil(x - 1e-9)``
+guards — so results are **bit-identical** to the scalar path; the
+equivalence is pinned on the paper's 13-site setup by
+``tests/datacenter/test_batched.py``. The scalar classes remain the
+reference implementation (and the fallback for heterogeneous sites,
+which expose no single ``ServerSpec``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .datacenter import WATTS_PER_MW, CapacityError, DataCenter, Provisioning
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["SiteBank", "supports_batching"]
+
+
+def supports_batching(dc: DataCenter) -> bool:
+    """True when ``dc`` is a homogeneous site the bank can vectorize."""
+    return getattr(dc, "servers", None) is not None
+
+
+class SiteBank:
+    """Per-site constants stacked for batched physics evaluation.
+
+    All methods accept rate arrays shaped ``(n_sites,)`` (one point per
+    site) or ``(n_sites, n_candidates)`` (a grid of candidate rates per
+    site) and return arrays of the same shape.
+    """
+
+    def __init__(self, datacenters: Sequence[DataCenter]):
+        if not datacenters:
+            raise ValueError("at least one data center required")
+        for dc in datacenters:
+            if not supports_batching(dc):
+                raise ValueError(
+                    f"{dc.name}: heterogeneous sites have no single server "
+                    "spec; use the scalar path"
+                )
+        self.names = tuple(dc.name for dc in datacenters)
+        self.n_sites = len(datacenters)
+        arr = lambda f: np.array([f(dc) for dc in datacenters], dtype=float)
+
+        # Server model: sp = I + D * u, mu requests/s per server.
+        self.idle_w = arr(lambda dc: dc.servers.idle_w)
+        self.dynamic_w = arr(lambda dc: dc.servers.dynamic_w)
+        self.mu = arr(lambda dc: dc.servers.service_rate)
+        self.utilization_cap = arr(lambda dc: dc.utilization_cap)
+        self.max_servers = arr(lambda dc: dc.max_servers)
+        self.power_cap_mw = arr(lambda dc: dc.power_cap_mw)
+
+        # Queueing: n_qos = ceil((lam + K/(Rs - 1/mu)) / mu - 1e-9).
+        # Same two-float quotient the scalar required_servers computes.
+        self.queue_k = arr(lambda dc: dc.queue.k)
+        self.target_response_s = arr(lambda dc: dc.target_response_s)
+        service = 1.0 / self.mu
+        self.headroom = self.queue_k / (self.target_response_s - service)
+        self.ucap_mu = self.utilization_cap * self.mu
+
+        # Fat-tree geometry and switch powers.
+        trees = [dc.network.topology for dc in datacenters]
+        self.servers_per_edge = np.array(
+            [t.servers_per_edge_switch for t in trees], dtype=float
+        )
+        self.edge_per_pod = np.array([t.edge_per_pod for t in trees], dtype=float)
+        self.agg_per_pod = np.array([t.agg_per_pod for t in trees], dtype=float)
+        self.n_core = np.array([t.n_core for t in trees], dtype=float)
+        self.n_pods = np.array([t.n_pods for t in trees], dtype=float)
+        self.edge_w = arr(lambda dc: dc.switch_powers.edge_w)
+        self.agg_w = arr(lambda dc: dc.switch_powers.aggregation_w)
+        self.core_w = arr(lambda dc: dc.switch_powers.core_w)
+
+        self.coe = arr(lambda dc: dc.cooling.coe)
+        # Per-site constants the affine decision model builds on,
+        # computed by the scalar reference once (trivially identical).
+        self.watts_per_server = arr(lambda dc: dc.network.watts_per_server())
+        self.fleet_rate_rps = arr(lambda dc: dc.fleet_throughput_rps())
+
+    @classmethod
+    def from_sites(cls, sites) -> "SiteBank":
+        """Build from :class:`repro.core.Site` objects."""
+        return cls([s.datacenter for s in sites])
+
+    # -- provisioning (exact stepped model) ---------------------------------
+
+    def _cols(self, rates: np.ndarray):
+        """Broadcast helper: per-site constants against the rate grid."""
+        if rates.ndim == 1:
+            return lambda a: a
+        return lambda a: a[:, None]
+
+    def required_servers(self, rates_rps, validate: bool = True) -> np.ndarray:
+        """Minimum active servers per (site, rate) point.
+
+        Mirrors :meth:`DataCenter.required_servers`: the larger of the
+        QoS fleet and the utilization-cap fleet, at least 1 whenever the
+        rate is positive, 0 at rate 0.
+        """
+        rates = np.asarray(rates_rps, dtype=float)
+        if np.any(rates < 0):
+            raise ValueError("arrival rate must be >= 0")
+        col = self._cols(rates)
+        n_qos = np.ceil((rates + col(self.headroom)) / col(self.mu) - 1e-9)
+        n_util = np.ceil(rates / col(self.ucap_mu) - 1e-9)
+        n = np.maximum(np.maximum(n_qos, n_util), 1.0)
+        n = np.where(rates == 0.0, 0.0, n)
+        if validate and np.any(n > col(self.max_servers)):
+            over = np.argwhere(n > col(self.max_servers))
+            site = int(over[0][0])
+            raise CapacityError(
+                f"{self.names[site]}: rate needs more than the fleet of "
+                f"{int(self.max_servers[site])} servers"
+            )
+        return n
+
+    def network_power_w(self, n_servers) -> np.ndarray:
+        """Stepped fat-tree power per (site, server-count) point."""
+        n = np.asarray(n_servers, dtype=float)
+        col = self._cols(n)
+        edge = np.ceil(n / col(self.servers_per_edge))
+        pods = np.ceil(edge / col(self.edge_per_pod))
+        agg = pods * col(self.agg_per_pod)
+        core = np.maximum(
+            1.0, np.ceil(col(self.n_core) * pods / col(self.n_pods))
+        )
+        power = (
+            edge * col(self.edge_w)
+            + agg * col(self.agg_w)
+            + core * col(self.core_w)
+        )
+        return np.where(n == 0.0, 0.0, power)
+
+    def provision_arrays(self, rates_rps, coe=None, validate: bool = True):
+        """Batched :meth:`DataCenter.provision`.
+
+        Returns ``(n, util, server_w, network_w, cooling_w)`` arrays.
+        ``coe`` overrides the per-site cooling efficiency (weather
+        traces); shape ``(n_sites,)``.
+        """
+        rates = np.asarray(rates_rps, dtype=float)
+        col = self._cols(rates)
+        n = self.required_servers(rates, validate=validate)
+        active = n > 0.0
+        denom = np.where(active, n * col(self.mu), 1.0)
+        util = np.where(active, rates / denom, 0.0)
+        server_w = np.where(
+            active, n * (col(self.idle_w) + col(self.dynamic_w) * util), 0.0
+        )
+        network_w = self.network_power_w(n)
+        coe_arr = self.coe if coe is None else np.asarray(coe, dtype=float)
+        cooling_w = (server_w + network_w) / col(coe_arr)
+        return n, util, server_w, network_w, cooling_w
+
+    def power_mw(self, rates_rps, coe=None, validate: bool = True) -> np.ndarray:
+        """Batched :meth:`DataCenter.power_mw` (exact stepped model)."""
+        n, util, server_w, network_w, cooling_w = self.provision_arrays(
+            rates_rps, coe=coe, validate=validate
+        )
+        return (server_w + network_w + cooling_w) / WATTS_PER_MW
+
+    def provisioning(self, i: int, n, util, server_w, network_w,
+                     cooling_w) -> Provisioning:
+        """Materialize site ``i``'s row as a scalar :class:`Provisioning`."""
+        return Provisioning(
+            n_servers=int(n[i]),
+            utilization=float(util[i]),
+            server_power_w=float(server_w[i]),
+            network_power_w=float(network_w[i]),
+            cooling_power_w=float(cooling_w[i]),
+        )
+
+    # -- queueing -----------------------------------------------------------
+
+    def response_time(self, rates_rps, n_servers) -> np.ndarray:
+        """Batched simplified Allen-Cunneen response time (seconds).
+
+        ``R = 1/mu + K / (n mu - lam)``; ``inf`` where unstable, bare
+        service time at zero load, 0.0 where no servers are active
+        (matching the simulator's convention for idle sites).
+        """
+        rates = np.asarray(rates_rps, dtype=float)
+        n = np.asarray(n_servers, dtype=float)
+        col = self._cols(rates)
+        capacity = n * col(self.mu)
+        service = 1.0 / col(self.mu)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = service + col(self.queue_k) / (capacity - rates)
+        r = np.where(rates >= capacity, np.inf, r)
+        r = np.where(rates == 0.0, service, r)
+        return np.where(n == 0.0, 0.0, r)
+
+    # -- smooth (affine) decision model -------------------------------------
+
+    def affine(self, coe=None):
+        """Batched :meth:`DataCenter.affine_power`.
+
+        Returns ``(slope_mw_per_rps, intercept_mw)`` arrays. ``coe``
+        overrides the cooling efficiencies (weather-varying hours).
+        """
+        coe_arr = self.coe if coe is None else np.asarray(coe, dtype=float)
+        u = self.utilization_cap
+        per_server_w = (
+            self.idle_w + self.dynamic_w * u
+        ) + self.watts_per_server
+        overhead = 1.0 + 1.0 / coe_arr
+        slope_w = overhead * per_server_w / (u * self.mu)
+        headroom_servers = self.queue_k / (
+            (self.target_response_s - 1.0 / self.mu) * self.mu
+        )
+        intercept_w = overhead * per_server_w * headroom_servers
+        return slope_w / WATTS_PER_MW, intercept_w / WATTS_PER_MW
+
+    def max_throughput_rps(self, coe=None) -> np.ndarray:
+        """Batched :meth:`DataCenter.max_throughput_rps`."""
+        slope, intercept = self.affine(coe=coe)
+        power_rate = np.where(
+            self.power_cap_mw <= intercept,
+            0.0,
+            (self.power_cap_mw - intercept) / slope,
+        )
+        return np.minimum(self.fleet_rate_rps, power_rate)

@@ -19,8 +19,73 @@ checks the approximation against:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
-__all__ = ["erlang_b", "erlang_c", "mmm_response_time", "mmm_required_servers"]
+__all__ = [
+    "erlang_b",
+    "erlang_c",
+    "mmm_response_time",
+    "mmm_required_servers",
+    "ErlangCache",
+]
+
+
+class ErlangCache:
+    """Memo of the Erlang-B recurrence per offered load.
+
+    The recurrence ``B(k) = a B(k-1) / (k + a B(k-1))`` is a prefix
+    computation: ``B(m)`` for a larger ``m`` extends the same sequence.
+    Per-hour queueing evaluations — especially the upward fleet search
+    of :func:`mmm_required_servers`, which probes ``m, m+1, m+2, ...``
+    at one fixed load — kept recomputing the whole prefix from scratch.
+    This cache keeps, per offered load, the recurrence terms computed so
+    far and extends them incrementally, making each probe O(1) instead
+    of O(m).
+
+    Bounded LRU on the offered-load key; telemetry counters
+    ``datacenter.erlang_cache.hit`` / ``.miss`` track the reuse rate
+    (a hit is any call that reuses at least one cached term).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._terms: OrderedDict[float, list[float]] = OrderedDict()
+
+    def erlang_b(self, m: int, offered_load: float) -> float:
+        """Cached :func:`erlang_b` — identical recurrence, memoized."""
+        if m < 0:
+            raise ValueError("m must be >= 0")
+        if offered_load < 0:
+            raise ValueError("offered load must be >= 0")
+        a = float(offered_load)
+        terms = self._terms.get(a)
+        from ..telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if terms is None:
+            terms = self._terms[a] = [1.0]  # B(0)
+            while len(self._terms) > self.maxsize:
+                self._terms.popitem(last=False)
+            if tel.enabled:
+                tel.counter("datacenter.erlang_cache.miss").inc()
+        else:
+            self._terms.move_to_end(a)
+            if tel.enabled:
+                tel.counter("datacenter.erlang_cache.hit").inc()
+        b = terms[-1]
+        for k in range(len(terms), m + 1):
+            b = a * b / (k + a * b)
+            terms.append(b)
+        return terms[m]
+
+    def clear(self) -> None:
+        self._terms.clear()
+
+
+#: Process-wide default cache used by the module-level functions.
+_DEFAULT_CACHE = ErlangCache()
 
 
 def erlang_b(m: int, offered_load: float) -> float:
@@ -28,8 +93,16 @@ def erlang_b(m: int, offered_load: float) -> float:
 
     Iterative recurrence: ``B(0) = 1``,
     ``B(k) = a B(k-1) / (k + a B(k-1))`` — numerically stable for any
-    ``m`` (each step stays in [0, 1]).
+    ``m`` (each step stays in [0, 1]). Recurrence prefixes are memoized
+    per offered load (see :class:`ErlangCache`); results are identical
+    to the uncached scan, which :func:`_erlang_b_uncached` retains for
+    the equivalence tests.
     """
+    return _DEFAULT_CACHE.erlang_b(m, offered_load)
+
+
+def _erlang_b_uncached(m: int, offered_load: float) -> float:
+    """Reference implementation: the plain recurrence scan."""
     if m < 0:
         raise ValueError("m must be >= 0")
     if offered_load < 0:

@@ -6,6 +6,7 @@ optimal power flow, and the piecewise-constant pricing policies the
 bill-capping algorithms consume.
 """
 
+from .curves import CurveBank, StepCurve
 from .dcopf import DcOpf, DispatchResult
 from .demand import background_for_policy, reco_like_background
 from .grids import ieee9_like, ring, two_zone
@@ -57,4 +58,6 @@ __all__ = [
     "ring",
     "LmpComponents",
     "decompose_lmp",
+    "StepCurve",
+    "CurveBank",
 ]

@@ -1,0 +1,138 @@
+"""Vectorized step-price curves: batched ``F_i(p_i + d_i)`` evaluation.
+
+The hourly optimizers and benchmarks evaluate the piecewise-constant
+price curves thousands of times per simulated month — per site, per
+candidate load, per hour. The scalar :meth:`SteppedPricingPolicy.price`
+path converts the policy's tuples and runs one ``searchsorted`` per
+call; this module precomputes the breakpoint/price arrays once and
+evaluates whole (site x candidate-load) grids in single NumPy calls.
+
+Two layers:
+
+* :class:`StepCurve` — one policy's curve with precomputed arrays;
+  right-open step lookup over arbitrary-shaped load arrays.
+* :class:`CurveBank` — a fleet of curves stacked into padded 2-D
+  arrays, evaluating ``F_i(p_i + d_i)`` for *all* sites and *all*
+  candidate loads at once (one broadcasted comparison, no Python loop).
+
+Equivalence with the scalar path — including loads exactly on
+breakpoints, where the right-open convention decides the level — is
+pinned by ``tests/powermarket/test_curves.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .pricing import SteppedPricingPolicy
+
+__all__ = ["StepCurve", "CurveBank"]
+
+
+class StepCurve:
+    """One pricing policy's step curve with precomputed arrays.
+
+    ``price(P) = prices[k]`` for ``breakpoints[k-1] <= P < breakpoints[k]``
+    (right-open, matching :meth:`SteppedPricingPolicy.price`).
+    """
+
+    __slots__ = ("name", "breakpoints", "prices")
+
+    def __init__(self, name: str, breakpoints: Sequence[float],
+                 prices: Sequence[float]):
+        self.name = name
+        self.breakpoints = np.ascontiguousarray(breakpoints, dtype=float)
+        self.prices = np.ascontiguousarray(prices, dtype=float)
+        if self.prices.size != self.breakpoints.size + 1:
+            raise ValueError("need len(prices) == len(breakpoints) + 1")
+
+    @classmethod
+    def from_policy(cls, policy: SteppedPricingPolicy) -> "StepCurve":
+        return cls(policy.name, policy.breakpoints, policy.prices)
+
+    def level(self, loads_mw) -> np.ndarray:
+        """Vectorized price-level index; accepts any array shape."""
+        loads = np.asarray(loads_mw, dtype=float)
+        if np.any(loads < 0):
+            raise ValueError("negative market load")
+        return np.searchsorted(self.breakpoints, loads, side="right")
+
+    def price(self, loads_mw) -> np.ndarray:
+        """Vectorized price ($/MWh) over an array of market loads."""
+        return self.prices[self.level(loads_mw)]
+
+
+class CurveBank:
+    """All sites' step curves stacked for batched evaluation.
+
+    Rows are padded to the widest curve: missing breakpoints are ``inf``
+    (never selected by the right-open lookup) and missing prices repeat
+    the last level, so padding is invisible to the result.
+    """
+
+    __slots__ = ("names", "breakpoints", "prices", "n_sites")
+
+    def __init__(self, curves: Sequence[StepCurve]):
+        if not curves:
+            raise ValueError("at least one curve required")
+        self.names = tuple(c.name for c in curves)
+        self.n_sites = len(curves)
+        width = max(c.breakpoints.size for c in curves)
+        bp = np.full((self.n_sites, width), np.inf)
+        pr = np.empty((self.n_sites, width + 1))
+        for i, c in enumerate(curves):
+            bp[i, : c.breakpoints.size] = c.breakpoints
+            pr[i, : c.prices.size] = c.prices
+            pr[i, c.prices.size :] = c.prices[-1]
+        self.breakpoints = bp
+        self.prices = pr
+
+    @classmethod
+    def from_policies(
+        cls, policies: Sequence[SteppedPricingPolicy]
+    ) -> "CurveBank":
+        return cls([StepCurve.from_policy(p) for p in policies])
+
+    def level(self, loads_mw) -> np.ndarray:
+        """Level index per (site, candidate load).
+
+        ``loads_mw`` is ``(n_sites,)`` or ``(n_sites, n_candidates)``;
+        the result has the same shape. The lookup counts breakpoints
+        ``<= load`` per row — exactly ``searchsorted(..., side="right")``
+        applied row-wise.
+        """
+        loads = np.asarray(loads_mw, dtype=float)
+        if loads.shape[0] != self.n_sites:
+            raise ValueError(
+                f"expected leading dimension {self.n_sites}, got {loads.shape}"
+            )
+        if np.any(loads < 0):
+            raise ValueError("negative market load")
+        if loads.ndim == 1:
+            return (loads[:, None] >= self.breakpoints).sum(axis=1)
+        if loads.ndim == 2:
+            return (loads[:, :, None] >= self.breakpoints[:, None, :]).sum(axis=2)
+        raise ValueError("loads must be 1-D (sites) or 2-D (sites x candidates)")
+
+    def price(self, loads_mw) -> np.ndarray:
+        """Batched ``F_i(load_i)`` across all sites (and candidates)."""
+        idx = self.level(loads_mw)
+        return np.take_along_axis(
+            self.prices,
+            idx if idx.ndim == 2 else idx[:, None],
+            axis=1,
+        ).reshape(idx.shape)
+
+    def site_price(self, dc_power_mw, background_mw) -> np.ndarray:
+        """``F_i(p_i + d_i)``: the price each site pays at its own draw.
+
+        ``dc_power_mw`` broadcasts against ``background_mw`` along the
+        site axis; candidate grids go in the trailing dimension.
+        """
+        dc = np.asarray(dc_power_mw, dtype=float)
+        bg = np.asarray(background_mw, dtype=float)
+        if dc.ndim == 2 and bg.ndim == 1:
+            bg = bg[:, None]
+        return self.price(dc + bg)

@@ -76,16 +76,29 @@ def reco_like_background(
     weekday = (start_weekday + t // 24) % 7
     shape[weekday >= 5] *= _WEEKEND_FACTOR
 
-    # AR(1) multiplicative noise keeps hour-to-hour demand realistic
-    # (vectorized via the standard lfilter-free cumulative recursion).
+    # AR(1) multiplicative noise keeps hour-to-hour demand realistic.
     eps = rng.normal(0.0, noise, size=hours)
-    rho = 0.7
-    ar = np.empty(hours)
-    ar[0] = eps[0]
-    for i in range(1, hours):
-        ar[i] = rho * ar[i - 1] + eps[i]
-    trace = peak_mw * shape * (1.0 + ar)
+    trace = peak_mw * shape * (1.0 + _ar1(eps, rho=0.7))
     return np.maximum(trace, 0.0)
+
+
+def _ar1(eps: np.ndarray, rho: float) -> np.ndarray:
+    """``ar[i] = rho * ar[i-1] + eps[i]`` without the Python loop.
+
+    ``lfilter([1], [1, -rho], eps)`` runs the identical recurrence (one
+    multiply, one add per step, in C), so existing seeded traces are
+    reproduced bit for bit — pinned by the demand tests.
+    """
+    try:
+        from scipy.signal import lfilter
+    except ImportError:  # pragma: no cover - scipy is a core dependency
+        out = np.empty_like(eps)
+        acc = 0.0
+        for i, e in enumerate(eps):
+            acc = rho * acc + e
+            out[i] = acc
+        return out
+    return lfilter([1.0], [1.0, -rho], eps)
 
 
 def background_for_policy(

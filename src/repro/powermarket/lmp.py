@@ -119,15 +119,15 @@ def decompose_lmp(
 
     energy = lmp[slack]
     ptdf = compute_ptdf(grid, slack=slack)
-    congestion = {}
-    for bus in balance_order:
-        total = 0.0
-        for key, shadow in mu.items():
-            # PTDF is the flow increase per MW *injected* at the bus; a
-            # load withdraws, hence the positive product with the (net,
-            # SciPy-signed) line shadow price recovers LMP - energy.
-            total += ptdf.factor(key, bus) * shadow
-        congestion[bus] = total
+    # PTDF is the flow increase per MW *injected* at the bus; a load
+    # withdraws, hence the positive product with the (net, SciPy-signed)
+    # line shadow prices recovers LMP - energy. One matrix-vector
+    # product replaces the per-bus per-line Python loop.
+    mu_vec = np.array([mu.get(key, 0.0) for key in ptdf.line_keys])
+    cong_by_bus = dict(
+        zip(ptdf.bus_names, (mu_vec @ ptdf.matrix).tolist())
+    )
+    congestion = {bus: cong_by_bus[bus] for bus in balance_order}
 
     # Exactness check of the decomposition identity.
     for bus in balance_order:

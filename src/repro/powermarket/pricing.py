@@ -69,6 +69,13 @@ class SteppedPricingPolicy:
             raise ValueError("breakpoints must be positive and strictly increasing")
         if any(p < 0 for p in self.prices):
             raise ValueError("negative prices not supported")
+        # Precomputed arrays for the hot lookup paths. Frozen dataclass,
+        # so set past the guard; they are derived state, not fields —
+        # eq/hash/repr still read the tuples.
+        object.__setattr__(self, "_bp_arr", bp)
+        object.__setattr__(
+            self, "_pr_arr", np.asarray(self.prices, dtype=float)
+        )
 
     # -- evaluation -------------------------------------------------------------
 
@@ -81,7 +88,7 @@ class SteppedPricingPolicy:
         """Index of the price level active at ``load_mw``."""
         if load_mw < 0:
             raise ValueError("negative market load")
-        return int(np.searchsorted(self.breakpoints, load_mw, side="right"))
+        return int(np.searchsorted(self._bp_arr, load_mw, side="right"))
 
     def price(self, load_mw: float) -> float:
         """Price ($/MWh) at total market load ``load_mw``."""
@@ -92,8 +99,8 @@ class SteppedPricingPolicy:
         loads = np.asarray(loads_mw, dtype=float)
         if np.any(loads < 0):
             raise ValueError("negative market load")
-        idx = np.searchsorted(self.breakpoints, loads, side="right")
-        return np.asarray(self.prices, dtype=float)[idx]
+        idx = np.searchsorted(self._bp_arr, loads, side="right")
+        return self._pr_arr[idx]
 
     # -- segment geometry (used by the MILP linearization) -----------------------
 

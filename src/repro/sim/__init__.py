@@ -13,6 +13,7 @@ from .montecarlo import SeedStudy, run_study, savings_study
 from .parallel import STRATEGIES, compare_strategies, run_one_strategy
 from .records import HourRecord, SimulationResult, SiteRecord
 from .simulator import Simulator
+from .sweep import derive_seed, run_sweep, sweep_grid
 
 __all__ = [
     "Simulator",
@@ -32,4 +33,7 @@ __all__ = [
     "STRATEGIES",
     "compare_strategies",
     "run_one_strategy",
+    "sweep_grid",
+    "run_sweep",
+    "derive_seed",
 ]

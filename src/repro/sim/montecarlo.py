@@ -17,7 +17,6 @@ these are smoke-level robustness checks, not publication statistics.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -68,6 +67,11 @@ class SeedStudy:
         )
 
 
+def _seed_task(scenario, metric) -> float:
+    """Sweep-engine adapter: the user metric is the shared payload."""
+    return float(metric(scenario["seed"]))
+
+
 def run_study(
     name: str,
     metric: Callable[[int], float],
@@ -76,21 +80,27 @@ def run_study(
 ) -> SeedStudy:
     """Evaluate ``metric`` for every seed and aggregate.
 
-    ``workers > 1`` runs the seeds in a process pool; ``metric`` must
-    then be picklable (module-level function or ``functools.partial``
-    over one). Results are deterministic and order-preserving either
-    way.
+    A seed study is a one-axis sweep; this routes through
+    :func:`repro.sim.sweep.run_sweep`, which fans ``workers > 1`` out
+    over a process pool (``metric`` must then be picklable — a
+    module-level function or ``functools.partial`` over one). Results
+    are deterministic and order-preserving at any worker count, and
+    telemetry counters recorded by the metric are merged back into the
+    ambient bundle.
     """
+    from .sweep import run_sweep
+
     seeds = tuple(seeds)
     if not seeds:
         raise ValueError("at least one seed required")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if workers == 1 or len(seeds) == 1:
-        values = np.array([float(metric(seed)) for seed in seeds])
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
-            values = np.array(list(pool.map(metric, seeds)))
+    values = np.array(run_sweep(
+        _seed_task,
+        [{"seed": seed} for seed in seeds],
+        workers=workers,
+        payload=metric,
+    ))
     return SeedStudy(name, seeds, values)
 
 

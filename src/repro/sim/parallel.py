@@ -1,22 +1,22 @@
-"""Process-pool fan-out for multi-strategy comparison runs.
+"""Multi-strategy comparison runs over the scenario-sweep engine.
 
 ``repro compare`` replays the *same* world under several dispatch
 strategies (Cost Capping plus the Min-Only baselines). The strategies
 are independent given the world — no strategy observes another's
 decisions — so, exactly like the seed fan-out in
-:mod:`repro.sim.montecarlo`, they can run in separate processes. Each
-worker regenerates the (deterministic, seed-keyed) world locally
-instead of pickling simulators across the pool, keeping the task
-payload to a handful of scalars.
+:mod:`repro.sim.montecarlo`, they are a one-axis sweep for
+:func:`repro.sim.sweep.run_sweep`. Each worker regenerates the
+(deterministic, seed-keyed) world locally instead of pickling
+simulators across the pool, keeping the task payload to a handful of
+scalars.
 
-Telemetry note: spans and solver metrics are recorded in-process, so a
-parallel run only captures what the parent recorded. Use ``workers=1``
-when tracing a comparison end to end.
+Telemetry note: counters recorded by the strategies are merged back
+into the ambient bundle at any worker count; spans are per-process,
+so trace with ``workers=1`` when you need them end to end.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 __all__ = ["STRATEGIES", "compare_strategies", "run_one_strategy"]
@@ -78,6 +78,8 @@ def compare_strategies(
     serial path produces identical results (each worker regenerates the
     identical seed-keyed world), which the test suite pins.
     """
+    from .sweep import run_sweep, strategy_metric
+
     strategies = tuple(strategies)
     if not strategies:
         raise ValueError("at least one strategy required")
@@ -87,10 +89,15 @@ def compare_strategies(
     if workers < 1:
         raise ValueError("workers must be >= 1")
 
-    args = [(s, policy_id, seed, hours, budget_fraction) for s in strategies]
-    if workers == 1 or len(strategies) == 1:
-        results = [run_one_strategy(*a) for a in args]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(strategies))) as pool:
-            results = list(pool.map(run_one_strategy, *zip(*args)))
+    scenarios = [
+        {
+            "strategy": s,
+            "policy_id": policy_id,
+            "seed": seed,
+            "hours": hours,
+            "budget_fraction": budget_fraction,
+        }
+        for s in strategies
+    ]
+    results = run_sweep(strategy_metric, scenarios, workers=workers)
     return dict(zip(strategies, results))

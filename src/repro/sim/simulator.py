@@ -24,6 +24,8 @@ import dataclasses
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core import (
     BillCapper,
     Budgeter,
@@ -34,7 +36,15 @@ from ..core import (
     Site,
     SiteHour,
 )
-from ..datacenter import LocalOptimizer, required_servers, response_time
+from ..datacenter import (
+    LocalDecision,
+    LocalOptimizer,
+    SiteBank,
+    required_servers,
+    response_time,
+    supports_batching,
+)
+from ..powermarket import CurveBank
 from ..resilience import DegradationPolicy, FaultInjector
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..workload import CustomerMix, Trace
@@ -70,6 +80,13 @@ class Simulator:
     workload: Trace
     mix: CustomerMix
     telemetry: Telemetry | None = None
+    #: Evaluate realized billing through the vectorized physics/pricing
+    #: layer (:class:`~repro.datacenter.SiteBank` +
+    #: :class:`~repro.powermarket.CurveBank`). Bit-identical to the
+    #: scalar per-site path (pinned by ``tests/sim/test_batched_realize``);
+    #: set False to force the scalar reference path. Heterogeneous sites
+    #: fall back to scalar automatically.
+    batched: bool = True
 
     def __post_init__(self):
         if not self.sites:
@@ -87,6 +104,11 @@ class Simulator:
         # enough however many strategies replay the same month.
         self._hours_memo: dict[int, list[SiteHour]] = {}
         self._local_at_memo: dict[tuple[str, int], LocalOptimizer] = {}
+        self._bank: SiteBank | None = None
+        self._curves: CurveBank | None = None
+        if self.batched and all(supports_batching(s.datacenter) for s in self.sites):
+            self._bank = SiteBank.from_sites(self.sites)
+            self._curves = CurveBank.from_policies([s.policy for s in self.sites])
 
     # -- strategies ------------------------------------------------------------
 
@@ -301,28 +323,103 @@ class Simulator:
             raise ValueError(f"hours must be in 1..{self.workload.hours}")
         return hours
 
+    def _provision_scalar(self, t: int, decision: HourlyDecision):
+        """Reference path: one local-optimizer call per site."""
+        provisioned = []
+        for site in self.sites:
+            dispatched = decision.rate_for(site.name)
+            if site.coe_trace is None:
+                local = self._local[site.name].decide(dispatched)
+            else:
+                # Weather-varying cooling: the optimizer around this
+                # hour's efficiency (memoized across strategy runs).
+                local = self._local_at(site, t).decide(dispatched)
+            provisioned.append((site, dispatched, local))
+        return provisioned
+
+    def _coe_at(self, t: int) -> np.ndarray | None:
+        """Per-site cooling efficiencies for hour ``t`` (None = constants)."""
+        if all(s.coe_trace is None for s in self.sites):
+            return None
+        return np.array(
+            [
+                float(s.coe_trace[t]) if s.coe_trace is not None
+                else s.datacenter.cooling.coe
+                for s in self.sites
+            ]
+        )
+
+    def _provision_batched(self, t: int, decision: HourlyDecision):
+        """Vectorized path: one :class:`SiteBank` call for all sites.
+
+        Produces the same ``(site, dispatched, LocalDecision)`` triples
+        as :meth:`_provision_scalar` — the bank's arithmetic is
+        bit-identical to the scalar models, and sites whose dispatch
+        overshoots their physical or contractual limits (the rare
+        model-mismatch case) are handed to the scalar local optimizer,
+        whose shedding search is the reference behavior.
+        """
+        bank = self._bank
+        rates = np.array([decision.rate_for(s.name) for s in self.sites])
+        n, util, server_w, network_w, cooling_w = bank.provision_arrays(
+            rates, coe=self._coe_at(t), validate=False
+        )
+        provisioned = []
+        for i, site in enumerate(self.sites):
+            dispatched = float(rates[i])
+            over_fleet = n[i] > bank.max_servers[i]
+            if not over_fleet:
+                prov = bank.provisioning(i, n, util, server_w, network_w,
+                                         cooling_w)
+                if prov.total_power_mw <= bank.power_cap_mw[i] + 1e-12:
+                    provisioned.append((
+                        site,
+                        dispatched,
+                        LocalDecision(served_rps=dispatched, shed_rps=0.0,
+                                      provisioning=prov),
+                    ))
+                    continue
+            local = (
+                self._local[site.name] if site.coe_trace is None
+                else self._local_at(site, t)
+            ).decide(dispatched)
+            provisioned.append((site, dispatched, local))
+        return provisioned
+
     def _realize(self, t: int, decision: HourlyDecision) -> HourRecord:
         """Evaluate a dispatch decision against the exact physical models."""
         tel = get_telemetry()
         with tel.span("local_optimization"):
-            provisioned = []
-            for site in self.sites:
-                dispatched = decision.rate_for(site.name)
-                if site.coe_trace is None:
-                    local = self._local[site.name].decide(dispatched)
-                else:
-                    # Weather-varying cooling: the optimizer around this
-                    # hour's efficiency (memoized across strategy runs).
-                    local = self._local_at(site, t).decide(dispatched)
-                provisioned.append((site, dispatched, local))
+            if self._bank is not None:
+                provisioned = self._provision_batched(t, decision)
+            else:
+                provisioned = self._provision_scalar(t, decision)
         site_records = []
         realized_cost = 0.0
         total_shed = 0.0
         with tel.span("billing"):
-            for site, dispatched, local in provisioned:
-                price = site.policy.price(
-                    float(site.background_mw[t]) + local.power_mw
+            if self._curves is not None:
+                power = np.array([l.power_mw for _, _, l in provisioned])
+                bg = np.array(
+                    [float(s.background_mw[t]) for s in self.sites]
                 )
+                prices = self._curves.site_price(power, bg)
+                served = np.array([l.served_rps for _, _, l in provisioned])
+                ns = np.array(
+                    [l.provisioning.n_servers for _, _, l in provisioned],
+                    dtype=float,
+                )
+                rts = self._bank.response_time(served, ns)
+                rts = np.where((ns == 0.0) | (served <= 0.0), 0.0, rts)
+            for i, (site, dispatched, local) in enumerate(provisioned):
+                if self._curves is not None:
+                    price = float(prices[i])
+                    rt = float(rts[i])
+                else:
+                    price = site.policy.price(
+                        float(site.background_mw[t]) + local.power_mw
+                    )
+                    rt = self._response_time(site, local)
                 cost = price * local.power_mw
                 realized_cost += cost
                 total_shed += local.shed_rps
@@ -335,7 +432,7 @@ class Simulator:
                         price=price,
                         cost=cost,
                         n_servers=local.provisioning.n_servers,
-                        response_time_s=self._response_time(site, local),
+                        response_time_s=rt,
                     )
                 )
         # Shedding from decision/physics mismatch hits ordinary traffic

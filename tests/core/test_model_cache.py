@@ -239,7 +239,10 @@ class TestCacheBookkeeping:
             lam = 0.5 * sum(sh.max_rate_rps for sh in hours)
             hot.solve(hours, lam)
             # Cripple the cached entry's own solver: every subsequent
-            # hot solve must transparently fall back to SciPy.
+            # hot solve must transparently fall back to SciPy. The
+            # enumeration kernel would answer before the MILP is ever
+            # reached, so force the branch-and-bound path for this test.
+            hot.model_cache.use_enum_kernel = False
             (entry,) = hot.model_cache._entries.values()
             entry.solver.max_nodes = 0
             entry.last_x = None

@@ -1,0 +1,159 @@
+"""Batched site physics must be bit-identical to the scalar classes.
+
+:class:`SiteBank` re-states :meth:`DataCenter.provision` (integral
+servers, stepped fat-tree, cooling overhead) as array arithmetic; the
+contract is *bit-for-bit* equality with the scalar reference on the
+paper's site fleet — the simulator switches between the two paths, so
+even one ULP of drift would make ``batched=True`` observable in the
+bills. The fleet here is the paper's 13-site large-system case: the
+three Section VI data centers replicated with drifting cooling
+efficiencies.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datacenter import (
+    CapacityError,
+    CoolingModel,
+    SiteBank,
+    supports_batching,
+)
+from repro.experiments.paper_setup import paper_world
+
+
+def thirteen_sites():
+    """The paper's 3 data centers replicated to 13, mildly perturbed."""
+    base = [s.datacenter for s in paper_world().sites]
+    out = []
+    for i in range(13):
+        dc = base[i % 3]
+        out.append(
+            dataclasses.replace(
+                dc,
+                name=f"{dc.name}-{i}",
+                cooling=CoolingModel(dc.cooling.coe * (0.9 + 0.02 * i)),
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def dcs():
+    return thirteen_sites()
+
+
+@pytest.fixture(scope="module")
+def bank(dcs):
+    return SiteBank(dcs)
+
+
+def rate_grid(dcs, n_points=7):
+    """(site, candidate) grid spanning idle to near fleet capacity."""
+    fracs = np.array([0.0, 1e-6, 0.1, 0.35, 0.5, 0.8, 0.999])[:n_points]
+    tops = np.array([dc.fleet_throughput_rps() for dc in dcs])
+    return tops[:, None] * fracs[None, :]
+
+
+class TestBitIdentity:
+    def test_provision_matches_scalar_13_sites(self, dcs, bank):
+        rates = rate_grid(dcs)
+        n, util, server_w, network_w, cooling_w = bank.provision_arrays(rates)
+        for i, dc in enumerate(dcs):
+            for j in range(rates.shape[1]):
+                prov = dc.provision(rates[i, j])
+                assert n[i, j] == prov.n_servers
+                assert util[i, j] == prov.utilization
+                assert server_w[i, j] == prov.server_power_w
+                assert network_w[i, j] == prov.network_power_w
+                assert cooling_w[i, j] == prov.cooling_power_w
+
+    def test_power_mw_matches_scalar(self, dcs, bank):
+        rates = rate_grid(dcs)
+        power = bank.power_mw(rates)
+        for i, dc in enumerate(dcs):
+            for j in range(rates.shape[1]):
+                assert power[i, j] == dc.power_mw(rates[i, j])
+
+    def test_coe_override_matches_weather_world(self, dcs, bank):
+        # A weather hour replaces each site's cooling efficiency; the
+        # override array must reproduce scalar sites rebuilt with the
+        # same CoolingModel.
+        coe = np.array([dc.cooling.coe * 0.8 for dc in dcs])
+        rates = rate_grid(dcs)[:, 3]
+        power = bank.power_mw(rates, coe=coe)
+        for i, dc in enumerate(dcs):
+            hot = dataclasses.replace(dc, cooling=CoolingModel(coe[i]))
+            assert power[i] == hot.power_mw(rates[i])
+
+    def test_affine_matches_scalar(self, dcs, bank):
+        slope, intercept = bank.affine()
+        for i, dc in enumerate(dcs):
+            aff = dc.affine_power()
+            assert slope[i] == aff.slope_mw_per_rps
+            assert intercept[i] == aff.intercept_mw
+
+    def test_max_throughput_matches_scalar(self, dcs, bank):
+        got = bank.max_throughput_rps()
+        for i, dc in enumerate(dcs):
+            assert got[i] == dc.max_throughput_rps()
+
+    def test_response_time_matches_queueing_model(self, dcs, bank):
+        from repro.datacenter import response_time
+
+        rates = rate_grid(dcs)
+        n = bank.required_servers(rates)
+        rts = bank.response_time(rates, n)
+        for i, dc in enumerate(dcs):
+            mu = dc.servers.service_rate
+            for j in range(rates.shape[1]):
+                if n[i, j] == 0:
+                    assert rts[i, j] == 0.0
+                else:
+                    assert rts[i, j] == response_time(
+                        rates[i, j], int(n[i, j]), mu, dc.queue
+                    )
+
+
+class TestEdges:
+    def test_zero_rate_is_fully_idle(self, bank):
+        n, util, server_w, network_w, cooling_w = bank.provision_arrays(
+            np.zeros(bank.n_sites)
+        )
+        assert not n.any() and not server_w.any()
+        assert not network_w.any() and not cooling_w.any()
+
+    def test_over_fleet_raises_capacity_error(self, dcs, bank):
+        rates = np.array([dc.fleet_throughput_rps() for dc in dcs])
+        rates[4] *= 1.5
+        with pytest.raises(CapacityError, match=dcs[4].name):
+            bank.required_servers(rates)
+
+    def test_validate_false_reports_oversubscription(self, dcs, bank):
+        rates = np.array([dc.fleet_throughput_rps() for dc in dcs]) * 1.5
+        n = bank.required_servers(rates, validate=False)
+        assert np.all(n > bank.max_servers)
+
+    def test_negative_rate_rejected(self, bank):
+        with pytest.raises(ValueError):
+            bank.required_servers(np.full(bank.n_sites, -1.0))
+
+    def test_unstable_response_time_is_inf(self, bank):
+        rates = np.full(bank.n_sites, 1000.0)
+        n = np.ones(bank.n_sites)
+        assert np.all(np.isinf(bank.response_time(rates, n)))
+
+    def test_heterogeneous_site_rejected(self):
+        class NotBatchable:
+            name = "hetero"
+            servers = None
+
+        assert not supports_batching(NotBatchable())
+        with pytest.raises(ValueError, match="hetero"):
+            SiteBank([NotBatchable()])
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            SiteBank([])

@@ -1,0 +1,91 @@
+"""The Erlang-B recurrence cache must be invisible except in speed.
+
+``erlang_b`` memoizes recurrence prefixes per offered load; the
+contract is exact equality with the retained plain scan
+(:func:`_erlang_b_uncached`) — the recurrence extends term by term, so
+a cached continuation computes literally the same float sequence.
+Also pins the LRU bound and the telemetry hit/miss counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import ErlangCache, erlang_b, mmm_required_servers
+from repro.datacenter.erlang import _erlang_b_uncached
+from repro.telemetry import Telemetry, use_telemetry
+
+
+class TestEquivalence:
+    def test_matches_uncached_scan_exactly(self):
+        cache = ErlangCache()
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            a = float(rng.uniform(0.0, 500.0))
+            m = int(rng.integers(0, 400))
+            assert cache.erlang_b(m, a) == _erlang_b_uncached(m, a)
+
+    def test_interleaved_loads_do_not_cross_talk(self):
+        cache = ErlangCache()
+        # Ascending then descending m at two alternating loads: every
+        # answer must still equal the scan.
+        for m in list(range(0, 50, 7)) + list(range(49, 0, -11)):
+            for a in (3.5, 80.0):
+                assert cache.erlang_b(m, a) == _erlang_b_uncached(m, a)
+
+    def test_module_function_uses_default_cache(self):
+        assert erlang_b(100, 75.0) == _erlang_b_uncached(100, 75.0)
+
+    def test_required_servers_unchanged(self):
+        # The upward fleet search is the cache's main customer.
+        assert mmm_required_servers(1000.0, 10.0, 0.25) == \
+            mmm_required_servers(1000.0, 10.0, 0.25)
+
+    def test_input_validation(self):
+        cache = ErlangCache()
+        with pytest.raises(ValueError):
+            cache.erlang_b(-1, 10.0)
+        with pytest.raises(ValueError):
+            cache.erlang_b(10, -1.0)
+        with pytest.raises(ValueError):
+            ErlangCache(maxsize=0)
+
+
+class TestBookkeeping:
+    def test_lru_bound_holds(self):
+        cache = ErlangCache(maxsize=4)
+        for a in range(10):
+            cache.erlang_b(50, float(a))
+        assert len(cache._terms) == 4
+        # The most recent loads survived.
+        assert set(cache._terms) == {6.0, 7.0, 8.0, 9.0}
+
+    def test_clear_empties_the_memo(self):
+        cache = ErlangCache()
+        cache.erlang_b(10, 5.0)
+        cache.clear()
+        assert not cache._terms
+
+    def test_hit_and_miss_counters(self):
+        cache = ErlangCache()
+        tel = Telemetry()
+        with use_telemetry(tel):
+            cache.erlang_b(10, 5.0)    # miss
+            cache.erlang_b(20, 5.0)    # hit: extends the same prefix
+            cache.erlang_b(15, 5.0)    # hit: fully covered
+            cache.erlang_b(10, 6.0)    # miss: new load
+        hits = tel.registry.counter("datacenter.erlang_cache.hit").value
+        misses = tel.registry.counter("datacenter.erlang_cache.miss").value
+        assert hits == 2
+        assert misses == 2
+
+    def test_fleet_search_mostly_hits(self):
+        cache = ErlangCache()
+        tel = Telemetry()
+        with use_telemetry(tel):
+            # Probe m, m+1, ... at one fixed load, like the fleet search.
+            for m in range(100, 140):
+                cache.erlang_b(m, 95.0)
+        hits = tel.registry.counter("datacenter.erlang_cache.hit").value
+        misses = tel.registry.counter("datacenter.erlang_cache.miss").value
+        assert misses == 1
+        assert hits == 39

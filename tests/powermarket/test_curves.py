@@ -1,0 +1,160 @@
+"""Vectorized step-price curves must match the scalar policy exactly.
+
+:class:`StepCurve` and :class:`CurveBank` are pure evaluation-layer
+rewrites of :meth:`SteppedPricingPolicy.price`; any divergence —
+especially at loads exactly on a breakpoint, where the right-open
+convention decides the level — would silently change every bill the
+simulator computes. Property tests drive randomized policies and loads
+(with breakpoints themselves injected as loads) through both paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.powermarket import SteppedPricingPolicy, StepCurve, CurveBank, paper_policies
+
+
+@st.composite
+def policies(draw, name="h"):
+    n_levels = draw(st.integers(min_value=1, max_value=6))
+    bp = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=1000.0),
+                min_size=n_levels - 1,
+                max_size=n_levels - 1,
+                unique=True,
+            )
+        )
+    )
+    prices = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=500.0),
+                min_size=n_levels,
+                max_size=n_levels,
+            )
+        )
+    )
+    return SteppedPricingPolicy(name, tuple(bp), tuple(prices))
+
+
+@st.composite
+def loads_for(draw, policy, max_extra=8):
+    """Loads mixing ordinary draws with the policy's own breakpoints."""
+    loads = list(policy.breakpoints)
+    loads += draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2000.0),
+            min_size=1,
+            max_size=max_extra,
+        )
+    )
+    return np.array(loads)
+
+
+class TestStepCurve:
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_matches_scalar_policy(self, data):
+        pol = data.draw(policies())
+        loads = data.draw(loads_for(pol))
+        curve = StepCurve.from_policy(pol)
+        expected = np.array([pol.price(x) for x in loads])
+        assert np.array_equal(curve.price(loads), expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_level_matches_scalar_index(self, data):
+        pol = data.draw(policies())
+        loads = data.draw(loads_for(pol))
+        curve = StepCurve.from_policy(pol)
+        expected = np.array([pol.level_index(x) for x in loads])
+        assert np.array_equal(curve.level(loads), expected)
+
+    def test_on_breakpoint_is_right_open(self):
+        pol = SteppedPricingPolicy("B", (100.0, 200.0), (10.0, 20.0, 30.0))
+        curve = StepCurve.from_policy(pol)
+        assert curve.price(np.array([100.0, 200.0])).tolist() == [20.0, 30.0]
+        # Just below the breakpoint stays on the cheaper level.
+        below = np.nextafter(100.0, 0.0)
+        assert curve.price(np.array([below]))[0] == 10.0
+
+    def test_preserves_input_shape(self):
+        curve = StepCurve("f", (10.0,), (1.0, 2.0))
+        grid = np.array([[0.0, 10.0], [20.0, 5.0]])
+        assert curve.price(grid).shape == grid.shape
+
+    def test_negative_load_rejected(self):
+        curve = StepCurve("f", (10.0,), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            curve.price(np.array([1.0, -2.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StepCurve("f", (10.0, 20.0), (1.0, 2.0))
+
+
+class TestCurveBank:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_matches_scalar_per_site(self, data):
+        pols = [
+            data.draw(policies(name=f"s{i}"))
+            for i in range(data.draw(st.integers(min_value=1, max_value=5)))
+        ]
+        bank = CurveBank.from_policies(pols)
+        # Uniform grid of candidate loads per site, plus every site's
+        # own breakpoints (padded rows must not perturb neighbours).
+        width = max(len(p.breakpoints) for p in pols) + 3
+        grid = np.zeros((len(pols), width))
+        for i, p in enumerate(pols):
+            row = list(p.breakpoints) + [0.0, 123.456, 1999.0]
+            grid[i] = (row + [0.0] * width)[:width]
+        expected = np.array(
+            [[p.price(x) for x in grid[i]] for i, p in enumerate(pols)]
+        )
+        assert np.array_equal(bank.price(grid), expected)
+        # 1-D form: one load per site.
+        one = grid[:, 0]
+        assert np.array_equal(
+            bank.price(one), np.array([p.price(x) for p, x in zip(pols, one)])
+        )
+
+    def test_paper_policies_grid(self):
+        pols = paper_policies()
+        bank = CurveBank.from_policies(pols)
+        loads = np.linspace(0.0, 500.0, 101)
+        grid = np.tile(loads, (len(pols), 1))
+        expected = np.array([[p.price(x) for x in loads] for p in pols])
+        assert np.array_equal(bank.price(grid), expected)
+
+    def test_site_price_adds_background(self):
+        pols = paper_policies()
+        bank = CurveBank.from_policies(pols)
+        dc = np.array([10.0, 20.0, 30.0])
+        bg = np.array([90.0, 60.0, 170.0])
+        expected = np.array(
+            [p.price(d + b) for p, d, b in zip(pols, dc, bg)]
+        )
+        assert np.array_equal(bank.site_price(dc, bg), expected)
+        # Candidate grids broadcast the background down the trailing axis.
+        cand = np.stack([dc, dc * 2.0], axis=1)
+        out = bank.site_price(cand, bg)
+        assert out.shape == cand.shape
+        expected2 = np.array(
+            [[p.price(c + b) for c in row]
+             for p, row, b in zip(pols, cand, bg)]
+        )
+        assert np.array_equal(out, expected2)
+
+    def test_wrong_leading_dimension_rejected(self):
+        bank = CurveBank.from_policies(paper_policies())
+        with pytest.raises(ValueError):
+            bank.price(np.zeros(2))
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            CurveBank([])

@@ -1,0 +1,124 @@
+"""``Simulator(batched=True)`` must be bit-identical to the scalar path.
+
+The batched realize loop swaps the per-site ``LocalOptimizer`` /
+``policy.price`` calls for :class:`SiteBank` / :class:`CurveBank`
+evaluations. It is the default, so any drift — a reordered float
+addition, a different step-boundary convention — would silently change
+every published number. These tests replay identical worlds down both
+paths and compare every record field exactly, including a power-capped
+world (the scalar shedding fallback) and a weather-cooling world (the
+per-hour ``coe`` override).
+"""
+
+import dataclasses
+
+from repro.core import PriceMode
+from repro.datacenter import synthetic_coe_trace
+from repro.experiments.paper_setup import paper_world
+from repro.sim import Simulator
+
+
+def run_pair(world, hours, strategy="capping", budget_fraction=None):
+    results = []
+    for batched in (True, False):
+        sim = Simulator(world.sites, world.workload, world.mix, batched=batched)
+        if strategy == "capping":
+            budgeter = None
+            if budget_fraction is not None:
+                anchor = Simulator(
+                    world.sites, world.workload, world.mix
+                ).run_capping(hours=hours)
+                monthly = (
+                    anchor.total_cost * world.hours / hours * budget_fraction
+                )
+                budgeter = world.budgeter(monthly)
+            results.append(sim.run_capping(budgeter, hours=hours))
+        else:
+            results.append(sim.run_min_only(strategy, hours=hours))
+    return results
+
+
+def assert_identical(a, b):
+    assert len(a) == len(b)
+    assert a.total_cost == b.total_cost
+    for ha, hb in zip(a.hours, b.hours):
+        assert ha.realized_cost == hb.realized_cost
+        assert ha.predicted_cost == hb.predicted_cost
+        assert ha.served_premium_rps == hb.served_premium_rps
+        assert ha.served_ordinary_rps == hb.served_ordinary_rps
+        for sa, sb in zip(ha.sites, hb.sites):
+            assert sa.site == sb.site
+            assert sa.dispatched_rps == sb.dispatched_rps
+            assert sa.served_rps == sb.served_rps
+            assert sa.power_mw == sb.power_mw
+            assert sa.price == sb.price
+            assert sa.cost == sb.cost
+            assert sa.n_servers == sb.n_servers
+            assert sa.response_time_s == sb.response_time_s
+
+
+class TestBitIdentity:
+    def test_capping_uncapped(self):
+        world = paper_world()
+        batched, scalar = run_pair(world, 48)
+        assert_identical(batched, scalar)
+
+    def test_capping_with_budget(self):
+        world = paper_world()
+        batched, scalar = run_pair(world, 48, budget_fraction=0.85)
+        assert_identical(batched, scalar)
+
+    def test_min_only_modes(self):
+        world = paper_world()
+        for mode in (PriceMode.AVG, PriceMode.LOW, PriceMode.CURRENT):
+            batched, scalar = run_pair(world, 36, strategy=mode)
+            assert_identical(batched, scalar)
+
+    def test_power_capped_world_exercises_scalar_fallback(self):
+        # A tight site cap forces shedding: the batched path must defer
+        # to the scalar LocalOptimizer for the capped hours and still
+        # match bit for bit.
+        world = paper_world(power_cap_mw=8.0)
+        batched, scalar = run_pair(world, 36)
+        assert_identical(batched, scalar)
+        assert any(
+            s.dispatched_rps > s.served_rps
+            for h in batched.hours
+            for s in h.sites
+        )
+
+    def test_weather_cooling_world(self):
+        # Per-hour cooling-efficiency traces flow through the ``coe``
+        # override of the batched provisioning.
+        world = paper_world(seed=3)
+        sites = [
+            dataclasses.replace(
+                site,
+                coe_trace=synthetic_coe_trace(
+                    len(site.background_mw),
+                    site.datacenter.cooling.coe,
+                    seed=10 + i,
+                ),
+            )
+            for i, site in enumerate(world.sites)
+        ]
+        results = []
+        for batched in (True, False):
+            sim = Simulator(sites, world.workload, world.mix, batched=batched)
+            results.append(sim.run_capping(hours=36))
+        assert_identical(*results)
+
+
+class TestFallbackWiring:
+    def test_heterogeneous_fleet_disables_the_bank(self):
+        world = paper_world(heterogeneous=True)
+        sim = Simulator(world.sites, world.workload, world.mix)
+        assert sim._bank is None and sim._curves is None
+        # And the run still works on the scalar path.
+        res = sim.run_capping(hours=6)
+        assert res.total_cost > 0
+
+    def test_batched_false_never_builds_banks(self):
+        world = paper_world()
+        sim = Simulator(world.sites, world.workload, world.mix, batched=False)
+        assert sim._bank is None and sim._curves is None

@@ -1,0 +1,123 @@
+"""Scenario-sweep engine: grid order, determinism, serial == parallel.
+
+``run_sweep`` is the one fan-out path every batch experiment routes
+through; these tests pin the contracts the callers rely on: scenario
+order is preserved, the serial and pooled paths return identical
+values, counters recorded inside scenarios merge back into the ambient
+telemetry bundle at any worker count, the shared payload reaches every
+task, and derived seeds are stable across processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import derive_seed, run_sweep, sweep_grid
+from repro.sim.sweep import strategy_metric
+from repro.telemetry import Telemetry, use_telemetry
+
+
+def square_metric(scenario, payload):
+    """Module-level so the pooled path can pickle it."""
+    from repro.telemetry import get_telemetry
+
+    get_telemetry().counter("test.sweep.calls").inc()
+    offset = payload["offset"] if payload else 0.0
+    return scenario["x"] ** 2 + offset
+
+
+def seeded_metric(scenario, payload):
+    rng = np.random.default_rng(derive_seed(7, scenario["i"]))
+    return float(rng.uniform())
+
+
+class TestSweepGrid:
+    def test_cartesian_product_in_axis_order(self):
+        grid = sweep_grid(a=[1, 2], b=["x", "y"], c=[0.5])
+        assert grid == [
+            {"a": 1, "b": "x", "c": 0.5},
+            {"a": 1, "b": "y", "c": 0.5},
+            {"a": 2, "b": "x", "c": 0.5},
+            {"a": 2, "b": "y", "c": 0.5},
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_grid(a=[1], b=[])
+        with pytest.raises(ValueError):
+            sweep_grid()
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+        seen = {derive_seed(7, i) for i in range(100)}
+        assert len(seen) == 100
+        assert derive_seed(7, 1) != derive_seed(8, 1)
+
+    def test_fits_in_32_bits(self):
+        for i in range(20):
+            assert 0 <= derive_seed(1, i) < 2**32
+
+
+class TestRunSweep:
+    def test_values_in_scenario_order(self):
+        scenarios = [{"x": x} for x in (3.0, 1.0, 2.0)]
+        assert run_sweep(square_metric, scenarios) == [9.0, 1.0, 4.0]
+
+    def test_payload_reaches_every_task(self):
+        scenarios = [{"x": x} for x in (1.0, 2.0)]
+        got = run_sweep(square_metric, scenarios, payload={"offset": 10.0})
+        assert got == [11.0, 14.0]
+
+    def test_serial_equals_parallel(self):
+        scenarios = [{"x": float(x)} for x in range(8)]
+        serial = run_sweep(square_metric, scenarios, workers=1)
+        pooled = run_sweep(square_metric, scenarios, workers=2)
+        assert serial == pooled
+
+    def test_serial_equals_parallel_with_derived_seeds(self):
+        scenarios = [{"i": i} for i in range(6)]
+        serial = run_sweep(seeded_metric, scenarios, workers=1)
+        pooled = run_sweep(seeded_metric, scenarios, workers=3, chunksize=1)
+        assert serial == pooled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep(square_metric, [])
+        with pytest.raises(ValueError):
+            run_sweep(square_metric, [{"x": 1.0}], workers=0)
+
+
+class TestCounterMerge:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_counters_survive_the_pool(self, workers):
+        scenarios = [{"x": float(x)} for x in range(5)]
+        tel = Telemetry()
+        with use_telemetry(tel):
+            run_sweep(square_metric, scenarios, workers=workers)
+        assert tel.registry.counter("test.sweep.calls").value == 5
+
+    def test_scenarios_do_not_see_ambient_telemetry(self):
+        # Tasks run under their own bundle even serially, so parallel
+        # and serial runs observe identical telemetry state.
+        tel = Telemetry()
+        with use_telemetry(tel):
+            tel.counter("test.sweep.calls").inc(100)
+            run_sweep(square_metric, [{"x": 1.0}], workers=1)
+        # 100 pre-existing + 1 merged from the scenario.
+        assert tel.registry.counter("test.sweep.calls").value == 101
+
+    def test_no_ambient_bundle_is_fine(self):
+        assert run_sweep(square_metric, [{"x": 2.0}]) == [4.0]
+
+
+class TestStrategyMetric:
+    def test_runs_one_strategy(self):
+        res = strategy_metric(
+            {"strategy": "min-only-avg", "seed": 7, "hours": 6}
+        )
+        assert res.total_cost > 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_metric({"strategy": "nope"})
