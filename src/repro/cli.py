@@ -5,12 +5,19 @@ Commands
 ``lmp-sweep``
     Print the PJM five-bus LMP step curves (the paper's Figure 1).
 ``simulate`` (alias ``run``)
-    Simulate a strategy over the paper world and print the summary.
-    ``--faults SPEC`` runs the month under deterministic fault
+    Simulate any registered strategy over the paper world and print the
+    summary. ``--faults SPEC`` runs the month under deterministic fault
     injection (stale prices, sensor dropout, solver failures, budgeter
-    restarts) with graceful degradation instead of crashes.
+    restarts) with graceful degradation instead of crashes — for every
+    strategy, not just capping. ``--checkpoint PATH`` persists the run
+    state each hour for ``repro resume``.
+``resume``
+    Continue a checkpointed ``simulate --checkpoint`` run from its last
+    settled hour, bit-identically to an uninterrupted run.
 ``compare``
-    Run Cost Capping and the Min-Only baselines side by side.
+    Run several registered strategies side by side
+    (``--strategies capping,min-only-avg,...``; defaults to Cost
+    Capping plus the Min-Only baselines).
 ``headroom``
     LMPs plus single-solve load-growth headroom per consumer bus.
 ``study``
@@ -99,17 +106,13 @@ def _print_summary(name: str, result) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .core import PriceMode
-    from .sim import Simulator
+    from .sim import Engine, get_strategy, resolve_monthly_budget
 
     faults = None
     degradation = None
     if args.faults:
         from .resilience import DegradationPolicy, FaultInjector, FaultSpec
 
-        if args.strategy != "capping":
-            print("error: --faults is only supported with --strategy capping")
-            return 2
         try:
             spec = FaultSpec.parse(args.faults)
         except ValueError as exc:
@@ -118,28 +121,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults = FaultInjector(spec)
         degradation = DegradationPolicy(args.degradation)
     world = _build_world(args)
-    sim = Simulator(world.sites, world.workload, world.mix)
-    if args.strategy == "capping":
-        budgeter = None
-        if args.budget_fraction is not None:
+    engine = Engine(world.sites, world.workload, world.mix)
+    strategy = get_strategy(args.strategy)
+    budgeter = None
+    if args.budget_fraction is not None:
+        if not strategy.wants_budget:
+            print(f"note: {args.strategy} is a price taker; "
+                  "--budget-fraction has no effect")
+        else:
             # The anchor run is untraced on purpose: it exists only to
             # scale the budget, and would double every solver metric.
-            anchor = sim.run_capping(hours=args.hours)
-            monthly = (
-                anchor.total_cost * world.hours / args.hours * args.budget_fraction
+            monthly = resolve_monthly_budget(
+                world, args.budget_fraction, hours=args.hours, engine=engine
             )
             print(f"monthly budget: ${monthly:,.0f} "
                   f"({args.budget_fraction:.0%} of uncapped spend)")
             budgeter = world.budgeter(monthly)
-        with _tracing(args):
-            result = sim.run_capping(
-                budgeter, hours=args.hours, faults=faults, degradation=degradation
-            )
-    else:
-        mode = PriceMode(args.strategy.removeprefix("min-only-"))
-        with _tracing(args):
-            result = sim.run_min_only(mode, hours=args.hours)
+    meta = None
+    if args.checkpoint:
+        # Everything 'repro resume' needs to rebuild the same world.
+        meta = {"policy": args.policy, "seed": args.seed}
+    with _tracing(args):
+        result = engine.run(
+            strategy,
+            budgeter=budgeter,
+            hours=args.hours,
+            faults=faults,
+            degradation=degradation,
+            checkpoint_path=args.checkpoint or None,
+            checkpoint_meta=meta,
+        )
     _print_summary(args.strategy, result)
+    if args.checkpoint:
+        print(f"  checkpoint:          {args.checkpoint} "
+              f"(resume with 'repro resume {args.checkpoint}')")
     if faults is not None:
         injected = {
             k: v for k, v in faults.schedule_counts(args.hours).items() if v
@@ -147,6 +162,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  injected faults:     "
               + (", ".join(f"{k}={v}" for k, v in injected.items()) or "none")
               + f" (policy={degradation.value})")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .experiments import paper_world
+    from .sim import Engine
+
+    try:
+        payload = Engine.load_checkpoint(args.checkpoint)
+    except (OSError, ValueError) as exc:
+        print(f"error: {getattr(exc, 'strerror', None) or exc}")
+        return 2
+    meta = payload.get("meta") or {}
+    world = paper_world(meta.get("policy", 1), seed=meta.get("seed", 7))
+    engine = Engine(world.sites, world.workload, world.mix)
+    done = payload["next_hour"]
+    horizon = args.hours if args.hours is not None else payload["horizon"]
+    print(f"resuming {payload['strategy']} from {args.checkpoint}: "
+          f"{done}/{horizon} hours already settled")
+    with _tracing(args):
+        result = engine.resume(args.checkpoint, hours=args.hours)
+    _print_summary(payload["strategy"], result)
     return 0
 
 
@@ -187,10 +224,33 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    from .core import PriceMode
-    from .sim import Simulator
+def _report_comparison(ordered: "dict[str, object]") -> None:
+    """Print per-strategy summaries plus savings vs the capping run."""
+    reference = ordered.get("capping")
+    for name, res in ordered.items():
+        label = "cost-capping (uncapped)" if name == "capping" else name
+        _print_summary(label, res)
+        if reference is not None and name != "capping":
+            saving = 1 - reference.total_cost / res.total_cost
+            print(f"  -> capping saves {saving:.1%} vs this baseline")
 
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .sim import STRATEGIES, available_strategies
+
+    if args.strategies is None:
+        strategies = list(STRATEGIES)
+    else:
+        strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+        known = available_strategies()
+        unknown = [s for s in strategies if s not in known]
+        if not strategies:
+            print("error: --strategies needs at least one name")
+            return 2
+        if unknown:
+            print(f"error: unknown strategies {unknown}; "
+                  f"expected among {known}")
+            return 2
     workers = args.workers
     if workers > 1 and args.trace is not None:
         # Telemetry is recorded in-process; a fanned-out run would
@@ -198,34 +258,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print("--trace requires in-process runs; ignoring --workers")
         workers = 1
     if workers > 1:
-        from .sim import STRATEGIES, compare_strategies
+        from .sim import compare_strategies
 
         results = compare_strategies(
             policy_id=args.policy,
             seed=args.seed,
             hours=args.hours,
-            strategies=STRATEGIES,
+            strategies=strategies,
             workers=workers,
         )
-        capping = results["capping"]
-        _print_summary("cost-capping (uncapped)", capping)
-        for name in STRATEGIES[1:]:
-            res = results[name]
-            _print_summary(name, res)
-            saving = 1 - capping.total_cost / res.total_cost
-            print(f"  -> capping saves {saving:.1%} vs this baseline")
+        _report_comparison({name: results[name] for name in strategies})
         return 0
 
+    # Serial path: one engine, every strategy resolved through the
+    # registry, all sharing the world's memoized snapshots — and the
+    # whole comparison inside one trace when --trace is given.
+    from .sim import Engine, get_strategy
+
     world = _build_world(args)
-    sim = Simulator(world.sites, world.workload, world.mix)
+    engine = Engine(world.sites, world.workload, world.mix)
     with _tracing(args):
-        capping = sim.run_capping(hours=args.hours)
-        _print_summary("cost-capping (uncapped)", capping)
-        for mode in (PriceMode.AVG, PriceMode.LOW, PriceMode.CURRENT):
-            res = sim.run_min_only(mode, hours=args.hours)
-            _print_summary(f"min-only-{mode.value}", res)
-            saving = 1 - capping.total_cost / res.total_cost
-            print(f"  -> capping saves {saving:.1%} vs this baseline")
+        results = {
+            name: engine.run(get_strategy(name), hours=args.hours)
+            for name in strategies
+        }
+        _report_comparison(results)
     return 0
 
 
@@ -337,6 +394,11 @@ def _cmd_telemetry_export(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Strategy choices come from the registry, so a newly registered
+    # strategy is immediately addressable from every command.
+    from .sim.registry import available_strategies
+
+    strategy_names = available_strategies()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Electricity bill capping for cloud-scale data centers "
@@ -362,19 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_sim = sub.add_parser(
-        "simulate", aliases=["run"], parents=[common], help="run one strategy"
+        "simulate", aliases=["run"], parents=[common],
+        help="run one registered strategy",
     )
     p_sim.add_argument(
         "--strategy",
         default="capping",
-        choices=("capping", "min-only-avg", "min-only-low", "min-only-current"),
+        choices=strategy_names,
     )
     p_sim.add_argument(
         "--budget-fraction",
         type=float,
         default=None,
         help="monthly budget as a fraction of the uncapped spend "
-        "(capping only; omit for pure cost minimization)",
+        "(budget-aware strategies only; omit for pure cost minimization)",
     )
     p_sim.add_argument(
         "--faults",
@@ -383,7 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection, e.g. "
         "'price_stale=0.1,solver_error=0.05,budget_loss=0.02,seed=3' "
         "(channels: price_stale, sensor_dropout, solver_error, "
-        "solver_timeout, budget_loss; capping only)",
+        "solver_timeout, budget_loss; applies to every strategy)",
     )
     p_sim.add_argument(
         "--degradation",
@@ -392,10 +455,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch policy for hours whose solver stack fails "
         "(used with --faults; also applies to genuine solver failures)",
     )
+    p_sim.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="persist the run state to PATH (atomic write) after every "
+        "settled hour; continue a killed run with 'repro resume PATH'",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_res = sub.add_parser(
+        "resume", help="continue a checkpointed simulate run"
+    )
+    p_res.add_argument(
+        "checkpoint", help="checkpoint file from 'simulate --checkpoint'"
+    )
+    p_res.add_argument(
+        "--hours",
+        type=int,
+        default=None,
+        help="override the stored horizon (extend or shorten the run)",
+    )
+    p_res.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record telemetry for the resumed hours and write a JSONL "
+        "trace to PATH",
+    )
+    p_res.set_defaults(func=_cmd_resume)
 
     p_cmp = sub.add_parser(
         "compare", parents=[common], help="capping vs all baselines"
+    )
+    p_cmp.add_argument(
+        "--strategies",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated registered strategies to compare "
+        f"(default: {','.join(('capping', 'min-only-avg', 'min-only-low', 'min-only-current'))}; "
+        f"registered: {', '.join(strategy_names)})",
     )
     p_cmp.add_argument(
         "--workers",
@@ -414,7 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--strategy",
         default="capping",
-        choices=("capping", "min-only-avg", "min-only-low", "min-only-current"),
+        choices=strategy_names,
     )
     p_sweep.add_argument(
         "--seeds",

@@ -29,6 +29,7 @@ from .hierarchical import (
     HierarchicalDispatcher,
     Region,
     RegionalBid,
+    regions_of,
 )
 from .robust_budgeter import AdaptiveBudgeter
 from .site import Site, SiteHour
@@ -65,4 +66,5 @@ __all__ = [
     "RegionalBid",
     "HierarchicalDispatcher",
     "HierarchicalBillCapper",
+    "regions_of",
 ]

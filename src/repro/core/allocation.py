@@ -91,3 +91,41 @@ class HourlyDecision:
             if alloc.site == site:
                 return alloc.rate_rps
         raise KeyError(f"no allocation for site {site!r}")
+
+    # -- serialization (engine checkpoints) ---------------------------------------
+    # JSON float round-trips are exact (repr-based), so a decision
+    # restored from a checkpoint is field-for-field identical.
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step.value,
+            "allocations": [
+                {
+                    "site": a.site,
+                    "rate_rps": a.rate_rps,
+                    "predicted_power_mw": a.predicted_power_mw,
+                    "predicted_price": a.predicted_price,
+                    "predicted_cost": a.predicted_cost,
+                }
+                for a in self.allocations
+            ],
+            "served_premium_rps": self.served_premium_rps,
+            "served_ordinary_rps": self.served_ordinary_rps,
+            "demand_premium_rps": self.demand_premium_rps,
+            "demand_ordinary_rps": self.demand_ordinary_rps,
+            "predicted_cost": self.predicted_cost,
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HourlyDecision":
+        return cls(
+            step=CappingStep(data["step"]),
+            allocations=tuple(Allocation(**a) for a in data["allocations"]),
+            served_premium_rps=data["served_premium_rps"],
+            served_ordinary_rps=data["served_ordinary_rps"],
+            demand_premium_rps=data["demand_premium_rps"],
+            demand_ordinary_rps=data["demand_ordinary_rps"],
+            predicted_cost=data["predicted_cost"],
+            budget=data["budget"],
+        )

@@ -97,6 +97,21 @@ class MinOnlyDispatcher:
     backend: object | None = None
     model_cache: object | None = field(default=None, repr=False, compare=False)
 
+    @classmethod
+    def for_sites(cls, sites, mode: PriceMode, **kwargs) -> "MinOnlyDispatcher":
+        """A dispatcher parameterized against ``sites``.
+
+        Builds the per-site server-only slopes the baseline's decision
+        model needs — the one piece of world-dependent configuration.
+        """
+        return cls(
+            price_mode=mode,
+            server_slopes={
+                s.name: server_only_affine_slope(s.datacenter) for s in sites
+            },
+            **kwargs,
+        )
+
     def solve(
         self, site_hours: list[SiteHour], total_rate_rps: float
     ) -> HourlyDecision:

@@ -38,6 +38,10 @@ __all__ = ["BillCapper"]
 #: step-2 invocations on solver round-off.
 _BUDGET_RTOL = 1e-9
 
+#: Sentinel distinguishing "no per-call degradation override" from an
+#: explicit ``degradation=None`` (which forces raise-on-failure).
+_UNSET = object()
+
 
 @dataclass
 class BillCapper:
@@ -87,6 +91,7 @@ class BillCapper:
         budget: float,
         *,
         forced_failure: Exception | None = None,
+        degradation: "DegradationPolicy | None | object" = _UNSET,
     ) -> HourlyDecision:
         """Run the two-step algorithm for one invocation period.
 
@@ -103,6 +108,12 @@ class BillCapper:
             Fault-injection hook: when given, the solve is skipped and
             this exception is raised in its place, exercising exactly
             the degradation path a genuine solver-stack failure takes.
+        degradation:
+            Per-call override of the instance's degradation policy
+            (``None`` forces raise-on-failure). The instance itself is
+            never mutated — run-scoped policies (the engine's
+            ``degradation=`` argument) ride through here instead of
+            leaking into a caller-supplied capper.
         """
         if premium_rps < 0 or ordinary_rps < 0:
             raise ValueError("offered rates must be >= 0")
@@ -111,11 +122,13 @@ class BillCapper:
         tel = get_telemetry()
         if not tel.enabled:
             return self._guarded(
-                site_hours, premium_rps, ordinary_rps, budget, forced_failure
+                site_hours, premium_rps, ordinary_rps, budget, forced_failure,
+                degradation,
             )
         with tel.span("capper.decide") as sp:
             decision = self._guarded(
-                site_hours, premium_rps, ordinary_rps, budget, forced_failure
+                site_hours, premium_rps, ordinary_rps, budget, forced_failure,
+                degradation,
             )
             sp.set(step=decision.step.value, predicted_cost=decision.predicted_cost)
         tel.counter(f"capper.step.{decision.step.value}").inc()
@@ -129,14 +142,16 @@ class BillCapper:
         ordinary_rps: float,
         budget: float,
         forced_failure: Exception | None,
+        degradation: "DegradationPolicy | None | object" = _UNSET,
     ) -> HourlyDecision:
         """Run the two-step solve, degrading instead of crashing the hour."""
+        policy = self.degradation if degradation is _UNSET else degradation
         try:
             if forced_failure is not None:
                 raise forced_failure
             decision = self._decide(site_hours, premium_rps, ordinary_rps, budget)
         except SolverError as exc:
-            if self.degradation is None:
+            if policy is None:
                 raise
             # Imported here: resilience depends on core's result types,
             # so a module-level import would be circular.
@@ -147,7 +162,7 @@ class BillCapper:
                 tel.counter("capper.degraded").inc()
                 tel.counter(f"capper.degraded.{type(exc).__name__}").inc()
             return degraded_decision(
-                self.degradation,
+                policy,
                 site_hours,
                 premium_rps,
                 ordinary_rps,

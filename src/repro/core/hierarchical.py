@@ -44,7 +44,36 @@ from .allocation import Allocation, CappingStep, HourlyDecision
 from .cost_min import CostMinimizer
 from .site import SiteHour
 
-__all__ = ["Region", "RegionalBid", "HierarchicalDispatcher", "HierarchicalBillCapper"]
+__all__ = [
+    "Region",
+    "RegionalBid",
+    "HierarchicalDispatcher",
+    "HierarchicalBillCapper",
+    "regions_of",
+]
+
+
+def regions_of(
+    site_hours: list[SiteHour], per_region: int = 3, prefix: str = "region"
+) -> list[Region]:
+    """Group site snapshots into fixed contiguous regions.
+
+    The paper's hierarchy assumes a static site→region assignment (a
+    regional dispatcher owns its sites); contiguous chunks of
+    ``per_region`` in site order reproduce that without any
+    configuration. The trailing region keeps the remainder.
+    """
+    if per_region < 1:
+        raise ValueError("per_region must be >= 1")
+    if not site_hours:
+        raise ValueError("at least one site required")
+    return [
+        Region(
+            name=f"{prefix}{i // per_region}",
+            sites=tuple(site_hours[i : i + per_region]),
+        )
+        for i in range(0, len(site_hours), per_region)
+    ]
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,12 @@ Typical chaos run::
     assert all(len(h.sites) > 0 for h in result.hours)  # every hour dispatched
 """
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    atomic_write_json,
+    load_checkpoint,
+    read_json,
+    save_checkpoint,
+)
 from .degradation import DegradationPolicy, degraded_decision
 from .faults import FAULT_KINDS, FaultInjector, FaultSpec, HourFaults
 
@@ -36,6 +41,8 @@ __all__ = [
     "FAULT_KINDS",
     "DegradationPolicy",
     "degraded_decision",
+    "atomic_write_json",
+    "read_json",
     "save_checkpoint",
     "load_checkpoint",
 ]

@@ -15,19 +15,52 @@ from pathlib import Path
 
 from ..core.budgeter import Budgeter
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "atomic_write_json",
+    "read_json",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+
+def atomic_write_json(payload: dict, path) -> Path:
+    """Write ``payload`` as JSON to ``path`` with write-then-rename.
+
+    A crash mid-write never leaves a truncated file: the previous
+    checkpoint stays intact until the new one is whole. The engine
+    calls this once per settled hour, so non-finite floats (``inf``
+    budgets) must survive — Python's JSON dialect round-trips them.
+    """
+    path = Path(path)
+    text = json.dumps(payload, sort_keys=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text + "\n")
+    tmp.replace(path)
+    return path
+
+
+def read_json(path) -> dict:
+    """Read a JSON object written by :func:`atomic_write_json`.
+
+    Raises :class:`ValueError` (never a bare decode error) when the
+    file is not a JSON object, so callers surface a checkpoint-shaped
+    message instead of a parser traceback.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not a JSON checkpoint (line {exc.lineno}: {exc.msg})"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not a JSON checkpoint (not an object)")
+    return payload
 
 
 def save_checkpoint(budgeter: Budgeter, path) -> Path:
     """Write the budgeter's checkpoint to ``path`` (atomic replace)."""
-    path = Path(path)
-    payload = json.dumps(budgeter.checkpoint(), sort_keys=True)
-    # Write-then-rename so a crash mid-write never leaves a truncated
-    # checkpoint: the previous one stays intact until the new is whole.
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(payload + "\n")
-    tmp.replace(path)
-    return path
+    return atomic_write_json(budgeter.checkpoint(), path)
 
 
 def load_checkpoint(path) -> Budgeter:

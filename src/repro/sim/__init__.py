@@ -1,4 +1,11 @@
-"""Simulation of dispatch strategies over workload months."""
+"""Simulation of dispatch strategies over workload months.
+
+The hourly control loop lives in :class:`~repro.sim.engine.Engine`;
+strategies resolve by name through :mod:`repro.sim.registry`
+(:func:`register_strategy` / :func:`get_strategy` /
+:func:`available_strategies`). :class:`Simulator` remains the
+compatibility facade over the engine.
+"""
 
 from .analysis import (
     BudgetAdherence,
@@ -9,14 +16,27 @@ from .analysis import (
     savings,
     site_breakdown,
 )
+from .engine import DispatchStrategy, Engine, HourContext
 from .montecarlo import SeedStudy, run_study, savings_study
-from .parallel import STRATEGIES, compare_strategies, run_one_strategy
+from .parallel import (
+    STRATEGIES,
+    compare_strategies,
+    resolve_monthly_budget,
+    run_one_strategy,
+)
 from .records import HourRecord, SimulationResult, SiteRecord
+from .registry import available_strategies, get_strategy, register_strategy
 from .simulator import Simulator
 from .sweep import derive_seed, run_sweep, sweep_grid
 
 __all__ = [
     "Simulator",
+    "Engine",
+    "DispatchStrategy",
+    "HourContext",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     "SimulationResult",
     "HourRecord",
     "SiteRecord",
@@ -32,6 +52,7 @@ __all__ = [
     "savings_study",
     "STRATEGIES",
     "compare_strategies",
+    "resolve_monthly_budget",
     "run_one_strategy",
     "sweep_grid",
     "run_sweep",

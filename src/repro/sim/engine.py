@@ -1,0 +1,861 @@
+"""The strategy engine: one hourly control loop for every dispatcher.
+
+The paper evaluates a single control loop (budget -> dispatch -> local
+optimization -> billing, Sections IV-VI) under many dispatch policies.
+This module is that loop, once. Every simulated hour flows through the
+same five-stage pipeline::
+
+    observe -> budget -> dispatch -> realize -> settle
+
+* **observe** — build the hour's offered load and the market snapshots
+  the *dispatcher* sees (possibly degraded by injected sensing faults);
+* **budget** — ask the budgeter for the hour's budget (skipped for
+  price-taker strategies that never consume one);
+* **dispatch** — run the strategy's :meth:`DispatchStrategy.decide`;
+  solver-stack failures degrade via the effective
+  :class:`~repro.resilience.DegradationPolicy` instead of crashing;
+* **realize** — evaluate the decision against the exact stepped power
+  models and true locational prices (ground truth billing);
+* **settle** — feed the realized bill back to the budgeter and persist
+  the hour's checkpoint when one was requested.
+
+Telemetry spans and resilience fault injection are *stage middleware*
+(:class:`TelemetryMiddleware` / :class:`FaultMiddleware`) wrapped
+around the pipeline rather than branches inside it, so every registered
+strategy — not just Cost Capping — gets tracing, fault tolerance and
+graceful degradation for free.
+
+Strategies implement the :class:`DispatchStrategy` protocol
+(``prepare(world)`` once per run, ``decide(HourContext)`` once per
+hour) and are looked up by name through :mod:`repro.sim.registry`.
+
+Checkpoint/resume: ``Engine.run(..., checkpoint_path=)`` atomically
+persists ``(next hour, partial result, budgeter state, fault spec,
+degradation policy, strategy state)`` after every settled hour, and
+:meth:`Engine.resume` continues a killed run bit-identically to an
+uninterrupted one (pinned by ``tests/sim/test_resume.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core import Budgeter, CappingStep, HourlyDecision, Site, SiteHour
+from ..datacenter import (
+    LocalDecision,
+    LocalOptimizer,
+    SiteBank,
+    required_servers,
+    response_time,
+    supports_batching,
+)
+from ..powermarket import CurveBank
+from ..resilience import (
+    DegradationPolicy,
+    FaultInjector,
+    FaultSpec,
+    HourFaults,
+    atomic_write_json,
+    degraded_decision,
+    read_json,
+)
+from ..solver import SolverError
+from ..telemetry import Telemetry, get_telemetry, use_telemetry
+from ..workload import CustomerMix, Trace
+from .records import HourRecord, SimulationResult, SiteRecord
+
+__all__ = [
+    "DispatchStrategy",
+    "HourContext",
+    "StageMiddleware",
+    "TelemetryMiddleware",
+    "FaultMiddleware",
+    "Engine",
+    "STAGES",
+    "CHECKPOINT_VERSION",
+]
+
+#: The per-hour pipeline, in execution order. Strategies that never
+#: consume a budget (``wants_budget = False``) skip the ``budget``
+#: stage entirely — and with it the ``budget`` telemetry span.
+STAGES = ("observe", "budget", "dispatch", "realize", "settle")
+
+#: Engine checkpoint schema version; bump when the payload changes.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class HourContext:
+    """Everything one pipeline pass knows about its invocation period.
+
+    Built fresh by the engine every hour; stages fill it in as they
+    run. Strategies read ``site_hours`` (the *observed*, possibly
+    fault-degraded snapshots), the per-class offered load, ``budget``
+    and ``forced_failure``; they never see the engine's run state.
+    """
+
+    hour: int
+    strategy: "DispatchStrategy"
+    run_name: str
+    #: Raw degradation request for this run (``None`` = policy-resolved).
+    degradation: DegradationPolicy | None = None
+    #: Whether a fault injector is wired into this run.
+    faults_active: bool = False
+    total_rps: float = 0.0
+    demand_premium_rps: float = 0.0
+    demand_ordinary_rps: float = 0.0
+    budget: float = float("inf")
+    site_hours: list[SiteHour] = field(default_factory=list)
+    faults: HourFaults | None = None
+    forced_failure: Exception | None = None
+    decision: HourlyDecision | None = None
+    record: HourRecord | None = None
+    #: The hour's telemetry span (a no-op span when telemetry is off).
+    span: Any = None
+
+    @property
+    def effective_degradation(self) -> DegradationPolicy | None:
+        """The engine-level degradation policy for this hour.
+
+        The explicit request wins; otherwise fault-injected runs default
+        to :attr:`~repro.resilience.DegradationPolicy.PROPORTIONAL`
+        (matching the legacy ``Simulator.run_capping`` behaviour), and
+        clean runs keep the raise-on-failure contract.
+        """
+        if self.degradation is not None:
+            return self.degradation
+        return DegradationPolicy.PROPORTIONAL if self.faults_active else None
+
+
+@runtime_checkable
+class DispatchStrategy(Protocol):
+    """The pluggable per-hour dispatcher the engine drives.
+
+    Implementations are registered in :mod:`repro.sim.registry` and
+    must expose:
+
+    * ``name`` — the registry key (e.g. ``"capping"``);
+    * ``wants_budget`` — whether the budget stage runs (price takers
+      such as Min-Only never consume one);
+    * :meth:`prepare` — called once per run with the engine (the
+      "world": ``sites``, ``workload``, ``mix``) before the first hour;
+    * :meth:`decide` — called once per hour with the
+      :class:`HourContext`; must return an
+      :class:`~repro.core.HourlyDecision`. Raising
+      :class:`~repro.solver.SolverError` (including re-raising
+      ``ctx.forced_failure``) hands the hour to the engine's
+      degradation path.
+
+    Optional hooks: ``result_name`` (display name for the
+    :class:`~repro.sim.records.SimulationResult`), ``state_dict()`` /
+    ``load_state(state)`` (JSON-serializable strategy state persisted
+    into engine checkpoints, e.g. the capper's hold-last decision).
+    """
+
+    name: str
+    wants_budget: bool
+
+    def prepare(self, world: "Engine") -> None: ...
+
+    def decide(self, ctx: HourContext) -> HourlyDecision: ...
+
+
+@dataclass
+class _RunState:
+    """Mutable engine-owned state threaded through one run."""
+
+    budgeter: Budgeter | None = None
+    #: Budgeter snapshot backing the ``budget_loss`` fault channel.
+    restore_ckpt: dict | None = None
+    #: Last successfully solved decision (feeds HOLD_LAST degradation
+    #: for strategies without their own degradation handling).
+    last_good: HourlyDecision | None = None
+
+
+class StageMiddleware:
+    """Hooks wrapped around each simulated hour and each stage.
+
+    Middleware composes outside-in in list order: the first middleware's
+    :meth:`hour` context opens first and closes last. Subclasses
+    override either hook; the defaults are transparent.
+    """
+
+    @contextlib.contextmanager
+    def hour(self, ctx: HourContext, state: _RunState) -> Iterator[None]:
+        yield
+
+    @contextlib.contextmanager
+    def stage(
+        self, name: str, ctx: HourContext, state: _RunState
+    ) -> Iterator[None]:
+        yield
+
+
+class TelemetryMiddleware(StageMiddleware):
+    """Per-hour ``hour`` spans with ``budget``/``dispatch`` children.
+
+    The ``realize`` stage emits its own ``local_optimization`` and
+    ``billing`` spans (they bracket the two halves of
+    :meth:`Engine._realize`), so only the solver-adjacent stages are
+    spanned here. The hour span records the strategy, the injected
+    faults (set by :class:`FaultMiddleware`), and on exit the decided
+    step and realized cost.
+    """
+
+    SPANNED = ("budget", "dispatch")
+
+    @contextlib.contextmanager
+    def hour(self, ctx: HourContext, state: _RunState) -> Iterator[None]:
+        tel = get_telemetry()
+        with tel.span("hour", hour=ctx.hour, strategy=ctx.run_name) as span:
+            ctx.span = span
+            yield
+            span.set(
+                step=ctx.decision.step.value,
+                realized_cost=ctx.record.realized_cost,
+            )
+
+    @contextlib.contextmanager
+    def stage(
+        self, name: str, ctx: HourContext, state: _RunState
+    ) -> Iterator[None]:
+        if name in self.SPANNED:
+            with get_telemetry().span(name):
+                yield
+        else:
+            yield
+
+
+class FaultMiddleware(StageMiddleware):
+    """Applies the injector's per-hour faults ahead of the pipeline.
+
+    At hour start it draws the hour's :class:`HourFaults`, records the
+    injection counters and span attribute, restores a budgeter lost to
+    the ``budget_loss`` channel from the engine's rolling checkpoint,
+    and arms ``ctx.forced_failure`` so the dispatch stage dies exactly
+    as a genuine solver-stack failure would.
+    """
+
+    def __init__(self, injector: FaultInjector):
+        self.injector = injector
+
+    @contextlib.contextmanager
+    def hour(self, ctx: HourContext, state: _RunState) -> Iterator[None]:
+        tel = get_telemetry()
+        hf = self.injector.faults_for(ctx.hour)
+        ctx.faults = hf
+        if hf.any:
+            for kind in hf.kinds:
+                tel.counter(f"resilience.injected.{kind}").inc()
+            ctx.span.set(faults=",".join(hf.kinds))
+        if hf.budget_loss and state.budgeter is not None:
+            state.budgeter = Budgeter.restore(state.restore_ckpt)
+            tel.counter("resilience.budgeter_restarts").inc()
+        ctx.forced_failure = hf.solver_exception()
+        yield
+
+
+class Engine:
+    """Drives any registered dispatch strategy over a workload month.
+
+    Parameters mirror :class:`~repro.sim.simulator.Simulator` (which is
+    now a thin compatibility wrapper around this class): the site
+    network, the offered-load trace, the customer mix, an optional
+    :class:`~repro.telemetry.Telemetry` bundle, and the ``batched``
+    toggle for the vectorized realize path.
+    """
+
+    def __init__(
+        self,
+        sites: list[Site],
+        workload: Trace,
+        mix: CustomerMix,
+        telemetry: Telemetry | None = None,
+        batched: bool = True,
+    ):
+        if not sites:
+            raise ValueError("at least one site required")
+        horizon = min(len(s.background_mw) for s in sites)
+        if workload.hours > horizon:
+            raise ValueError(
+                f"workload ({workload.hours} h) exceeds background "
+                f"demand traces ({horizon} h)"
+            )
+        self.sites = sites
+        self.workload = workload
+        self.mix = mix
+        self.telemetry = telemetry
+        self.batched = batched
+        self._local = {s.name: LocalOptimizer(s.datacenter) for s in sites}
+        # Hour-keyed memos shared by every strategy run on this instance:
+        # SiteHour snapshots are immutable and weather-hour optimizers
+        # are deterministic, so building either once per (site, hour) is
+        # enough however many strategies replay the same month.
+        self._hours_memo: dict[int, list[SiteHour]] = {}
+        self._local_at_memo: dict[tuple[str, int], LocalOptimizer] = {}
+        self._bank: SiteBank | None = None
+        self._curves: CurveBank | None = None
+        if batched and all(supports_batching(s.datacenter) for s in sites):
+            self._bank = SiteBank.from_sites(sites)
+            self._curves = CurveBank.from_policies([s.policy for s in sites])
+
+    # -- running -----------------------------------------------------------------
+
+    def run(
+        self,
+        strategy: "DispatchStrategy | str",
+        *,
+        budgeter: Budgeter | None = None,
+        hours: int | None = None,
+        name: str | None = None,
+        faults: FaultInjector | None = None,
+        degradation: DegradationPolicy | None = None,
+        checkpoint_path=None,
+        checkpoint_meta: dict | None = None,
+    ) -> SimulationResult:
+        """Run ``strategy`` through the stage pipeline for ``hours``.
+
+        ``strategy`` is a :class:`DispatchStrategy` instance or a
+        registry name (resolved through
+        :func:`repro.sim.registry.get_strategy`). ``budgeter`` is only
+        legal for strategies that consume one (``wants_budget``);
+        ``None`` budgets every hour at infinity. ``faults`` injects the
+        deterministic per-hour fault schedule into *any* strategy —
+        solver failures degrade via ``degradation`` (default
+        :attr:`~repro.resilience.DegradationPolicy.PROPORTIONAL` when
+        faults are wired) instead of raising, and ``faults=None`` stays
+        bit-identical to a plain run.
+
+        ``checkpoint_path`` persists the full run state after every
+        settled hour with an atomic write-then-rename;
+        ``checkpoint_meta`` is carried verbatim in the payload (the CLI
+        stores its world parameters there so ``repro resume`` can
+        rebuild the engine).
+        """
+        strategy = self._resolve(strategy)
+        horizon = self._horizon(hours)
+        if budgeter is not None and not strategy.wants_budget:
+            raise ValueError(
+                f"strategy {strategy.name!r} does not consume a budget; "
+                "run it without a budgeter"
+            )
+        self._check_budgeter(budgeter, horizon, needed=horizon)
+        strategy.prepare(self)
+        result = SimulationResult(name or self._result_name(strategy))
+        state = _RunState(budgeter=budgeter)
+        return self._drive(
+            strategy,
+            result,
+            state,
+            start=0,
+            horizon=horizon,
+            faults=faults,
+            degradation=degradation,
+            checkpoint_path=checkpoint_path,
+            checkpoint_meta=checkpoint_meta,
+        )
+
+    def resume(
+        self,
+        checkpoint_path,
+        *,
+        strategy: "DispatchStrategy | str | None" = None,
+        hours: int | None = None,
+    ) -> SimulationResult:
+        """Continue a checkpointed run from its last settled hour.
+
+        Rebuilds the budgeter, fault schedule, degradation policy,
+        partial result and strategy state from the checkpoint, then
+        drives the remaining hours through the identical pipeline — the
+        concatenated result is field-for-field identical to a run that
+        was never interrupted. ``strategy`` overrides the registry
+        default when the original run used a custom-configured
+        instance; ``hours`` extends (or shortens) the stored horizon.
+        The resumed run keeps checkpointing to the same path.
+        """
+        payload = self.load_checkpoint(checkpoint_path)
+        strategy = self._resolve(strategy or payload["strategy"])
+        strategy.prepare(self)
+        if payload.get("strategy_state") and hasattr(strategy, "load_state"):
+            strategy.load_state(payload["strategy_state"])
+        horizon = self._horizon(
+            payload["horizon"] if hours is None else hours
+        )
+        start = int(payload["next_hour"])
+        if start > horizon:
+            raise ValueError(
+                f"checkpoint already covers {start} hours; a resume "
+                f"horizon of {horizon} h has nothing left to run"
+            )
+        records = [HourRecord.from_dict(d) for d in payload["records"]]
+        if len(records) != start:
+            raise ValueError(
+                f"corrupt checkpoint: {len(records)} records for "
+                f"next_hour={start}"
+            )
+        budgeter = (
+            Budgeter.restore(payload["budgeter"])
+            if payload.get("budgeter") is not None
+            else None
+        )
+        self._check_budgeter(budgeter, horizon, needed=horizon - start)
+        faults = (
+            FaultInjector(FaultSpec(**payload["fault_spec"]))
+            if payload.get("fault_spec") is not None
+            else None
+        )
+        degradation = (
+            DegradationPolicy(payload["degradation"])
+            if payload.get("degradation") is not None
+            else None
+        )
+        last_good = (
+            HourlyDecision.from_dict(payload["last_good"])
+            if payload.get("last_good") is not None
+            else None
+        )
+        result = SimulationResult(payload["result_name"], records)
+        state = _RunState(budgeter=budgeter, last_good=last_good)
+        return self._drive(
+            strategy,
+            result,
+            state,
+            start=start,
+            horizon=horizon,
+            faults=faults,
+            degradation=degradation,
+            checkpoint_path=checkpoint_path,
+            checkpoint_meta=payload.get("meta") or None,
+        )
+
+    def _drive(
+        self,
+        strategy: "DispatchStrategy",
+        result: SimulationResult,
+        state: _RunState,
+        *,
+        start: int,
+        horizon: int,
+        faults: FaultInjector | None,
+        degradation: DegradationPolicy | None,
+        checkpoint_path,
+        checkpoint_meta: dict | None,
+    ) -> SimulationResult:
+        """The hour loop: stages through middleware, records appended."""
+        stages = STAGES if strategy.wants_budget else tuple(
+            s for s in STAGES if s != "budget"
+        )
+        middlewares: list[StageMiddleware] = [TelemetryMiddleware()]
+        if faults is not None:
+            middlewares.append(FaultMiddleware(faults))
+        with use_telemetry(self.telemetry or get_telemetry()):
+            # Rolling budgeter snapshot backing the budget_loss fault: a
+            # lost budgeter is restored from here, exactly as a restarted
+            # controller would resume from its last persisted state.
+            if state.budgeter is not None and faults is not None:
+                state.restore_ckpt = state.budgeter.checkpoint()
+            for t in range(start, horizon):
+                ctx = HourContext(
+                    hour=t,
+                    strategy=strategy,
+                    run_name=result.name,
+                    degradation=degradation,
+                    faults_active=faults is not None,
+                )
+                with contextlib.ExitStack() as hour_stack:
+                    for mw in middlewares:
+                        hour_stack.enter_context(mw.hour(ctx, state))
+                    for stage in stages:
+                        with contextlib.ExitStack() as stage_stack:
+                            for mw in middlewares:
+                                stage_stack.enter_context(
+                                    mw.stage(stage, ctx, state)
+                                )
+                            getattr(self, f"_stage_{stage}")(ctx, state)
+                result.append(ctx.record)
+                if checkpoint_path is not None:
+                    self._save_checkpoint(
+                        checkpoint_path,
+                        strategy,
+                        result,
+                        state,
+                        horizon=horizon,
+                        next_hour=t + 1,
+                        faults=faults,
+                        degradation=degradation,
+                        meta=checkpoint_meta,
+                    )
+        return result
+
+    # -- pipeline stages -----------------------------------------------------------
+
+    def _stage_observe(self, ctx: HourContext, state: _RunState) -> None:
+        """Offered load plus the snapshots the dispatcher gets to see."""
+        t = ctx.hour
+        total = float(self.workload.rates_rps[t])
+        ctx.total_rps = total
+        ctx.demand_premium_rps = self.mix.premium_rate(total)
+        ctx.demand_ordinary_rps = self.mix.ordinary_rate(total)
+        ctx.site_hours = self._observed_site_hours(t, ctx.faults)
+
+    def _stage_budget(self, ctx: HourContext, state: _RunState) -> None:
+        """The budgeter's hourly budget (infinite when uncapped)."""
+        ctx.budget = (
+            state.budgeter.hourly_budget()
+            if state.budgeter is not None
+            else float("inf")
+        )
+
+    def _stage_dispatch(self, ctx: HourContext, state: _RunState) -> None:
+        """Run the strategy; degrade instead of crashing the hour.
+
+        Strategies with their own degradation handling (the
+        :class:`~repro.core.BillCapper`) never raise here; for the
+        rest, a :class:`~repro.solver.SolverError` — genuine or
+        fault-injected — falls back to the effective degradation
+        policy with the engine's last good decision as HOLD_LAST
+        history.
+        """
+        tel = get_telemetry()
+        try:
+            decision = ctx.strategy.decide(ctx)
+        except SolverError:
+            policy = ctx.effective_degradation
+            if policy is None:
+                raise
+            tel.counter("engine.degraded").inc()
+            decision = degraded_decision(
+                policy,
+                ctx.site_hours,
+                ctx.demand_premium_rps,
+                ctx.demand_ordinary_rps,
+                ctx.budget,
+                last=state.last_good,
+            )
+        ctx.decision = decision
+        if decision.step is CappingStep.DEGRADED:
+            tel.counter("resilience.degraded_hours").inc()
+        else:
+            state.last_good = decision
+
+    def _stage_realize(self, ctx: HourContext, state: _RunState) -> None:
+        """Ground-truth billing of the decision (exact stepped models)."""
+        ctx.record = self._realize(ctx.hour, ctx.decision)
+
+    def _stage_settle(self, ctx: HourContext, state: _RunState) -> None:
+        """Feed the realized bill back into the budgeter's state."""
+        if state.budgeter is not None:
+            state.budgeter.record_spend(ctx.record.realized_cost)
+            if state.restore_ckpt is not None:
+                state.restore_ckpt = state.budgeter.checkpoint()
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def _save_checkpoint(
+        self,
+        path,
+        strategy: "DispatchStrategy",
+        result: SimulationResult,
+        state: _RunState,
+        *,
+        horizon: int,
+        next_hour: int,
+        faults: FaultInjector | None,
+        degradation: DegradationPolicy | None,
+        meta: dict | None,
+    ) -> None:
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "engine-run",
+            "strategy": strategy.name,
+            "result_name": result.name,
+            "horizon": horizon,
+            "next_hour": next_hour,
+            "records": [h.to_dict() for h in result.hours],
+            "budgeter": (
+                state.budgeter.checkpoint()
+                if state.budgeter is not None
+                else None
+            ),
+            "fault_spec": (
+                dataclasses.asdict(faults.spec) if faults is not None else None
+            ),
+            "degradation": (
+                degradation.value if degradation is not None else None
+            ),
+            "last_good": (
+                state.last_good.to_dict()
+                if state.last_good is not None
+                else None
+            ),
+            "strategy_state": (
+                strategy.state_dict()
+                if hasattr(strategy, "state_dict")
+                else None
+            ),
+            "meta": meta or {},
+        }
+        atomic_write_json(payload, path)
+
+    @staticmethod
+    def load_checkpoint(path) -> dict:
+        """Read and validate an engine checkpoint written by :meth:`run`."""
+        payload = read_json(path)
+        if payload.get("kind") != "engine-run":
+            raise ValueError(f"{path} is not an engine run checkpoint")
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported engine checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        for key in ("strategy", "result_name", "horizon", "next_hour", "records"):
+            if key not in payload:
+                raise ValueError(f"engine checkpoint missing {key!r}")
+        return payload
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _resolve(strategy: "DispatchStrategy | str") -> "DispatchStrategy":
+        if isinstance(strategy, str):
+            from .registry import get_strategy
+
+            return get_strategy(strategy)
+        return strategy
+
+    @staticmethod
+    def _result_name(strategy: "DispatchStrategy") -> str:
+        return getattr(strategy, "result_name", strategy.name)
+
+    @staticmethod
+    def _check_budgeter(
+        budgeter: Budgeter | None, horizon: int, *, needed: int
+    ) -> None:
+        if budgeter is None:
+            return
+        remaining = budgeter.month_hours - budgeter.current_hour
+        if needed > remaining:
+            raise ValueError(
+                f"horizon of {horizon} h exceeds the budgeter's remaining "
+                f"{remaining} budgeted hours (month_hours="
+                f"{budgeter.month_hours}, {budgeter.current_hour} already "
+                f"recorded); pass fewer hours or a longer budgeting period"
+            )
+
+    @staticmethod
+    def _response_time(site: Site, local) -> float:
+        """Realized mean response time from the exact G/G/m model.
+
+        Heterogeneous sites track a blended figure via their slowest
+        pool; for simplicity the aggregate model is evaluated with the
+        site's nominal service rate when available.
+        """
+        dc = site.datacenter
+        n = local.provisioning.n_servers
+        if n == 0 or local.served_rps <= 0:
+            return 0.0
+        servers = getattr(dc, "servers", None)
+        if servers is not None:  # homogeneous site
+            return response_time(local.served_rps, n, servers.service_rate, dc.queue)
+        # Heterogeneous: slowest pool under the greedy split.
+        worst = 0.0
+        for pool, rate in dc.split_load(local.served_rps):
+            if rate <= 0:
+                continue
+            n_pool = min(
+                pool.count,
+                max(
+                    int(required_servers(rate, pool.spec.service_rate,
+                                         dc.target_response_s, dc.queue)),
+                    math.ceil(rate / (dc.utilization_cap * pool.spec.service_rate)),
+                    1,
+                ),
+            )
+            worst = max(
+                worst, response_time(rate, n_pool, pool.spec.service_rate, dc.queue)
+            )
+        return worst
+
+    def _site_hours(self, t: int) -> list[SiteHour]:
+        """Per-hour market snapshots, built once per hour per instance."""
+        hours = self._hours_memo.get(t)
+        if hours is None:
+            hours = self._hours_memo[t] = [s.hour(t) for s in self.sites]
+        return hours
+
+    def _observed_site_hours(
+        self, t: int, hf: HourFaults | None
+    ) -> list[SiteHour]:
+        """The snapshots the *dispatcher* sees at hour ``t``.
+
+        Normally the truth; under an injected sensing fault the view is
+        degraded — a stale price feed serves the whole previous-hour
+        snapshot, a sensor dropout serves the previous hour's background
+        demand under current prices. Hour 0 has no previous snapshot to
+        go stale, so faults there are no-ops. Realized billing always
+        uses the true hour regardless (see :meth:`_realize`).
+        """
+        current = self._site_hours(t)
+        if hf is None or t == 0:
+            return current
+        if hf.stale_prices:
+            return self._site_hours(t - 1)
+        if hf.sensor_dropout:
+            previous = self._site_hours(t - 1)
+            return [
+                dataclasses.replace(sh, background_mw=prev.background_mw)
+                for sh, prev in zip(current, previous)
+            ]
+        return current
+
+    def _local_at(self, site: Site, t: int) -> LocalOptimizer:
+        """Weather-hour local optimizer, built once per (site, hour)."""
+        key = (site.name, t)
+        local = self._local_at_memo.get(key)
+        if local is None:
+            local = self._local_at_memo[key] = LocalOptimizer(site.datacenter_at(t))
+        return local
+
+    def _horizon(self, hours: int | None) -> int:
+        if hours is None:
+            return self.workload.hours
+        if not 0 < hours <= self.workload.hours:
+            raise ValueError(f"hours must be in 1..{self.workload.hours}")
+        return hours
+
+    def _provision_scalar(self, t: int, decision: HourlyDecision):
+        """Reference path: one local-optimizer call per site."""
+        provisioned = []
+        for site in self.sites:
+            dispatched = decision.rate_for(site.name)
+            if site.coe_trace is None:
+                local = self._local[site.name].decide(dispatched)
+            else:
+                # Weather-varying cooling: the optimizer around this
+                # hour's efficiency (memoized across strategy runs).
+                local = self._local_at(site, t).decide(dispatched)
+            provisioned.append((site, dispatched, local))
+        return provisioned
+
+    def _coe_at(self, t: int) -> np.ndarray | None:
+        """Per-site cooling efficiencies for hour ``t`` (None = constants)."""
+        if all(s.coe_trace is None for s in self.sites):
+            return None
+        return np.array(
+            [
+                float(s.coe_trace[t]) if s.coe_trace is not None
+                else s.datacenter.cooling.coe
+                for s in self.sites
+            ]
+        )
+
+    def _provision_batched(self, t: int, decision: HourlyDecision):
+        """Vectorized path: one :class:`SiteBank` call for all sites.
+
+        Produces the same ``(site, dispatched, LocalDecision)`` triples
+        as :meth:`_provision_scalar` — the bank's arithmetic is
+        bit-identical to the scalar models, and sites whose dispatch
+        overshoots their physical or contractual limits (the rare
+        model-mismatch case) are handed to the scalar local optimizer,
+        whose shedding search is the reference behavior.
+        """
+        bank = self._bank
+        rates = np.array([decision.rate_for(s.name) for s in self.sites])
+        n, util, server_w, network_w, cooling_w = bank.provision_arrays(
+            rates, coe=self._coe_at(t), validate=False
+        )
+        provisioned = []
+        for i, site in enumerate(self.sites):
+            dispatched = float(rates[i])
+            over_fleet = n[i] > bank.max_servers[i]
+            if not over_fleet:
+                prov = bank.provisioning(i, n, util, server_w, network_w,
+                                         cooling_w)
+                if prov.total_power_mw <= bank.power_cap_mw[i] + 1e-12:
+                    provisioned.append((
+                        site,
+                        dispatched,
+                        LocalDecision(served_rps=dispatched, shed_rps=0.0,
+                                      provisioning=prov),
+                    ))
+                    continue
+            local = (
+                self._local[site.name] if site.coe_trace is None
+                else self._local_at(site, t)
+            ).decide(dispatched)
+            provisioned.append((site, dispatched, local))
+        return provisioned
+
+    def _realize(self, t: int, decision: HourlyDecision) -> HourRecord:
+        """Evaluate a dispatch decision against the exact physical models."""
+        tel = get_telemetry()
+        with tel.span("local_optimization"):
+            if self._bank is not None:
+                provisioned = self._provision_batched(t, decision)
+            else:
+                provisioned = self._provision_scalar(t, decision)
+        site_records = []
+        realized_cost = 0.0
+        total_shed = 0.0
+        with tel.span("billing"):
+            if self._curves is not None:
+                power = np.array([l.power_mw for _, _, l in provisioned])
+                bg = np.array(
+                    [float(s.background_mw[t]) for s in self.sites]
+                )
+                prices = self._curves.site_price(power, bg)
+                served = np.array([l.served_rps for _, _, l in provisioned])
+                ns = np.array(
+                    [l.provisioning.n_servers for _, _, l in provisioned],
+                    dtype=float,
+                )
+                rts = self._bank.response_time(served, ns)
+                rts = np.where((ns == 0.0) | (served <= 0.0), 0.0, rts)
+            for i, (site, dispatched, local) in enumerate(provisioned):
+                if self._curves is not None:
+                    price = float(prices[i])
+                    rt = float(rts[i])
+                else:
+                    price = site.policy.price(
+                        float(site.background_mw[t]) + local.power_mw
+                    )
+                    rt = self._response_time(site, local)
+                cost = price * local.power_mw
+                realized_cost += cost
+                total_shed += local.shed_rps
+                site_records.append(
+                    SiteRecord(
+                        site=site.name,
+                        dispatched_rps=dispatched,
+                        served_rps=local.served_rps,
+                        power_mw=local.power_mw,
+                        price=price,
+                        cost=cost,
+                        n_servers=local.provisioning.n_servers,
+                        response_time_s=rt,
+                    )
+                )
+        # Shedding from decision/physics mismatch hits ordinary traffic
+        # first: providers protect their revenue source.
+        served_ordinary = max(0.0, decision.served_ordinary_rps - total_shed)
+        leftover_shed = max(0.0, total_shed - decision.served_ordinary_rps)
+        served_premium = max(0.0, decision.served_premium_rps - leftover_shed)
+        return HourRecord(
+            hour=t,
+            step=decision.step,
+            budget=decision.budget,
+            predicted_cost=decision.predicted_cost,
+            realized_cost=realized_cost,
+            demand_premium_rps=decision.demand_premium_rps,
+            demand_ordinary_rps=decision.demand_ordinary_rps,
+            served_premium_rps=served_premium,
+            served_ordinary_rps=served_ordinary,
+            sites=tuple(site_records),
+        )

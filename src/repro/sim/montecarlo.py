@@ -108,17 +108,16 @@ def _savings_metric(
     seed: int, hours: int, policy_id: int, max_servers: int | None
 ) -> float:
     """Capping-vs-Min-Only(Avg) savings for one seed (picklable)."""
-    from ..core import PriceMode
     from ..experiments import paper_world
-    from .simulator import Simulator
+    from .engine import Engine
 
     kwargs = {"seed": seed}
     if max_servers is not None:
         kwargs["max_servers"] = max_servers
     world = paper_world(policy_id, **kwargs)
-    sim = Simulator(world.sites, world.workload, world.mix)
-    capping = sim.run_capping(hours=hours)
-    baseline = sim.run_min_only(PriceMode.AVG, hours=hours)
+    engine = Engine(world.sites, world.workload, world.mix)
+    capping = engine.run("capping", hours=hours)
+    baseline = engine.run("min-only-avg", hours=hours)
     return 1.0 - capping.total_cost / baseline.total_cost
 
 

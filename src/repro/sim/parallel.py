@@ -1,14 +1,20 @@
 """Multi-strategy comparison runs over the scenario-sweep engine.
 
 ``repro compare`` replays the *same* world under several dispatch
-strategies (Cost Capping plus the Min-Only baselines). The strategies
-are independent given the world — no strategy observes another's
-decisions — so, exactly like the seed fan-out in
-:mod:`repro.sim.montecarlo`, they are a one-axis sweep for
-:func:`repro.sim.sweep.run_sweep`. Each worker regenerates the
-(deterministic, seed-keyed) world locally instead of pickling
-simulators across the pool, keeping the task payload to a handful of
-scalars.
+strategies. Strategy names resolve through
+:mod:`repro.sim.registry` — any registered strategy (built-in or user
+code) can join the comparison. The strategies are independent given
+the world — no strategy observes another's decisions — so, exactly
+like the seed fan-out in :mod:`repro.sim.montecarlo`, they are a
+one-axis sweep for :func:`repro.sim.sweep.run_sweep`. Each worker
+regenerates the (deterministic, seed-keyed) world locally instead of
+pickling simulators across the pool, keeping the task payload to a
+handful of scalars.
+
+Budgeted comparisons (``budget_fraction``) need an uncapped anchor
+month to scale the budget from. :func:`compare_strategies` resolves the
+anchor **once** and ships the resolved monthly budget in each task
+payload — pool workers never re-run the anchor.
 
 Telemetry note: counters recorded by the strategies are merged back
 into the ambient bundle at any worker count; spans are per-process,
@@ -19,10 +25,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["STRATEGIES", "compare_strategies", "run_one_strategy"]
+__all__ = [
+    "STRATEGIES",
+    "compare_strategies",
+    "run_one_strategy",
+    "resolve_monthly_budget",
+]
 
-#: Strategy names accepted by :func:`compare_strategies`, in the order
-#: ``repro compare`` reports them.
+#: Default strategy set of ``repro compare``, in the order it reports
+#: them. The registry (:func:`repro.sim.registry.available_strategies`)
+#: accepts more — ``hierarchical`` is excluded here only because its
+#: per-hour cost makes it unsuitable for default-length comparisons.
 STRATEGIES: tuple[str, ...] = (
     "capping",
     "min-only-avg",
@@ -31,36 +44,59 @@ STRATEGIES: tuple[str, ...] = (
 )
 
 
+def resolve_monthly_budget(
+    world, budget_fraction: float, hours: int = 168, engine=None
+):
+    """The monthly budget implied by ``budget_fraction``.
+
+    Runs the uncapped Cost Capping anchor over ``hours`` and scales its
+    spend to the world's full horizon — the same anchor every budgeted
+    entry point (CLI, pool tasks, sweeps) used to compute inline.
+    """
+    from .engine import Engine
+
+    if engine is None:
+        engine = Engine(world.sites, world.workload, world.mix)
+    anchor = engine.run("capping", hours=hours)
+    return anchor.total_cost * world.hours / hours * budget_fraction
+
+
 def run_one_strategy(
     strategy: str,
     policy_id: int = 1,
     seed: int = 7,
     hours: int = 168,
     budget_fraction: float | None = None,
+    monthly_budget: float | None = None,
 ):
-    """Run one strategy on a freshly built paper world (picklable task).
+    """Run one registered strategy on a freshly built paper world.
 
     Module-level by design: :class:`~concurrent.futures.
     ProcessPoolExecutor` tasks must be picklable. Returns the
     strategy's :class:`~repro.sim.records.SimulationResult`.
-    """
-    from ..core import PriceMode
-    from ..experiments import paper_world
-    from .simulator import Simulator
 
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    ``monthly_budget`` (when the caller already resolved one — see
+    :func:`resolve_monthly_budget`) takes precedence over
+    ``budget_fraction``, which otherwise triggers a local uncapped
+    anchor run. Budget parameters only apply to strategies that consume
+    a budget; price takers ignore them, as they always have.
+    """
+    from ..experiments import paper_world
+    from .engine import Engine
+    from .registry import get_strategy
+
+    strat = get_strategy(strategy)
     world = paper_world(policy_id, seed=seed)
-    sim = Simulator(world.sites, world.workload, world.mix)
-    if strategy == "capping":
-        budgeter = None
-        if budget_fraction is not None:
-            anchor = sim.run_capping(hours=hours)
-            monthly = anchor.total_cost * world.hours / hours * budget_fraction
-            budgeter = world.budgeter(monthly)
-        return sim.run_capping(budgeter, hours=hours)
-    mode = PriceMode(strategy.removeprefix("min-only-"))
-    return sim.run_min_only(mode, hours=hours)
+    engine = Engine(world.sites, world.workload, world.mix)
+    budgeter = None
+    if strat.wants_budget:
+        if monthly_budget is None and budget_fraction is not None:
+            monthly_budget = resolve_monthly_budget(
+                world, budget_fraction, hours=hours, engine=engine
+            )
+        if monthly_budget is not None:
+            budgeter = world.budgeter(monthly_budget)
+    return engine.run(strat, budgeter=budgeter, hours=hours)
 
 
 def compare_strategies(
@@ -76,18 +112,33 @@ def compare_strategies(
     Returns ``{strategy: SimulationResult}`` in the order given.
     ``workers > 1`` fans the strategies out over a process pool; the
     serial path produces identical results (each worker regenerates the
-    identical seed-keyed world), which the test suite pins.
+    identical seed-keyed world), which the test suite pins. With
+    ``budget_fraction`` set, the uncapped anchor month is run exactly
+    once here and the resolved monthly budget rides in the task
+    payloads.
     """
+    from .registry import available_strategies, get_strategy
     from .sweep import run_sweep, strategy_metric
 
     strategies = tuple(strategies)
     if not strategies:
         raise ValueError("at least one strategy required")
-    unknown = [s for s in strategies if s not in STRATEGIES]
+    known = available_strategies()
+    unknown = [s for s in strategies if s not in known]
     if unknown:
-        raise ValueError(f"unknown strategies {unknown}; expected among {STRATEGIES}")
+        raise ValueError(f"unknown strategies {unknown}; expected among {known}")
     if workers < 1:
         raise ValueError("workers must be >= 1")
+
+    monthly_budget = None
+    if budget_fraction is not None and any(
+        get_strategy(s).wants_budget for s in strategies
+    ):
+        from ..experiments import paper_world
+
+        monthly_budget = resolve_monthly_budget(
+            paper_world(policy_id, seed=seed), budget_fraction, hours=hours
+        )
 
     scenarios = [
         {
@@ -95,7 +146,7 @@ def compare_strategies(
             "policy_id": policy_id,
             "seed": seed,
             "hours": hours,
-            "budget_fraction": budget_fraction,
+            "monthly_budget": monthly_budget,
         }
         for s in strategies
     ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -23,6 +23,13 @@ class SiteRecord:
     cost: float
     n_servers: int
     response_time_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SiteRecord":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,40 @@ class HourRecord:
         """Slowest realized mean response time across active sites."""
         active = [s.response_time_s for s in self.sites if s.served_rps > 0]
         return max(active) if active else 0.0
+
+    # -- serialization (engine checkpoints) ---------------------------------------
+    # JSON float round-trips are exact (repr-based, Infinity included),
+    # so a record restored from a checkpoint is field-for-field
+    # identical — the engine's resume bit-identity rests on this.
+
+    def to_dict(self) -> dict:
+        return {
+            "hour": self.hour,
+            "step": self.step.value,
+            "budget": self.budget,
+            "predicted_cost": self.predicted_cost,
+            "realized_cost": self.realized_cost,
+            "demand_premium_rps": self.demand_premium_rps,
+            "demand_ordinary_rps": self.demand_ordinary_rps,
+            "served_premium_rps": self.served_premium_rps,
+            "served_ordinary_rps": self.served_ordinary_rps,
+            "sites": [s.to_dict() for s in self.sites],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HourRecord":
+        return cls(
+            hour=data["hour"],
+            step=CappingStep(data["step"]),
+            budget=data["budget"],
+            predicted_cost=data["predicted_cost"],
+            realized_cost=data["realized_cost"],
+            demand_premium_rps=data["demand_premium_rps"],
+            demand_ordinary_rps=data["demand_ordinary_rps"],
+            served_premium_rps=data["served_premium_rps"],
+            served_ordinary_rps=data["served_ordinary_rps"],
+            sites=tuple(SiteRecord.from_dict(s) for s in data["sites"]),
+        )
 
 
 @dataclass

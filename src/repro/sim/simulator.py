@@ -1,10 +1,15 @@
 """Hour-by-hour simulation of a month of operation.
 
-Drives any dispatcher (the bill capper or a Min-Only baseline) through a
-workload trace, one invocation period at a time, exactly as Section VI
-describes:
+Compatibility facade: the actual control loop lives in
+:class:`repro.sim.engine.Engine` (one pipeline for every registered
+strategy — see :mod:`repro.sim.registry`). :class:`Simulator` keeps the
+historical entry points — ``run_capping`` / ``run_min_only`` — as thin
+wrappers that build the corresponding strategy and delegate, producing
+bit-identical :class:`~repro.sim.records.SimulationResult`s.
 
-1. the budgeter produces the hour's budget (capping runs only);
+The loop itself is Section VI, one invocation period at a time:
+
+1. the budgeter produces the hour's budget (budget-aware runs only);
 2. the dispatcher allocates the hour's offered load across the sites
    using its *decision* models;
 3. each site's local optimizer provisions servers for its allocation,
@@ -20,35 +25,14 @@ and 9: all strategies are billed by the same ground truth.
 
 from __future__ import annotations
 
-import dataclasses
-import math
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core import (
-    BillCapper,
-    Budgeter,
-    CappingStep,
-    HourlyDecision,
-    MinOnlyDispatcher,
-    PriceMode,
-    Site,
-    SiteHour,
-)
-from ..datacenter import (
-    LocalDecision,
-    LocalOptimizer,
-    SiteBank,
-    required_servers,
-    response_time,
-    supports_batching,
-)
-from ..powermarket import CurveBank
+from ..core import BillCapper, Budgeter, MinOnlyDispatcher, PriceMode, Site
 from ..resilience import DegradationPolicy, FaultInjector
-from ..telemetry import Telemetry, get_telemetry, use_telemetry
+from ..telemetry import Telemetry
 from ..workload import CustomerMix, Trace
-from .records import HourRecord, SimulationResult, SiteRecord
+from .engine import Engine
+from .records import SimulationResult
 
 __all__ = ["Simulator"]
 
@@ -89,26 +73,23 @@ class Simulator:
     batched: bool = True
 
     def __post_init__(self):
-        if not self.sites:
-            raise ValueError("at least one site required")
-        horizon = min(len(s.background_mw) for s in self.sites)
-        if self.workload.hours > horizon:
-            raise ValueError(
-                f"workload ({self.workload.hours} h) exceeds background "
-                f"demand traces ({horizon} h)"
-            )
-        self._local = {s.name: LocalOptimizer(s.datacenter) for s in self.sites}
-        # Hour-keyed memos shared by every strategy run on this instance:
-        # SiteHour snapshots are immutable and weather-hour optimizers
-        # are deterministic, so building either once per (site, hour) is
-        # enough however many strategies replay the same month.
-        self._hours_memo: dict[int, list[SiteHour]] = {}
-        self._local_at_memo: dict[tuple[str, int], LocalOptimizer] = {}
-        self._bank: SiteBank | None = None
-        self._curves: CurveBank | None = None
-        if self.batched and all(supports_batching(s.datacenter) for s in self.sites):
-            self._bank = SiteBank.from_sites(self.sites)
-            self._curves = CurveBank.from_policies([s.policy for s in self.sites])
+        self.engine = Engine(
+            self.sites,
+            self.workload,
+            self.mix,
+            telemetry=self.telemetry,
+            batched=self.batched,
+        )
+
+    # The realize-path internals are engine-owned now; these views keep
+    # the historical introspection surface (and its tests) intact.
+    @property
+    def _bank(self):
+        return self.engine._bank
+
+    @property
+    def _curves(self):
+        return self.engine._curves
 
     # -- strategies ------------------------------------------------------------
 
@@ -137,69 +118,22 @@ class Simulator:
         :attr:`~repro.resilience.DegradationPolicy.PROPORTIONAL`) and
         are recorded as :attr:`~repro.core.CappingStep.DEGRADED` hours.
         With ``faults=None`` the loop is bit-identical to a plain run.
+
+        A caller-supplied ``capper`` is used as-is but never mutated:
+        the run-level ``degradation`` rides through a per-call override
+        on :meth:`~repro.core.BillCapper.decide`.
         """
-        capper = capper or BillCapper()
-        horizon = self._horizon(hours)
-        if budgeter is not None:
-            remaining = budgeter.month_hours - budgeter.current_hour
-            if horizon > remaining:
-                raise ValueError(
-                    f"horizon of {horizon} h exceeds the budgeter's remaining "
-                    f"{remaining} budgeted hours (month_hours="
-                    f"{budgeter.month_hours}, {budgeter.current_hour} already "
-                    f"recorded); pass fewer hours or a longer budgeting period"
-                )
-        if degradation is not None:
-            capper.degradation = degradation
-        elif faults is not None and capper.degradation is None:
-            capper.degradation = DegradationPolicy.PROPORTIONAL
-        result = SimulationResult(name)
-        with use_telemetry(self.telemetry or get_telemetry()) as tel:
-            # Hourly checkpoint backing the budget_loss fault: a lost
-            # budgeter is restored from here, exactly as a restarted
-            # controller would resume from its last persisted state.
-            ckpt = (
-                budgeter.checkpoint()
-                if budgeter is not None and faults is not None
-                else None
-            )
-            for t in range(horizon):
-                hf = faults.faults_for(t) if faults is not None else None
-                with tel.span("hour", hour=t, strategy=name) as hour_span:
-                    if hf is not None and hf.any:
-                        for kind in hf.kinds:
-                            tel.counter(f"resilience.injected.{kind}").inc()
-                        hour_span.set(faults=",".join(hf.kinds))
-                    if hf is not None and hf.budget_loss and budgeter is not None:
-                        budgeter = Budgeter.restore(ckpt)
-                        tel.counter("resilience.budgeter_restarts").inc()
-                    total = float(self.workload.rates_rps[t])
-                    premium = self.mix.premium_rate(total)
-                    ordinary = self.mix.ordinary_rate(total)
-                    with tel.span("budget"):
-                        budget = (
-                            budgeter.hourly_budget() if budgeter else float("inf")
-                        )
-                    site_hours = self._observed_site_hours(t, hf)
-                    forced = hf.solver_exception() if hf is not None else None
-                    with tel.span("dispatch"):
-                        decision = capper.decide(
-                            site_hours, premium, ordinary, budget,
-                            forced_failure=forced,
-                        )
-                    if decision.step is CappingStep.DEGRADED:
-                        tel.counter("resilience.degraded_hours").inc()
-                    record = self._realize(t, decision)
-                    if budgeter:
-                        budgeter.record_spend(record.realized_cost)
-                        if ckpt is not None:
-                            ckpt = budgeter.checkpoint()
-                    hour_span.set(
-                        step=decision.step.value,
-                        realized_cost=record.realized_cost,
-                    )
-                result.append(record)
-        return result
+        from .strategies import CappingStrategy
+
+        strategy = CappingStrategy(capper=capper or BillCapper())
+        return self.engine.run(
+            strategy,
+            budgeter=budgeter,
+            hours=hours,
+            name=name,
+            faults=faults,
+            degradation=degradation,
+        )
 
     def run_min_only(
         self,
@@ -209,246 +143,7 @@ class Simulator:
         hours: int | None = None,
     ) -> SimulationResult:
         """Run a Min-Only baseline (serves everything, price taker)."""
-        if dispatcher is None:
-            from ..core import server_only_affine_slope
+        from .strategies import MinOnlyStrategy
 
-            dispatcher = MinOnlyDispatcher(
-                price_mode=mode,
-                server_slopes={
-                    s.name: server_only_affine_slope(s.datacenter) for s in self.sites
-                },
-            )
-        horizon = self._horizon(hours)
-        name = f"min-only-{mode.value}"
-        result = SimulationResult(name)
-        with use_telemetry(self.telemetry or get_telemetry()) as tel:
-            for t in range(horizon):
-                with tel.span("hour", hour=t, strategy=name):
-                    total = float(self.workload.rates_rps[t])
-                    site_hours = self._site_hours(t)
-                    with tel.span("dispatch"):
-                        decision = dispatcher.solve(site_hours, total)
-                    # Min-Only is class-blind: report demand with the true
-                    # mix so throughput comparisons are apples to apples.
-                    decision = HourlyDecision(
-                        step=CappingStep.BASELINE,
-                        allocations=decision.allocations,
-                        served_premium_rps=self.mix.premium_rate(total),
-                        served_ordinary_rps=self.mix.ordinary_rate(total),
-                        demand_premium_rps=self.mix.premium_rate(total),
-                        demand_ordinary_rps=self.mix.ordinary_rate(total),
-                        predicted_cost=decision.predicted_cost,
-                    )
-                    result.append(self._realize(t, decision))
-        return result
-
-    # -- internals -----------------------------------------------------------------
-
-    @staticmethod
-    def _response_time(site: Site, local) -> float:
-        """Realized mean response time from the exact G/G/m model.
-
-        Heterogeneous sites track a blended figure via their slowest
-        pool; for simplicity the aggregate model is evaluated with the
-        site's nominal service rate when available.
-        """
-        dc = site.datacenter
-        n = local.provisioning.n_servers
-        if n == 0 or local.served_rps <= 0:
-            return 0.0
-        servers = getattr(dc, "servers", None)
-        if servers is not None:  # homogeneous site
-            return response_time(local.served_rps, n, servers.service_rate, dc.queue)
-        # Heterogeneous: slowest pool under the greedy split.
-        worst = 0.0
-        for pool, rate in dc.split_load(local.served_rps):
-            if rate <= 0:
-                continue
-            n_pool = min(
-                pool.count,
-                max(
-                    int(required_servers(rate, pool.spec.service_rate,
-                                         dc.target_response_s, dc.queue)),
-                    math.ceil(rate / (dc.utilization_cap * pool.spec.service_rate)),
-                    1,
-                ),
-            )
-            worst = max(
-                worst, response_time(rate, n_pool, pool.spec.service_rate, dc.queue)
-            )
-        return worst
-
-    def _site_hours(self, t: int) -> list[SiteHour]:
-        """Per-hour market snapshots, built once per hour per instance."""
-        hours = self._hours_memo.get(t)
-        if hours is None:
-            hours = self._hours_memo[t] = [s.hour(t) for s in self.sites]
-        return hours
-
-    def _observed_site_hours(self, t: int, hf) -> list[SiteHour]:
-        """The snapshots the *dispatcher* sees at hour ``t``.
-
-        Normally the truth; under an injected sensing fault the view is
-        degraded — a stale price feed serves the whole previous-hour
-        snapshot, a sensor dropout serves the previous hour's background
-        demand under current prices. Hour 0 has no previous snapshot to
-        go stale, so faults there are no-ops. Realized billing always
-        uses the true hour regardless (see :meth:`_realize`).
-        """
-        current = self._site_hours(t)
-        if hf is None or t == 0:
-            return current
-        if hf.stale_prices:
-            return self._site_hours(t - 1)
-        if hf.sensor_dropout:
-            previous = self._site_hours(t - 1)
-            return [
-                dataclasses.replace(sh, background_mw=prev.background_mw)
-                for sh, prev in zip(current, previous)
-            ]
-        return current
-
-    def _local_at(self, site: Site, t: int) -> LocalOptimizer:
-        """Weather-hour local optimizer, built once per (site, hour)."""
-        key = (site.name, t)
-        local = self._local_at_memo.get(key)
-        if local is None:
-            local = self._local_at_memo[key] = LocalOptimizer(site.datacenter_at(t))
-        return local
-
-    def _horizon(self, hours: int | None) -> int:
-        if hours is None:
-            return self.workload.hours
-        if not 0 < hours <= self.workload.hours:
-            raise ValueError(f"hours must be in 1..{self.workload.hours}")
-        return hours
-
-    def _provision_scalar(self, t: int, decision: HourlyDecision):
-        """Reference path: one local-optimizer call per site."""
-        provisioned = []
-        for site in self.sites:
-            dispatched = decision.rate_for(site.name)
-            if site.coe_trace is None:
-                local = self._local[site.name].decide(dispatched)
-            else:
-                # Weather-varying cooling: the optimizer around this
-                # hour's efficiency (memoized across strategy runs).
-                local = self._local_at(site, t).decide(dispatched)
-            provisioned.append((site, dispatched, local))
-        return provisioned
-
-    def _coe_at(self, t: int) -> np.ndarray | None:
-        """Per-site cooling efficiencies for hour ``t`` (None = constants)."""
-        if all(s.coe_trace is None for s in self.sites):
-            return None
-        return np.array(
-            [
-                float(s.coe_trace[t]) if s.coe_trace is not None
-                else s.datacenter.cooling.coe
-                for s in self.sites
-            ]
-        )
-
-    def _provision_batched(self, t: int, decision: HourlyDecision):
-        """Vectorized path: one :class:`SiteBank` call for all sites.
-
-        Produces the same ``(site, dispatched, LocalDecision)`` triples
-        as :meth:`_provision_scalar` — the bank's arithmetic is
-        bit-identical to the scalar models, and sites whose dispatch
-        overshoots their physical or contractual limits (the rare
-        model-mismatch case) are handed to the scalar local optimizer,
-        whose shedding search is the reference behavior.
-        """
-        bank = self._bank
-        rates = np.array([decision.rate_for(s.name) for s in self.sites])
-        n, util, server_w, network_w, cooling_w = bank.provision_arrays(
-            rates, coe=self._coe_at(t), validate=False
-        )
-        provisioned = []
-        for i, site in enumerate(self.sites):
-            dispatched = float(rates[i])
-            over_fleet = n[i] > bank.max_servers[i]
-            if not over_fleet:
-                prov = bank.provisioning(i, n, util, server_w, network_w,
-                                         cooling_w)
-                if prov.total_power_mw <= bank.power_cap_mw[i] + 1e-12:
-                    provisioned.append((
-                        site,
-                        dispatched,
-                        LocalDecision(served_rps=dispatched, shed_rps=0.0,
-                                      provisioning=prov),
-                    ))
-                    continue
-            local = (
-                self._local[site.name] if site.coe_trace is None
-                else self._local_at(site, t)
-            ).decide(dispatched)
-            provisioned.append((site, dispatched, local))
-        return provisioned
-
-    def _realize(self, t: int, decision: HourlyDecision) -> HourRecord:
-        """Evaluate a dispatch decision against the exact physical models."""
-        tel = get_telemetry()
-        with tel.span("local_optimization"):
-            if self._bank is not None:
-                provisioned = self._provision_batched(t, decision)
-            else:
-                provisioned = self._provision_scalar(t, decision)
-        site_records = []
-        realized_cost = 0.0
-        total_shed = 0.0
-        with tel.span("billing"):
-            if self._curves is not None:
-                power = np.array([l.power_mw for _, _, l in provisioned])
-                bg = np.array(
-                    [float(s.background_mw[t]) for s in self.sites]
-                )
-                prices = self._curves.site_price(power, bg)
-                served = np.array([l.served_rps for _, _, l in provisioned])
-                ns = np.array(
-                    [l.provisioning.n_servers for _, _, l in provisioned],
-                    dtype=float,
-                )
-                rts = self._bank.response_time(served, ns)
-                rts = np.where((ns == 0.0) | (served <= 0.0), 0.0, rts)
-            for i, (site, dispatched, local) in enumerate(provisioned):
-                if self._curves is not None:
-                    price = float(prices[i])
-                    rt = float(rts[i])
-                else:
-                    price = site.policy.price(
-                        float(site.background_mw[t]) + local.power_mw
-                    )
-                    rt = self._response_time(site, local)
-                cost = price * local.power_mw
-                realized_cost += cost
-                total_shed += local.shed_rps
-                site_records.append(
-                    SiteRecord(
-                        site=site.name,
-                        dispatched_rps=dispatched,
-                        served_rps=local.served_rps,
-                        power_mw=local.power_mw,
-                        price=price,
-                        cost=cost,
-                        n_servers=local.provisioning.n_servers,
-                        response_time_s=rt,
-                    )
-                )
-        # Shedding from decision/physics mismatch hits ordinary traffic
-        # first: providers protect their revenue source.
-        served_ordinary = max(0.0, decision.served_ordinary_rps - total_shed)
-        leftover_shed = max(0.0, total_shed - decision.served_ordinary_rps)
-        served_premium = max(0.0, decision.served_premium_rps - leftover_shed)
-        return HourRecord(
-            hour=t,
-            step=decision.step,
-            budget=decision.budget,
-            predicted_cost=decision.predicted_cost,
-            realized_cost=realized_cost,
-            demand_premium_rps=decision.demand_premium_rps,
-            demand_ordinary_rps=decision.demand_ordinary_rps,
-            served_premium_rps=served_premium,
-            served_ordinary_rps=served_ordinary,
-            sites=tuple(site_records),
-        )
+        strategy = MinOnlyStrategy(mode=mode, dispatcher=dispatcher)
+        return self.engine.run(strategy, hours=hours)

@@ -166,11 +166,12 @@ def run_sweep(
 
 
 def strategy_metric(scenario: Mapping[str, Any], payload: Any = None):
-    """Run one dispatch strategy on a freshly built paper world.
+    """Run one registered dispatch strategy on a fresh paper world.
 
     Scenario keys mirror :func:`repro.sim.parallel.run_one_strategy`:
-    ``strategy`` plus optional ``policy_id``, ``seed``, ``hours``,
-    ``budget_fraction``. Returns the strategy's
+    ``strategy`` (any :func:`repro.sim.registry.available_strategies`
+    name) plus optional ``policy_id``, ``seed``, ``hours``,
+    ``budget_fraction``, ``monthly_budget``. Returns the strategy's
     :class:`~repro.sim.records.SimulationResult`.
     """
     from .parallel import run_one_strategy
@@ -184,17 +185,19 @@ def capped_month_metric(scenario: Mapping[str, Any], payload: Any = None):
     Scenario keys: ``monthly_budget`` (``None`` for uncapped) plus
     optional ``policy_id``, ``seed``, ``hours``. Rebuilds the
     (deterministic, seed-keyed) world locally so the task payload is a
-    handful of scalars. Returns the run's ``SimulationResult``.
+    handful of scalars, and runs the registry's ``capping`` strategy
+    through the engine. Returns the run's ``SimulationResult``.
     """
     from ..experiments import paper_world
-
-    from .simulator import Simulator
+    from .engine import Engine
 
     world = paper_world(
         scenario.get("policy_id", 1), seed=scenario.get("seed", 7)
     )
-    sim = Simulator(world.sites, world.workload, world.mix)
+    engine = Engine(world.sites, world.workload, world.mix)
     budgeter = None
     if scenario.get("monthly_budget") is not None:
         budgeter = world.budgeter(scenario["monthly_budget"])
-    return sim.run_capping(budgeter, hours=scenario.get("hours", 168))
+    return engine.run(
+        "capping", budgeter=budgeter, hours=scenario.get("hours", 168)
+    )

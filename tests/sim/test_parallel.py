@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sim import STRATEGIES, compare_strategies, run_one_strategy
+from repro.sim import (
+    STRATEGIES,
+    compare_strategies,
+    resolve_monthly_budget,
+    run_one_strategy,
+)
 
 
 class TestValidation:
@@ -46,3 +51,78 @@ class TestEquivalence:
     def test_all_strategies_listed(self):
         assert STRATEGIES[0] == "capping"
         assert all(s.startswith("min-only-") for s in STRATEGIES[1:])
+
+
+class TestAnchorResolvedOnce:
+    """`budget_fraction` comparisons resolve the uncapped anchor month a
+    single time in `compare_strategies`; the scaled monthly budget rides
+    in the task payload instead of each pool worker re-running it."""
+
+    HOURS = 6
+
+    def test_monthly_budget_ships_in_payload(self, monkeypatch):
+        import repro.sim.parallel as parallel
+
+        calls = []
+        original = parallel.resolve_monthly_budget
+
+        def counting(world, fraction, hours=168, engine=None):
+            calls.append(fraction)
+            return original(world, fraction, hours=hours, engine=engine)
+
+        monkeypatch.setattr(parallel, "resolve_monthly_budget", counting)
+        compare_strategies(
+            strategies=("capping", "min-only-avg"),
+            hours=self.HOURS,
+            budget_fraction=0.8,
+        )
+        assert len(calls) == 1
+
+    def test_shipped_budget_matches_local_anchor(self):
+        """A worker handed the resolved budget produces the same result
+        as one that computes its own anchor from the fraction."""
+        compared = compare_strategies(
+            strategies=("capping",), hours=self.HOURS, budget_fraction=0.8
+        )["capping"]
+        solo = run_one_strategy(
+            "capping", hours=self.HOURS, budget_fraction=0.8
+        )
+        assert [h.to_dict() for h in compared.hours] == [
+            h.to_dict() for h in solo.hours
+        ]
+
+    def test_budgeted_parallel_matches_serial(self):
+        kwargs = dict(
+            strategies=("capping", "min-only-avg"),
+            hours=self.HOURS,
+            budget_fraction=0.8,
+        )
+        serial = compare_strategies(workers=1, **kwargs)
+        parallel = compare_strategies(workers=2, **kwargs)
+        for name in kwargs["strategies"]:
+            assert serial[name].summary() == parallel[name].summary()
+
+    def test_price_takers_skip_the_anchor(self, monkeypatch):
+        import repro.sim.parallel as parallel
+
+        def exploding(*a, **k):
+            raise AssertionError("anchor run for a price-taker-only set")
+
+        monkeypatch.setattr(parallel, "resolve_monthly_budget", exploding)
+        res = compare_strategies(
+            strategies=("min-only-avg",), hours=2, budget_fraction=0.8
+        )
+        assert len(res["min-only-avg"].hours) == 2
+
+    def test_resolve_scales_anchor_to_month(self):
+        from repro.experiments import paper_world
+        from repro.sim import Engine
+
+        world = paper_world(max_servers=500_000, seed=3)
+        engine = Engine(world.sites, world.workload, world.mix)
+        anchor = engine.run("capping", hours=self.HOURS)
+        expected = anchor.total_cost * world.hours / self.HOURS * 0.5
+        got = resolve_monthly_budget(
+            world, 0.5, hours=self.HOURS, engine=engine
+        )
+        assert got == pytest.approx(expected)
