@@ -1,0 +1,289 @@
+"""Load harness for the streaming control plane (``repro serve``).
+
+Replays deterministic seeded tick storms through the service stack and
+writes ``BENCH_service.json`` at the repo root (companion of
+``BENCH_solver.json`` and ``BENCH_vectorized.json``). Tracked numbers:
+
+* **decisions per second** — sustained dispatch throughput of the
+  asyncio service free-running a bursty storm (every tick crosses the
+  λ-delta threshold, so this measures the full observe → dispatch →
+  realize path, not tick parsing);
+* **decision latency** — p50/p99 wall time of one ``on_tick`` call
+  that produced a decision (solver + ground-truth realization);
+* **tick-to-decision staleness** — in *simulated* seconds, how far the
+  λ feed can drift from the decision in force: p50/p99/max over each
+  tick's distance to the most recent dispatch. Bounded by the trigger
+  policy's ``max_staleness_s`` by construction; the bench asserts it.
+
+The harness also replays the identical storm through the synchronous
+:func:`~repro.service.run_serial` reference and asserts the two
+decision logs are byte-identical — the determinism contract that makes
+the service's numbers trustworthy (``serial_async_identical``).
+
+Run as a script: ``PYTHONPATH=src python benchmarks/bench_service.py
+[--quick]``. CI runs quick mode and validates the JSON shape.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import time
+
+#: Where the machine-readable baseline lands (repo root).
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Acceptance floors. Decisions/s is hardware-sensitive, so the floor
+#: is deliberately conservative (a single enumeration-kernel dispatch
+#: over 3 sites measures in the low milliseconds on any recent CPU).
+CRITERIA = {
+    "decisions_per_s_min": 5.0,
+    "staleness_within_policy": True,
+}
+
+
+def _storm(hours: int, ticks_per_hour: int, seed: int):
+    """A bursty tick storm plus the world/loop factory driving it."""
+    from repro.experiments import paper_world
+    from repro.service import TriggerPolicy, bursty_ticks
+    from repro.sim.engine import Engine
+
+    world = paper_world(policy_id=1, seed=7)
+    engine = Engine(world.sites, world.workload, world.mix)
+    ticks = bursty_ticks(
+        world.workload,
+        ticks_per_hour=ticks_per_hour,
+        hours=hours,
+        ca2=6.0,
+        price_jitter=0.04,
+        sites=tuple(s.name for s in world.sites),
+        seed=seed,
+    )
+    trigger = TriggerPolicy(
+        lambda_delta=0.02, price_delta=0.02,
+        debounce_s=60.0, max_staleness_s=900.0,
+    )
+    return world, engine, ticks, trigger
+
+
+def _make_loop(world, engine, trigger, hours: int):
+    from repro.service import ControlLoop
+
+    return ControlLoop(
+        engine,
+        "capping",
+        trigger=trigger,
+        budgeter=world.budgeter(2_000_000.0),
+        hours=hours,
+    )
+
+
+def _percentile(sorted_vals, q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[rank]
+
+
+def _staleness(ticks, events, max_staleness_s: float) -> dict:
+    """Sim-time distance from each λ tick to the decision then in force."""
+    dispatch_times = [e.time_s for e in events]
+    samples = []
+    j = -1
+    for tick in ticks:
+        while j + 1 < len(dispatch_times) and dispatch_times[j + 1] <= tick.time_s:
+            j += 1
+        if j >= 0:
+            samples.append(tick.time_s - dispatch_times[j])
+    samples.sort()
+    return {
+        "p50_s": _percentile(samples, 0.50),
+        "p99_s": _percentile(samples, 0.99),
+        "max_s": samples[-1] if samples else 0.0,
+        "within_policy": (not samples) or samples[-1] <= max_staleness_s,
+    }
+
+
+def _tick_storm_case(quick: bool) -> dict:
+    import tempfile
+
+    from repro.service import ControlPlaneService, run_serial
+
+    hours = 6 if quick else 24
+    ticks_per_hour = 30 if quick else 60
+    world, engine, ticks, trigger = _storm(hours, ticks_per_hour, seed=3)
+
+    # Reference: synchronous serial drive (also warms the engine memos
+    # so the async timing below measures dispatch, not memo building).
+    serial_loop = _make_loop(world, engine, trigger, hours)
+    serial_events = run_serial(serial_loop, ticks)
+    serial_log = [e.to_json() for e in serial_events]
+
+    # Timed: the asyncio service free-running the same storm, writing
+    # its real decision log so the identity check covers the wire
+    # format, not just the in-memory events.
+    log = pathlib.Path(tempfile.mkdtemp(prefix="bench_service_")) / "log.jsonl"
+    async_loop = _make_loop(world, engine, trigger, hours)
+    service = ControlPlaneService(
+        async_loop, ticks, http=False, decision_log=log, handle_signals=False
+    )
+    t0 = time.perf_counter()
+    asyncio.run(service.run())
+    wall_s = time.perf_counter() - t0
+
+    identical = log.read_text().splitlines() == serial_log
+
+    lat = sorted(service.decide_wall_s)
+    staleness = _staleness(ticks, serial_events, trigger.max_staleness_s)
+    decisions = async_loop.decisions
+    return {
+        "hours": hours,
+        "ticks": service.ticks_processed,
+        "decisions": decisions,
+        "wall_s": wall_s,
+        "decisions_per_s": decisions / wall_s if wall_s > 0 else 0.0,
+        "p50_decision_ms": _percentile(lat, 0.50) * 1e3,
+        "p99_decision_ms": _percentile(lat, 0.99) * 1e3,
+        "p50_staleness_s": staleness["p50_s"],
+        "p99_staleness_s": staleness["p99_s"],
+        "max_staleness_s": staleness["max_s"],
+        "staleness_within_policy": staleness["within_policy"],
+        "serial_async_identical": identical,
+        "meets_criterion": (
+            identical
+            and staleness["within_policy"]
+            and decisions / wall_s >= CRITERIA["decisions_per_s_min"]
+        ),
+    }
+
+
+def _resume_case(quick: bool) -> dict:
+    """Kill the service mid-storm, resume, diff the merged log."""
+    import tempfile
+
+    from repro.service import (
+        ControlPlaneService,
+        load_service_checkpoint,
+        restore_loop,
+        run_serial,
+        truncate_jsonl,
+    )
+
+    hours = 4 if quick else 8
+    world, engine, ticks, trigger = _storm(hours, 12, seed=5)
+    reference = [
+        e.to_json()
+        for e in run_serial(_make_loop(world, engine, trigger, hours), ticks)
+    ]
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench_service_"))
+    log, ckpt = tmp / "decisions.jsonl", tmp / "ckpt.json"
+    cut = len(ticks) // 2
+    service = ControlPlaneService(
+        _make_loop(world, engine, trigger, hours), ticks,
+        http=False, decision_log=log, checkpoint_path=ckpt,
+        handle_signals=False,
+    )
+
+    async def _killed_run():
+        async def killer():
+            while service.ticks_processed < cut:
+                await asyncio.sleep(0)
+            service.request_stop()
+        await asyncio.gather(service.run(), killer())
+
+    asyncio.run(_killed_run())
+    payload = load_service_checkpoint(ckpt)
+    truncate_jsonl(log, payload["decisions_logged"])
+    resumed = ControlPlaneService(
+        restore_loop(engine, payload), ticks,
+        http=False, decision_log=log, checkpoint_path=ckpt,
+        start_tick=payload["next_tick"],
+        decisions_logged=payload["decisions_logged"],
+        handle_signals=False,
+    )
+    asyncio.run(resumed.run())
+    merged = log.read_text().splitlines()
+    identical = merged == reference
+    return {
+        "hours": hours,
+        "killed_at_tick": cut,
+        "decisions": len(reference),
+        "merged_log_identical": identical,
+        "meets_criterion": identical,
+    }
+
+
+def run_service_suite(quick: bool = False) -> dict:
+    """Run all cases and return the BENCH_service.json payload."""
+    import platform
+
+    import numpy
+
+    cases = {
+        "tick_storm": _tick_storm_case(quick),
+        "kill_resume": _resume_case(quick),
+    }
+    return {
+        "benchmark": "service",
+        "schema_version": 1,
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "cases": cases,
+        "criteria": {
+            **CRITERIA,
+            "met": all(c["meets_criterion"] for c in cases.values()),
+        },
+    }
+
+
+def _main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Streaming-control-plane load harness; writes "
+        "BENCH_service.json at the repo root."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the storm for CI smoke runs (same JSON shape)",
+    )
+    parser.add_argument(
+        "--out", default=str(BENCH_JSON), help="output path for the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_service_suite(quick=args.quick)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+    c = payload["cases"]["tick_storm"]
+    print(
+        f"  tick storm ({c['hours']}h, {c['ticks']} ticks): "
+        f"{c['decisions']} decisions in {c['wall_s']:.2f}s "
+        f"-> {c['decisions_per_s']:.1f}/s, "
+        f"p50 {c['p50_decision_ms']:.1f}ms p99 {c['p99_decision_ms']:.1f}ms"
+    )
+    print(
+        f"  staleness: p50 {c['p50_staleness_s']:.0f}s "
+        f"p99 {c['p99_staleness_s']:.0f}s max {c['max_staleness_s']:.0f}s; "
+        f"serial==async: {c['serial_async_identical']}"
+    )
+    c = payload["cases"]["kill_resume"]
+    print(
+        f"  kill/resume ({c['hours']}h): merged log identical: "
+        f"{c['merged_log_identical']}"
+    )
+    print(f"  criteria met: {payload['criteria']['met']}")
+    return 0 if payload["criteria"]["met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

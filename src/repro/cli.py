@@ -14,6 +14,14 @@ Commands
 ``resume``
     Continue a checkpointed ``simulate --checkpoint`` run from its last
     settled hour, bit-identically to an uninterrupted run.
+``serve``
+    Run the always-on streaming control plane: replayed or synthetic
+    bursty λ/price ticks drive sub-hourly re-dispatch through the
+    engine pipeline, decisions append to a JSONL log, and a thin
+    HTTP/JSON API (``/status``, ``/decision``, ``/routing``, ...)
+    serves the live state. ``--checkpoint`` persists every settled
+    hour; after SIGTERM, ``serve --resume --checkpoint PATH`` continues
+    with a byte-identical decision log.
 ``compare``
     Run several registered strategies side by side
     (``--strategies capping,min-only-avg,...``; defaults to Cost
@@ -184,6 +192,185 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     with _tracing(args):
         result = engine.resume(args.checkpoint, hours=args.hours)
     _print_summary(payload["strategy"], result)
+    return 0
+
+
+def _serve_fresh(args: argparse.Namespace):
+    """Build (loop, ticks, world, meta, start_tick, logged) for a new run."""
+    from .experiments import paper_world
+    from .resilience import DegradationPolicy
+    from .service import ControlLoop, TriggerPolicy, build_ticks
+    from .sim import Engine, get_strategy, resolve_monthly_budget
+    from .workload import read_trace_csv
+
+    world = paper_world(args.policy, seed=args.seed)
+    engine = Engine(world.sites, world.workload, world.mix)
+    lam_trace = (
+        read_trace_csv(args.trace_file) if args.trace_file
+        else world.workload
+    )
+    hours = min(args.hours, lam_trace.hours, world.hours)
+    if hours < args.hours:
+        print(f"note: horizon clipped to {hours} h (trace length)")
+    site_names = [s.name for s in world.sites]
+    source = {
+        "kind": args.source,
+        "ticks_per_hour": args.ticks_per_hour,
+        "hours": hours,
+        "seed": args.tick_seed,
+        "jitter": args.jitter,
+        "ca2": args.ca2,
+        "price_jitter": args.price_jitter,
+        "sites": site_names if args.price_jitter > 0 else [],
+        "trace_file": args.trace_file or None,
+    }
+    ticks = build_ticks(lam_trace, source)
+    strategy = get_strategy(args.strategy)
+    budgeter = None
+    monthly = args.monthly_budget
+    if monthly is None and args.budget_fraction is not None:
+        if not strategy.wants_budget:
+            print(f"note: {args.strategy} is a price taker; "
+                  "--budget-fraction has no effect")
+        else:
+            monthly = resolve_monthly_budget(
+                world, args.budget_fraction, hours=hours, engine=engine
+            )
+            print(f"monthly budget: ${monthly:,.0f} "
+                  f"({args.budget_fraction:.0%} of uncapped spend)")
+    if monthly is not None and strategy.wants_budget:
+        budgeter = world.budgeter(monthly)
+    loop = ControlLoop(
+        engine,
+        strategy,
+        trigger=TriggerPolicy(
+            lambda_delta=args.lambda_delta,
+            price_delta=args.price_delta,
+            debounce_s=args.debounce,
+            max_staleness_s=args.max_staleness,
+        ),
+        budgeter=budgeter,
+        hours=hours,
+        degradation=DegradationPolicy(args.degradation),
+    )
+    meta = {
+        "policy": args.policy,
+        "seed": args.seed,
+        "decision_log": str(args.decision_log),
+        "monthly_budget": monthly,
+        "source": source,
+    }
+    return loop, ticks, world, meta, 0, 0
+
+
+def _serve_resumed(args: argparse.Namespace):
+    """Rebuild the service state from a ``serve --checkpoint`` file."""
+    from .experiments import paper_world
+    from .service import (
+        build_ticks,
+        load_service_checkpoint,
+        restore_loop,
+        truncate_jsonl,
+    )
+    from .sim import Engine
+    from .workload import read_trace_csv
+
+    payload = load_service_checkpoint(args.checkpoint)
+    if payload["loop"]["settled_hours"] >= payload["horizon"]:
+        raise ValueError(
+            f"checkpoint {args.checkpoint} already covers its whole "
+            f"{payload['horizon']} h horizon; nothing left to serve"
+        )
+    meta = payload["meta"]
+    world = paper_world(meta["policy"], seed=meta["seed"])
+    engine = Engine(world.sites, world.workload, world.mix)
+    source = meta["source"]
+    lam_trace = (
+        read_trace_csv(source["trace_file"]) if source.get("trace_file")
+        else world.workload
+    )
+    ticks = build_ticks(lam_trace, source)
+    loop = restore_loop(engine, payload)
+    kept = truncate_jsonl(meta["decision_log"], payload["decisions_logged"])
+    print(f"resuming {payload['strategy']} from {args.checkpoint}: "
+          f"{payload['loop']['settled_hours']}/{payload['horizon']} hours "
+          f"settled, {kept} decisions kept in {meta['decision_log']}")
+    return loop, ticks, world, meta, payload["next_tick"], kept
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .routing import ResolverPopulation, WeightedDnsDispatcher
+    from .service import ControlPlaneService
+    from .telemetry import RotatingJsonlWriter, Telemetry, use_telemetry
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint")
+        return 2
+    try:
+        loop, ticks, world, meta, start_tick, logged = (
+            _serve_resumed(args) if args.resume else _serve_fresh(args)
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {getattr(exc, 'strerror', None) or exc}")
+        return 2
+    dns = WeightedDnsDispatcher(
+        [s.name for s in world.sites],
+        ResolverPopulation(ttl_s=args.dns_ttl),
+        seed=meta["seed"],
+    )
+    writer = (
+        RotatingJsonlWriter(args.telemetry) if args.telemetry else None
+    )
+    service = ControlPlaneService(
+        loop,
+        ticks,
+        host=args.host,
+        port=args.port,
+        http=not args.no_http,
+        decision_log=meta["decision_log"],
+        checkpoint_path=args.checkpoint or None,
+        meta=meta,
+        pace_s_per_hour=args.pace,
+        dns=dns,
+        telemetry_writer=writer,
+        start_tick=start_tick,
+        decisions_logged=logged,
+    )
+
+    async def _run() -> dict:
+        if service.http_server is not None:
+            # Bind before replay starts so the port line is printed
+            # (and parseable by scripts) ahead of any decision work.
+            await service.http_server.start()
+            print(f"serving http://{args.host}:{service.port} "
+                  f"(/healthz /status /decision /routing /hours /telemetry)",
+                  flush=True)
+        return await service.run()
+
+    tel = Telemetry() if args.telemetry else None
+    if tel is not None:
+        with use_telemetry(tel):
+            summary = asyncio.run(_run())
+    else:
+        summary = asyncio.run(_run())
+
+    print(f"\n[serve {summary['strategy']}]")
+    print(f"  hours settled:       {summary['hours']}/{loop.horizon}")
+    print(f"  decisions:           {summary['decisions']} "
+          f"({summary['ticks']} ticks)")
+    print(f"  total cost:          ${summary['total_cost']:,.0f}")
+    print(f"  premium throughput:  {summary['premium_throughput']:.2%}")
+    print(f"  ordinary throughput: {summary['ordinary_throughput']:.2%}")
+    print(f"  hours over budget:   {summary['hours_over_budget']}")
+    if summary["stopped"]:
+        where = f" --checkpoint {args.checkpoint}" if args.checkpoint else ""
+        print(f"  stopped by signal; resume with 'repro serve --resume{where}'")
+    if args.telemetry and writer is not None:
+        print(f"  telemetry:           {args.telemetry} "
+              f"({writer.records_written} records, "
+              f"{writer.rotations} rotations)")
     return 0
 
 
@@ -484,6 +671,110 @@ def build_parser() -> argparse.ArgumentParser:
         "trace to PATH",
     )
     p_res.set_defaults(func=_cmd_resume)
+
+    # serve has its own argument set (not the `common` parent: its
+    # --trace telemetry flag would collide with serve's streaming
+    # telemetry, and half the shared knobs live in the checkpoint).
+    p_srv = sub.add_parser(
+        "serve", help="run the streaming control plane (sub-hourly "
+        "re-dispatch, HTTP API, checkpointed)"
+    )
+    p_srv.add_argument("--policy", type=int, default=1, choices=(0, 1, 2, 3))
+    p_srv.add_argument("--seed", type=int, default=7, help="world RNG seed")
+    p_srv.add_argument("--hours", type=int, default=24)
+    p_srv.add_argument(
+        "--strategy", default="capping",
+        help="registered dispatch strategy (default: capping)",
+    )
+    p_srv.add_argument(
+        "--budget-fraction", type=float, default=None,
+        help="monthly budget as a fraction of uncapped spend "
+        "(runs the anchor simulation once)",
+    )
+    p_srv.add_argument(
+        "--monthly-budget", type=float, default=None,
+        help="monthly budget in dollars (skips the anchor run)",
+    )
+    p_srv.add_argument(
+        "--source", choices=("replay", "bursty"), default="replay",
+        help="tick source: replay the hourly trace or synthesize "
+        "hyperexponential bursts",
+    )
+    p_srv.add_argument(
+        "--trace-file", default=None,
+        help="CSV workload trace to replay (default: the world's month)",
+    )
+    p_srv.add_argument("--ticks-per-hour", type=int, default=12)
+    p_srv.add_argument(
+        "--tick-seed", type=int, default=0, help="tick-stream RNG seed"
+    )
+    p_srv.add_argument(
+        "--jitter", type=float, default=0.02,
+        help="relative lambda noise for --source replay",
+    )
+    p_srv.add_argument(
+        "--ca2", type=float, default=4.0,
+        help="burst CA2 for --source bursty (must be > 1)",
+    )
+    p_srv.add_argument(
+        "--price-jitter", type=float, default=0.0,
+        help="per-site price-feed random-walk step (0 disables price ticks)",
+    )
+    p_srv.add_argument(
+        "--lambda-delta", type=float, default=0.05,
+        help="relative lambda change that triggers re-dispatch",
+    )
+    p_srv.add_argument(
+        "--price-delta", type=float, default=0.05,
+        help="relative price-scale change that triggers re-dispatch",
+    )
+    p_srv.add_argument(
+        "--debounce", type=float, default=120.0,
+        help="minimum seconds between delta-triggered dispatches",
+    )
+    p_srv.add_argument(
+        "--max-staleness", type=float, default=900.0,
+        help="refresh any dispatch older than this many seconds",
+    )
+    p_srv.add_argument(
+        "--degradation", default="proportional",
+        choices=("proportional", "hold-last", "premium-shed"),
+        help="solver-failure fallback policy",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (0 = ephemeral; the bound port is printed)",
+    )
+    p_srv.add_argument(
+        "--no-http", action="store_true", help="disable the HTTP API"
+    )
+    p_srv.add_argument(
+        "--decision-log", default="service_decisions.jsonl",
+        help="JSONL file appended with one line per dispatch decision",
+    )
+    p_srv.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint file written at every settled hour",
+    )
+    p_srv.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint (world/source/trigger settings "
+        "are read from the checkpoint, not the command line)",
+    )
+    p_srv.add_argument(
+        "--pace", type=float, default=0.0,
+        help="wall seconds per simulated hour (0 = replay at full speed)",
+    )
+    p_srv.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="stream spans/metrics to a size-rotated JSONL file",
+    )
+    p_srv.add_argument(
+        "--dns-ttl", type=float, default=300.0,
+        help="resolver TTL for the realized-routing model",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser(
         "compare", parents=[common], help="capping vs all baselines"

@@ -96,12 +96,25 @@ class WeightedDnsDispatcher:
         self._client_share = self.population.client_shares(self._rng)
         # Current cached answer per resolver (site index), -1 = no cache.
         self._cached = np.full(self.population.n_resolvers, -1, dtype=int)
+        # Per-resolver cache-expiry schedule: resolver j re-queries at
+        # _next_refresh[j] and every TTL thereafter. Deadlines (not a
+        # per-window Bernoulli draw) make sub-TTL windows compose: k
+        # consecutive windows summing to one TTL refresh every resolver
+        # exactly once, so the realized split *converges* to new
+        # weights within one TTL instead of leaving a memoryless stale
+        # tail — the property the streaming control plane leans on when
+        # it re-dispatches every few minutes against a 300 s TTL.
+        self._clock = 0.0
+        self._next_refresh = self._rng.uniform(
+            0.0, self.population.ttl_s, self.population.n_resolvers
+        )
 
     # -- mechanics ---------------------------------------------------------
 
-    def _refresh_fraction(self, window_s: float) -> float:
-        """Fraction of resolvers whose cache expires within the window."""
-        return min(1.0, window_s / self.population.ttl_s)
+    @property
+    def clock_s(self) -> float:
+        """Simulated seconds this dispatcher has advanced through."""
+        return self._clock
 
     def dispatch_hour(self, target_fractions: dict[str, float]) -> dict[str, float]:
         """Realize one hour of routing toward ``target_fractions``.
@@ -109,17 +122,24 @@ class WeightedDnsDispatcher:
         Returns the realized traffic fraction per site. Resolvers whose
         cached answer expired during the hour re-query and are steered
         by the new weights; the rest keep sending to their cached site.
-        With a 300 s TTL essentially every resolver refreshes within
-        the hour, so the dominant error term is resolution granularity,
-        not lag; shorter horizons (see :meth:`dispatch_window`) expose
-        the lag.
+        With a 300 s TTL every resolver refreshes within the hour, so
+        the dominant error term is resolution granularity, not lag;
+        shorter horizons (see :meth:`dispatch_window`) expose the lag.
         """
         return self.dispatch_window(target_fractions, window_s=3600.0)
 
     def dispatch_window(
         self, target_fractions: dict[str, float], window_s: float
     ) -> dict[str, float]:
-        """Realize routing over an arbitrary window (see above)."""
+        """Realize routing over an arbitrary window (see above).
+
+        Advances the dispatcher's clock by ``window_s``; every resolver
+        whose scheduled expiry falls inside the window re-queries once
+        under the *new* weights (its next expiry moves to the first
+        schedule point past the window). A window spanning several TTLs
+        still re-assigns each resolver once — only the final answer of
+        the window carries traffic.
+        """
         if window_s <= 0:
             raise ValueError("window must be positive")
         targets = np.array(
@@ -132,16 +152,20 @@ class WeightedDnsDispatcher:
             raise ValueError("routing fractions sum to zero")
         targets = targets / total
 
-        refresh_p = self._refresh_fraction(window_s)
-        refreshing = self._rng.random(self.population.n_resolvers) < refresh_p
+        ttl = self.population.ttl_s
+        self._clock += window_s
+        due = self._next_refresh <= self._clock
         never_cached = self._cached < 0
-        to_assign = refreshing | never_cached
+        to_assign = due | never_cached
         n_assign = int(to_assign.sum())
         if n_assign:
             answers = self._rng.choice(
                 len(self.site_names), size=n_assign, p=targets
             )
             self._cached[to_assign] = answers
+        if due.any():
+            behind = self._clock - self._next_refresh[due]
+            self._next_refresh[due] += ttl * (np.floor(behind / ttl) + 1.0)
 
         realized = np.zeros(len(self.site_names))
         np.add.at(realized, self._cached, self._client_share)

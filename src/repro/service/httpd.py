@@ -1,0 +1,106 @@
+"""A dependency-free asyncio HTTP/JSON endpoint for the control plane.
+
+The service's API surface is tiny — a handful of read-only GET
+endpoints polled by the routing layer and by operators — so a full web
+framework would be the only third-party dependency in the repository.
+Instead :class:`JsonHttpServer` speaks just enough HTTP/1.1 for
+``curl`` and :mod:`urllib`: parse the request line, drain the headers,
+dispatch on the path, answer one ``application/json`` body with
+``Connection: close``.
+
+Routes are a plain ``{path: callable}`` table; each callable returns
+``(status_code, payload_dict)`` and runs on the event loop thread, so
+handlers read the control loop's state without locking (the tick feed
+and the HTTP server interleave cooperatively, never concurrently).
+
+Budgets can legitimately be infinite, and the repository's JSON
+convention keeps ``Infinity`` literals (Python's ``json`` both emits
+and parses them), so responses use the same convention rather than
+masking ``inf``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["JsonHttpServer"]
+
+_STATUS_TEXT = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+
+
+class JsonHttpServer:
+    """Serves a route table of JSON thunks over ``asyncio.start_server``.
+
+    Parameters
+    ----------
+    routes:
+        ``{"/path": callable}``; each callable takes no arguments and
+        returns ``(status, payload)``.
+    host, port:
+        Bind address. Port 0 binds an ephemeral port; read the actual
+        one from :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, routes: dict, host: str = "127.0.0.1", port: int = 0):
+        self.routes = dict(routes)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        if self._server is not None:  # idempotent: callers may pre-bind
+            return
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await reader.readline()
+            # Drain headers up to the blank line; pipelining unsupported.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, payload = self._route(request)
+            body = json.dumps(payload).encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _route(self, request: bytes) -> tuple[int, dict]:
+        try:
+            method, path, _ = request.decode("ascii").split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            return 405, {"error": "malformed request line"}
+        if method != "GET":
+            return 405, {"error": f"method {method} not allowed"}
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        handler = self.routes.get(path)
+        if handler is None:
+            return 404, {"error": f"no route {path}",
+                         "routes": sorted(self.routes)}
+        return handler()

@@ -1,0 +1,431 @@
+"""The asyncio shell around the control loop: ``repro serve``'s engine.
+
+:class:`ControlPlaneService` owns everything *operational* about the
+streaming control plane — the pieces a long-lived process needs that
+the pure :class:`~repro.service.controller.ControlLoop` deliberately
+does not have:
+
+* **tick feeding**, optionally paced to wall time (``pace_s_per_hour``
+  wall seconds per simulated hour; ``0`` free-runs, yielding to the
+  event loop periodically so the HTTP endpoint stays responsive);
+* **the decision log**, one JSONL line per
+  :class:`~repro.service.controller.DecisionEvent`, flushed per event
+  so a ``SIGTERM`` never loses an acknowledged decision;
+* **checkpointing** at every settled hour boundary (the control loop's
+  ``on_settle`` hook) with the same atomic write-then-rename the batch
+  engine uses; the payload stores the first unconsumed tick and the
+  number of logged decisions, so :func:`restore_loop` plus a truncated
+  log continue *bit-identically* — the merged decision log of a killed
+  and resumed service equals the uninterrupted one byte for byte;
+* **graceful stop**: ``SIGTERM``/``SIGINT`` set a flag checked between
+  ticks; the in-progress hour is intentionally *not* settled (that is
+  the crash-consistent state the checkpoint protocol already covers);
+* **the HTTP API** (:class:`~repro.service.httpd.JsonHttpServer`):
+  ``/healthz``, ``/status``, ``/decision``, ``/routing``, ``/hours``
+  and ``/telemetry``;
+* **DNS realization**: when a
+  :class:`~repro.routing.WeightedDnsDispatcher` is attached, each
+  re-dispatch window advances the resolver population, so ``/routing``
+  reports both the target split and the TTL-lagged realized split (the
+  dispatcher's deadline-based refresh makes the realized split
+  converge to a new target within one TTL — the property that makes
+  sub-hourly re-dispatch meaningful at all);
+* **telemetry streaming**: spans are drained and counters snapshotted
+  into a :class:`~repro.telemetry.RotatingJsonlWriter` at each settled
+  hour, so a service running for days keeps bounded memory and bounded
+  disk.
+
+DNS resolver caches are deliberately *not* checkpointed: a restarted
+service starts cold and converges within one TTL, exactly like a real
+authoritative-DNS failover — and the decision log, which the identity
+guarantee covers, never depends on the realized split.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import signal
+import time
+
+from ..core import Budgeter
+from ..resilience import DegradationPolicy, atomic_write_json, read_json
+from ..telemetry import RotatingJsonlWriter, get_telemetry
+from .controller import ControlLoop, DecisionEvent, TriggerPolicy
+from .httpd import JsonHttpServer
+
+__all__ = [
+    "SERVICE_CHECKPOINT_VERSION",
+    "ControlPlaneService",
+    "load_service_checkpoint",
+    "restore_loop",
+    "truncate_jsonl",
+]
+
+#: Service checkpoint schema version; bump when the payload changes.
+SERVICE_CHECKPOINT_VERSION = 1
+
+
+class ControlPlaneService:
+    """Runs a :class:`ControlLoop` as an always-on asyncio service.
+
+    Parameters
+    ----------
+    loop:
+        The decision core (fresh, or restored via :func:`restore_loop`).
+    ticks:
+        The full tick stream; entries with ``seq < start_tick`` are
+        skipped (the resume protocol).
+    decision_log:
+        JSONL path appended per decision. On resume the caller must
+        first truncate it to ``decisions_logged`` lines
+        (:func:`truncate_jsonl`).
+    checkpoint_path:
+        Atomic checkpoint written at every settled hour; ``None``
+        disables checkpointing.
+    meta:
+        Carried verbatim in the checkpoint (the CLI stores its world
+        and tick-source parameters so ``repro serve --resume`` can
+        rebuild both).
+    pace_s_per_hour:
+        Wall seconds per simulated hour; ``0`` free-runs.
+    dns:
+        Optional :class:`~repro.routing.WeightedDnsDispatcher` advanced
+        across re-dispatch windows for ``/routing``.
+    telemetry_writer:
+        Optional :class:`~repro.telemetry.RotatingJsonlWriter` fed at
+        each settled hour (owned and closed by the service).
+    http:
+        Serve the JSON API (disable for pure replay benchmarks).
+    handle_signals:
+        Install SIGTERM/SIGINT handlers on the running event loop.
+    """
+
+    def __init__(
+        self,
+        loop: ControlLoop,
+        ticks,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http: bool = True,
+        decision_log=None,
+        checkpoint_path=None,
+        meta: dict | None = None,
+        pace_s_per_hour: float = 0.0,
+        dns=None,
+        telemetry_writer: RotatingJsonlWriter | None = None,
+        start_tick: int = 0,
+        decisions_logged: int = 0,
+        handle_signals: bool = True,
+    ):
+        if pace_s_per_hour < 0:
+            raise ValueError("pace must be >= 0")
+        self.loop = loop
+        self.ticks = ticks
+        self.checkpoint_path = checkpoint_path
+        self.meta = meta or {}
+        self.pace_s_per_hour = pace_s_per_hour
+        self.dns = dns
+        self.telemetry_writer = telemetry_writer
+        self.start_tick = int(start_tick)
+        self.decision_log = (
+            pathlib.Path(decision_log) if decision_log is not None else None
+        )
+        self.handle_signals = handle_signals
+        self.http_server = (
+            JsonHttpServer(self._routes(), host, port) if http else None
+        )
+        loop.on_settle = self._on_settle
+
+        self.ticks_processed = 0
+        self.decisions_published = int(decisions_logged)
+        self.checkpoints_written = 0
+        #: Wall-clock duration of each on_tick() call that produced at
+        #: least one decision — the bench's decision-latency sample.
+        self.decide_wall_s: list[float] = []
+        self.stop_requested = False
+        self._current_tick_seq = self.start_tick
+        self._target_fractions: dict[str, float] | None = None
+        self._realized_fractions: dict[str, float] | None = None
+        self._log_fh = None
+
+    @property
+    def port(self) -> int | None:
+        return self.http_server.port if self.http_server else None
+
+    def request_stop(self) -> None:
+        """Stop after the current tick; in-progress hour stays open."""
+        self.stop_requested = True
+
+    # -- main loop ----------------------------------------------------------
+
+    async def run(self) -> dict:
+        """Feed the stream to the loop; return the run summary."""
+        aio = asyncio.get_running_loop()
+        if self.handle_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    aio.add_signal_handler(sig, self.request_stop)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-Unix loop; rely on KeyboardInterrupt
+        if self.http_server is not None:
+            await self.http_server.start()
+        if self.decision_log is not None:
+            self.decision_log.parent.mkdir(parents=True, exist_ok=True)
+            resuming = self.start_tick > 0 or self.decisions_published > 0
+            mode = "a" if resuming else "w"
+            self._log_fh = self.decision_log.open(mode, encoding="utf-8")
+        try:
+            prev_time = None
+            for tick in self.ticks:
+                if tick.seq < self.start_tick:
+                    continue
+                if self.stop_requested or self.loop.finished:
+                    break
+                if self.pace_s_per_hour > 0 and prev_time is not None:
+                    delay = (tick.time_s - prev_time) / 3600.0
+                    await asyncio.sleep(delay * self.pace_s_per_hour)
+                else:
+                    # Free-running: yield so the HTTP server gets turns
+                    # between decisions (a sleep(0) costs microseconds;
+                    # a dispatch costs milliseconds).
+                    await asyncio.sleep(0)
+                prev_time = tick.time_s
+                self._current_tick_seq = tick.seq
+                t0 = time.perf_counter()
+                events = self.loop.on_tick(tick)
+                wall = time.perf_counter() - t0
+                self.ticks_processed += 1
+                if events:
+                    self.decide_wall_s.append(wall)
+                for event in events:
+                    self._publish(event)
+            if not self.stop_requested:
+                self.loop.finish()
+        finally:
+            if self._log_fh is not None:
+                self._log_fh.close()
+                self._log_fh = None
+            if self.telemetry_writer is not None:
+                self._drain_telemetry()
+                self.telemetry_writer.close()
+            if self.http_server is not None:
+                await self.http_server.stop()
+            if self.handle_signals:
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        aio.remove_signal_handler(sig)
+                    except (NotImplementedError, RuntimeError):
+                        pass
+        summary = self.loop.summary()
+        summary["ticks"] = self.ticks_processed
+        summary["stopped"] = self.stop_requested
+        summary["checkpoints"] = self.checkpoints_written
+        return summary
+
+    # -- event plumbing -----------------------------------------------------
+
+    def _publish(self, event: DecisionEvent) -> None:
+        if self._log_fh is not None:
+            self._log_fh.write(event.to_json() + "\n")
+            self._log_fh.flush()
+        self.decisions_published += 1
+        if self.dns is not None:
+            # The window since the dispatcher's clock carried the *old*
+            # answer weights; realize it before switching targets.
+            window = event.time_s - self.dns.clock_s
+            if self._target_fractions is not None and window > 0:
+                self._realized_fractions = self.dns.dispatch_window(
+                    self._target_fractions, window
+                )
+        self._target_fractions = event.fractions()
+
+    def _on_settle(self, loop: ControlLoop, summary: dict) -> None:
+        if self.telemetry_writer is not None:
+            self._drain_telemetry()
+        if self.checkpoint_path is None:
+            return
+        payload = {
+            "kind": "service-run",
+            "version": SERVICE_CHECKPOINT_VERSION,
+            "strategy": loop.strategy.name,
+            "name": loop.name,
+            "horizon": loop.horizon,
+            "trigger": {
+                "lambda_delta": loop.trigger.lambda_delta,
+                "price_delta": loop.trigger.price_delta,
+                "debounce_s": loop.trigger.debounce_s,
+                "max_staleness_s": loop.trigger.max_staleness_s,
+            },
+            "degradation": (
+                loop.degradation.value if loop.degradation is not None else None
+            ),
+            "next_tick": self._current_tick_seq,
+            "decisions_logged": self.decisions_published,
+            "loop": loop.state_dict(),
+            "budgeter": (
+                loop.state.budgeter.checkpoint()
+                if loop.state.budgeter is not None
+                else None
+            ),
+            "strategy_state": (
+                loop.strategy.state_dict()
+                if hasattr(loop.strategy, "state_dict")
+                else None
+            ),
+            "meta": self.meta,
+        }
+        atomic_write_json(payload, self.checkpoint_path)
+        self.checkpoints_written += 1
+
+    def _drain_telemetry(self) -> None:
+        tel = get_telemetry()
+        writer = self.telemetry_writer
+        if tel.tracer.enabled:
+            for span in tel.tracer.drain():
+                writer.write(span.as_dict())
+        writer.write_all(tel.registry.as_dicts())
+        writer.flush()
+
+    # -- HTTP API -----------------------------------------------------------
+
+    def _routes(self) -> dict:
+        return {
+            "/healthz": lambda: (200, {"status": "ok"}),
+            "/status": self._r_status,
+            "/decision": self._r_decision,
+            "/routing": self._r_routing,
+            "/hours": self._r_hours,
+            "/telemetry": self._r_telemetry,
+        }
+
+    def _r_status(self):
+        loop = self.loop
+        return 200, {
+            "strategy": loop.name,
+            "hour": loop.hour,
+            "settled_hours": loop.settled_hours,
+            "horizon": loop.horizon,
+            "ticks_processed": self.ticks_processed,
+            "decisions": loop.decisions,
+            "lambda_rps": loop.lambda_now,
+            "hour_budget": loop.hour_budget,
+            "finished": loop.finished,
+            "stopping": self.stop_requested,
+        }
+
+    def _r_decision(self):
+        event = self.loop.current_event
+        if event is None:
+            return 404, {"error": "no decision yet"}
+        return 200, event.to_dict()
+
+    def _r_routing(self):
+        if self._target_fractions is None:
+            return 404, {"error": "no decision yet"}
+        return 200, {
+            "target": self._target_fractions,
+            "realized": self._realized_fractions,
+            "ttl_s": (
+                self.dns.population.ttl_s if self.dns is not None else None
+            ),
+        }
+
+    def _r_hours(self):
+        # Cap the response at one week of hours; the full history lives
+        # in the checkpoint and the telemetry stream.
+        return 200, {"hours": self.loop.hour_summaries[-168:]}
+
+    def _r_telemetry(self):
+        metrics = get_telemetry().registry.as_dicts()
+        return 200, {
+            "counters": {
+                m["name"]: m["value"] for m in metrics
+                if m["type"] == "counter"
+            },
+            "gauges": {
+                m["name"]: m["value"] for m in metrics if m["type"] == "gauge"
+            },
+        }
+
+
+# -- checkpoint / resume ------------------------------------------------------
+
+
+def load_service_checkpoint(path) -> dict:
+    """Read and validate a checkpoint written by the service."""
+    payload = read_json(path)
+    if payload.get("kind") != "service-run":
+        raise ValueError(f"{path} is not a service run checkpoint")
+    version = payload.get("version")
+    if version != SERVICE_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported service checkpoint version {version!r} "
+            f"(expected {SERVICE_CHECKPOINT_VERSION})"
+        )
+    for key in ("strategy", "horizon", "trigger", "next_tick",
+                "decisions_logged", "loop", "meta"):
+        if key not in payload:
+            raise ValueError(f"service checkpoint missing {key!r}")
+    return payload
+
+
+def restore_loop(engine, payload: dict) -> ControlLoop:
+    """Rebuild a :class:`ControlLoop` at a checkpoint's hour boundary.
+
+    The engine (world) is the caller's responsibility — the CLI
+    reconstructs it from the checkpoint's ``meta`` — because worlds are
+    not serializable; everything decision-relevant (budgeter, strategy
+    state, observations, the record in force) comes from the payload.
+    """
+    budgeter = (
+        Budgeter.restore(payload["budgeter"])
+        if payload.get("budgeter") is not None
+        else None
+    )
+    loop = ControlLoop(
+        engine,
+        payload["strategy"],
+        trigger=TriggerPolicy(**payload["trigger"]),
+        budgeter=budgeter,
+        hours=payload["horizon"],
+        degradation=(
+            DegradationPolicy(payload["degradation"])
+            if payload.get("degradation") is not None
+            else None
+        ),
+        name=payload.get("name"),
+    )
+    if payload.get("strategy_state") and hasattr(loop.strategy, "load_state"):
+        loop.strategy.load_state(payload["strategy_state"])
+    loop.load_state(payload["loop"])
+    return loop
+
+
+def truncate_jsonl(path, keep_lines: int) -> int:
+    """Drop log lines past ``keep_lines`` (decisions the checkpoint
+    does not cover); returns the number of lines kept. A missing log
+    with nothing to keep is created empty."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        if keep_lines > 0:
+            raise ValueError(
+                f"decision log {path} is missing but the checkpoint "
+                f"expects {keep_lines} logged decisions"
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.touch()
+        return 0
+    with path.open("r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    if len(lines) < keep_lines:
+        raise ValueError(
+            f"decision log {path} has {len(lines)} lines but the "
+            f"checkpoint expects {keep_lines}; the log does not match "
+            "this checkpoint"
+        )
+    if len(lines) > keep_lines:
+        with path.open("w", encoding="utf-8") as fh:
+            fh.writelines(lines[:keep_lines])
+    return keep_lines

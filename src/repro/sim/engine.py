@@ -73,12 +73,14 @@ from .records import HourRecord, SimulationResult, SiteRecord
 __all__ = [
     "DispatchStrategy",
     "HourContext",
+    "RunState",
     "StageMiddleware",
     "TelemetryMiddleware",
     "FaultMiddleware",
     "Engine",
     "STAGES",
     "CHECKPOINT_VERSION",
+    "dispatch_with_degradation",
 ]
 
 #: The per-hour pipeline, in execution order. Strategies that never
@@ -87,7 +89,9 @@ __all__ = [
 STAGES = ("observe", "budget", "dispatch", "realize", "settle")
 
 #: Engine checkpoint schema version; bump when the payload changes.
-CHECKPOINT_VERSION = 1
+#: Version 2: ``records`` entries carry their own ``v`` schema field
+#: (see :data:`repro.sim.records.RECORD_VERSION`).
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -167,8 +171,14 @@ class DispatchStrategy(Protocol):
 
 
 @dataclass
-class _RunState:
-    """Mutable engine-owned state threaded through one run."""
+class RunState:
+    """Mutable engine-owned state threaded through one run.
+
+    Also the carrier of cross-dispatch state for the streaming control
+    plane (:mod:`repro.service`), whose sub-hourly re-dispatches go
+    through :func:`dispatch_with_degradation` exactly like the engine's
+    hourly ``dispatch`` stage.
+    """
 
     budgeter: Budgeter | None = None
     #: Budgeter snapshot backing the ``budget_loss`` fault channel.
@@ -176,6 +186,43 @@ class _RunState:
     #: Last successfully solved decision (feeds HOLD_LAST degradation
     #: for strategies without their own degradation handling).
     last_good: HourlyDecision | None = None
+
+
+def dispatch_with_degradation(
+    ctx: HourContext, state: RunState
+) -> HourlyDecision:
+    """Run the strategy for one context; degrade instead of crashing.
+
+    Strategies with their own degradation handling (the
+    :class:`~repro.core.BillCapper`) never raise here; for the rest, a
+    :class:`~repro.solver.SolverError` — genuine or fault-injected —
+    falls back to the context's effective degradation policy with the
+    run's last good decision as HOLD_LAST history. Shared by the
+    engine's ``dispatch`` stage and every sub-hourly re-dispatch of the
+    streaming control plane.
+    """
+    tel = get_telemetry()
+    try:
+        decision = ctx.strategy.decide(ctx)
+    except SolverError:
+        policy = ctx.effective_degradation
+        if policy is None:
+            raise
+        tel.counter("engine.degraded").inc()
+        decision = degraded_decision(
+            policy,
+            ctx.site_hours,
+            ctx.demand_premium_rps,
+            ctx.demand_ordinary_rps,
+            ctx.budget,
+            last=state.last_good,
+        )
+    ctx.decision = decision
+    if decision.step is CappingStep.DEGRADED:
+        tel.counter("resilience.degraded_hours").inc()
+    else:
+        state.last_good = decision
+    return decision
 
 
 class StageMiddleware:
@@ -187,12 +234,12 @@ class StageMiddleware:
     """
 
     @contextlib.contextmanager
-    def hour(self, ctx: HourContext, state: _RunState) -> Iterator[None]:
+    def hour(self, ctx: HourContext, state: RunState) -> Iterator[None]:
         yield
 
     @contextlib.contextmanager
     def stage(
-        self, name: str, ctx: HourContext, state: _RunState
+        self, name: str, ctx: HourContext, state: RunState
     ) -> Iterator[None]:
         yield
 
@@ -211,7 +258,7 @@ class TelemetryMiddleware(StageMiddleware):
     SPANNED = ("budget", "dispatch")
 
     @contextlib.contextmanager
-    def hour(self, ctx: HourContext, state: _RunState) -> Iterator[None]:
+    def hour(self, ctx: HourContext, state: RunState) -> Iterator[None]:
         tel = get_telemetry()
         with tel.span("hour", hour=ctx.hour, strategy=ctx.run_name) as span:
             ctx.span = span
@@ -223,7 +270,7 @@ class TelemetryMiddleware(StageMiddleware):
 
     @contextlib.contextmanager
     def stage(
-        self, name: str, ctx: HourContext, state: _RunState
+        self, name: str, ctx: HourContext, state: RunState
     ) -> Iterator[None]:
         if name in self.SPANNED:
             with get_telemetry().span(name):
@@ -246,7 +293,7 @@ class FaultMiddleware(StageMiddleware):
         self.injector = injector
 
     @contextlib.contextmanager
-    def hour(self, ctx: HourContext, state: _RunState) -> Iterator[None]:
+    def hour(self, ctx: HourContext, state: RunState) -> Iterator[None]:
         tel = get_telemetry()
         hf = self.injector.faults_for(ctx.hour)
         ctx.faults = hf
@@ -348,7 +395,7 @@ class Engine:
         self._check_budgeter(budgeter, horizon, needed=horizon)
         strategy.prepare(self)
         result = SimulationResult(name or self._result_name(strategy))
-        state = _RunState(budgeter=budgeter)
+        state = RunState(budgeter=budgeter)
         return self._drive(
             strategy,
             result,
@@ -421,7 +468,7 @@ class Engine:
             else None
         )
         result = SimulationResult(payload["result_name"], records)
-        state = _RunState(budgeter=budgeter, last_good=last_good)
+        state = RunState(budgeter=budgeter, last_good=last_good)
         return self._drive(
             strategy,
             result,
@@ -438,7 +485,7 @@ class Engine:
         self,
         strategy: "DispatchStrategy",
         result: SimulationResult,
-        state: _RunState,
+        state: RunState,
         *,
         start: int,
         horizon: int,
@@ -495,7 +542,7 @@ class Engine:
 
     # -- pipeline stages -----------------------------------------------------------
 
-    def _stage_observe(self, ctx: HourContext, state: _RunState) -> None:
+    def _stage_observe(self, ctx: HourContext, state: RunState) -> None:
         """Offered load plus the snapshots the dispatcher gets to see."""
         t = ctx.hour
         total = float(self.workload.rates_rps[t])
@@ -504,7 +551,7 @@ class Engine:
         ctx.demand_ordinary_rps = self.mix.ordinary_rate(total)
         ctx.site_hours = self._observed_site_hours(t, ctx.faults)
 
-    def _stage_budget(self, ctx: HourContext, state: _RunState) -> None:
+    def _stage_budget(self, ctx: HourContext, state: RunState) -> None:
         """The budgeter's hourly budget (infinite when uncapped)."""
         ctx.budget = (
             state.budgeter.hourly_budget()
@@ -512,43 +559,15 @@ class Engine:
             else float("inf")
         )
 
-    def _stage_dispatch(self, ctx: HourContext, state: _RunState) -> None:
-        """Run the strategy; degrade instead of crashing the hour.
+    def _stage_dispatch(self, ctx: HourContext, state: RunState) -> None:
+        """Run the strategy via :func:`dispatch_with_degradation`."""
+        dispatch_with_degradation(ctx, state)
 
-        Strategies with their own degradation handling (the
-        :class:`~repro.core.BillCapper`) never raise here; for the
-        rest, a :class:`~repro.solver.SolverError` — genuine or
-        fault-injected — falls back to the effective degradation
-        policy with the engine's last good decision as HOLD_LAST
-        history.
-        """
-        tel = get_telemetry()
-        try:
-            decision = ctx.strategy.decide(ctx)
-        except SolverError:
-            policy = ctx.effective_degradation
-            if policy is None:
-                raise
-            tel.counter("engine.degraded").inc()
-            decision = degraded_decision(
-                policy,
-                ctx.site_hours,
-                ctx.demand_premium_rps,
-                ctx.demand_ordinary_rps,
-                ctx.budget,
-                last=state.last_good,
-            )
-        ctx.decision = decision
-        if decision.step is CappingStep.DEGRADED:
-            tel.counter("resilience.degraded_hours").inc()
-        else:
-            state.last_good = decision
-
-    def _stage_realize(self, ctx: HourContext, state: _RunState) -> None:
+    def _stage_realize(self, ctx: HourContext, state: RunState) -> None:
         """Ground-truth billing of the decision (exact stepped models)."""
         ctx.record = self._realize(ctx.hour, ctx.decision)
 
-    def _stage_settle(self, ctx: HourContext, state: _RunState) -> None:
+    def _stage_settle(self, ctx: HourContext, state: RunState) -> None:
         """Feed the realized bill back into the budgeter's state."""
         if state.budgeter is not None:
             state.budgeter.record_spend(ctx.record.realized_cost)
@@ -562,7 +581,7 @@ class Engine:
         path,
         strategy: "DispatchStrategy",
         result: SimulationResult,
-        state: _RunState,
+        state: RunState,
         *,
         horizon: int,
         next_hour: int,

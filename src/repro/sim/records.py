@@ -8,7 +8,13 @@ import numpy as np
 
 from ..core import CappingStep
 
-__all__ = ["SiteRecord", "HourRecord", "SimulationResult"]
+__all__ = ["RECORD_VERSION", "SiteRecord", "HourRecord", "SimulationResult"]
+
+#: Schema version of serialized :class:`HourRecord` payloads. Bump when
+#: a record's shape changes incompatibly; :meth:`HourRecord.from_dict`
+#: rejects mismatches with a clear error instead of a ``KeyError`` deep
+#: inside a checkpoint load.
+RECORD_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -29,7 +35,10 @@ class SiteRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SiteRecord":
-        return cls(**data)
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ValueError(f"malformed site record: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,7 @@ class HourRecord:
 
     def to_dict(self) -> dict:
         return {
+            "v": RECORD_VERSION,
             "hour": self.hour,
             "step": self.step.value,
             "budget": self.budget,
@@ -101,18 +111,28 @@ class HourRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "HourRecord":
-        return cls(
-            hour=data["hour"],
-            step=CappingStep(data["step"]),
-            budget=data["budget"],
-            predicted_cost=data["predicted_cost"],
-            realized_cost=data["realized_cost"],
-            demand_premium_rps=data["demand_premium_rps"],
-            demand_ordinary_rps=data["demand_ordinary_rps"],
-            served_premium_rps=data["served_premium_rps"],
-            served_ordinary_rps=data["served_ordinary_rps"],
-            sites=tuple(SiteRecord.from_dict(s) for s in data["sites"]),
-        )
+        version = data.get("v")
+        if version != RECORD_VERSION:
+            raise ValueError(
+                f"unsupported hour-record version {version!r} (expected "
+                f"{RECORD_VERSION}); the checkpoint was written by an "
+                "incompatible release"
+            )
+        try:
+            return cls(
+                hour=data["hour"],
+                step=CappingStep(data["step"]),
+                budget=data["budget"],
+                predicted_cost=data["predicted_cost"],
+                realized_cost=data["realized_cost"],
+                demand_premium_rps=data["demand_premium_rps"],
+                demand_ordinary_rps=data["demand_ordinary_rps"],
+                served_premium_rps=data["served_premium_rps"],
+                served_ordinary_rps=data["served_ordinary_rps"],
+                sites=tuple(SiteRecord.from_dict(s) for s in data["sites"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"hour record missing field {exc}") from None
 
 
 @dataclass

@@ -42,6 +42,7 @@ from .metrics import (
 from .session import NULL, Telemetry, get_telemetry, set_telemetry, use_telemetry
 from .tracing import NullTracer, Span, Tracer
 from .export import (
+    RotatingJsonlWriter,
     TelemetrySnapshot,
     format_summary,
     read_jsonl,
@@ -67,6 +68,7 @@ __all__ = [
     "use_telemetry",
     "TelemetrySnapshot",
     "snapshot",
+    "RotatingJsonlWriter",
     "write_jsonl",
     "read_jsonl",
     "summarize",

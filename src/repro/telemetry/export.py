@@ -30,6 +30,7 @@ __all__ = [
     "snapshot",
     "write_jsonl",
     "read_jsonl",
+    "RotatingJsonlWriter",
     "summarize",
     "format_summary",
 ]
@@ -100,6 +101,126 @@ def read_jsonl(path) -> TelemetrySnapshot:
                 snap.meta = record
             # Unknown kinds are skipped: newer writers stay readable.
     return snap
+
+
+class RotatingJsonlWriter:
+    """Incremental JSONL writer for long-lived processes.
+
+    :func:`write_jsonl` is sized for batch runs: it holds the whole
+    bundle in memory and dumps it once at the end. An always-on
+    controller (``repro serve``) runs for days and would either buffer
+    unbounded or grow one giant file; this writer appends one record at
+    a time, flushes to disk every ``flush_every`` records (and on
+    :meth:`flush`/:meth:`close`), and rotates the file once it passes
+    ``max_bytes``:
+
+    * the current file becomes ``<path>.1``, an existing ``.1`` becomes
+      ``.2``, and so on;
+    * at most ``keep`` rotated files are retained (older ones deleted);
+    * every file — fresh or post-rotation — starts with the same
+      ``meta`` record :func:`write_jsonl` emits, so each segment is
+      independently loadable with :func:`read_jsonl`.
+
+    Records are plain dicts in the on-disk schema (``{"type": "span" |
+    "counter" | ..., ...}``); the writer does not interpret them beyond
+    serialization.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        max_bytes: int = 16 << 20,
+        flush_every: int = 100,
+        keep: int = 4,
+    ):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if flush_every <= 0:
+            raise ValueError("flush_every must be positive")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self.flush_every = flush_every
+        self.keep = keep
+        self.records_written = 0
+        self.rotations = 0
+        self._unflushed = 0
+        self._bytes = 0
+        self._fh = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._open_fresh()
+
+    # -- file lifecycle -----------------------------------------------------
+
+    def _open_fresh(self) -> None:
+        self._fh = self.path.open("w", encoding="utf-8")
+        header = json.dumps({"type": "meta", "version": FORMAT_VERSION}) + "\n"
+        self._fh.write(header)
+        self._bytes = len(header.encode("utf-8"))
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        # Shift the retention chain up: .keep drops, .i -> .(i+1).
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep}")
+        oldest.unlink(missing_ok=True)
+        for i in range(self.keep - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                src.replace(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        self.path.replace(self.path.with_name(f"{self.path.name}.1"))
+        self.rotations += 1
+        self._open_fresh()
+
+    # -- writing ------------------------------------------------------------
+
+    def write(self, record: dict) -> None:
+        """Append one record, flushing and rotating as configured."""
+        if self._fh is None:
+            raise ValueError("writer is closed")
+        line = json.dumps(record) + "\n"
+        encoded = len(line.encode("utf-8"))
+        if self._bytes + encoded > self.max_bytes and self._bytes > 0:
+            self._rotate()
+        self._fh.write(line)
+        self._bytes += encoded
+        self.records_written += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def write_all(self, records) -> None:
+        for record in records:
+            self.write(record)
+
+    def flush(self) -> None:
+        if self._fh is not None and self._unflushed:
+            self._fh.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RotatingJsonlWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def segment_paths(self) -> list[pathlib.Path]:
+        """Existing on-disk segments, oldest first (rotated then live)."""
+        out = []
+        for i in range(self.keep, 0, -1):
+            seg = self.path.with_name(f"{self.path.name}.{i}")
+            if seg.exists():
+                out.append(seg)
+        if self.path.exists():
+            out.append(self.path)
+        return out
 
 
 # -- aggregation ---------------------------------------------------------------

@@ -122,6 +122,18 @@ class Tracer:
     def as_dicts(self) -> list[dict]:
         return [s.as_dict() for s in self.finished]
 
+    def drain(self) -> list[Span]:
+        """Hand over the finished spans and forget them.
+
+        Batch runs keep every span in memory for one final export; a
+        long-lived process (``repro serve``) instead drains the tracer
+        periodically into a streaming exporter so days of sub-hourly
+        control traffic never accumulate. Spans still open stay on the
+        stack and are delivered by a later drain once they finish.
+        """
+        finished, self.finished = self.finished, []
+        return finished
+
 
 class _NullSpan(Span):
     __slots__ = ()

@@ -98,3 +98,55 @@ class TestRoutingError:
 
     def test_total_variation(self):
         assert routing_error({"a": 1.0, "b": 0.0}, {"a": 0.0, "b": 1.0}) == pytest.approx(1.0)
+
+
+class TestDeadlineSchedule:
+    """Sub-TTL windows compose: the property ``repro serve`` leans on."""
+
+    def test_clock_advances_by_window(self):
+        d = WeightedDnsDispatcher(["a", "b"], seed=0)
+        assert d.clock_s == 0.0
+        d.dispatch_window({"a": 1.0, "b": 0.0}, window_s=60.0)
+        d.dispatch_window({"a": 1.0, "b": 0.0}, window_s=90.0)
+        assert d.clock_s == pytest.approx(150.0)
+
+    def test_windows_summing_to_ttl_refresh_everyone(self):
+        # Six 50 s windows == one 300 s TTL: every resolver has hit its
+        # scheduled expiry exactly once, so the flip to site b is total
+        # — a per-window Bernoulli model would leave a stale tail of
+        # (1 - 1/6)^6 ~ 33% still on a.
+        pop = ResolverPopulation(n_resolvers=5000, ttl_s=300.0, skew=0.2)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=7)
+        d.dispatch_hour({"a": 1.0, "b": 0.0})
+        for _ in range(6):
+            out = d.dispatch_window({"a": 0.0, "b": 1.0}, window_s=50.0)
+        assert out["b"] == pytest.approx(1.0)
+
+    def test_partial_ttl_refreshes_proportional_share(self):
+        # Deadlines are uniform over the TTL, so a half-TTL window
+        # refreshes about half the resolvers.
+        pop = ResolverPopulation(n_resolvers=20_000, ttl_s=300.0, skew=0.0)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=8)
+        d.dispatch_hour({"a": 1.0, "b": 0.0})
+        out = d.dispatch_window({"a": 0.0, "b": 1.0}, window_s=150.0)
+        assert out["b"] == pytest.approx(0.5, abs=0.05)
+
+    def test_window_spanning_many_ttls_assigns_once(self):
+        pop = ResolverPopulation(n_resolvers=1000, ttl_s=300.0, skew=0.2)
+        d = WeightedDnsDispatcher(["a", "b"], pop, seed=9)
+        out = d.dispatch_window({"a": 0.3, "b": 0.7}, window_s=10 * 3600.0)
+        assert out["a"] + out["b"] == pytest.approx(1.0)
+        # Next deadline lands within one TTL of the new clock.
+        follow = d.dispatch_window({"a": 1.0, "b": 0.0}, window_s=300.0)
+        assert follow["a"] == pytest.approx(1.0)
+
+    def test_window_sequence_reproducible(self):
+        def run():
+            pop = ResolverPopulation(n_resolvers=2000, ttl_s=300.0)
+            d = WeightedDnsDispatcher(["a", "b"], pop, seed=10)
+            outs = []
+            for i in range(5):
+                outs.append(d.dispatch_window({"a": 0.5, "b": 0.5}, window_s=70.0))
+            return outs
+
+        assert run() == run()

@@ -1,0 +1,226 @@
+"""Tests for the asyncio service shell: determinism, resume, HTTP API.
+
+HTTP checks use raw ``asyncio.open_connection`` GETs from inside the
+same event loop — a blocking client (urllib) would deadlock, since the
+server shares the loop.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import paper_world
+from repro.service import (
+    ControlLoop,
+    ControlPlaneService,
+    TriggerPolicy,
+    bursty_ticks,
+    load_service_checkpoint,
+    restore_loop,
+    run_serial,
+    truncate_jsonl,
+)
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def world():
+    return paper_world(policy_id=1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return Engine(world.sites, world.workload, world.mix)
+
+
+@pytest.fixture(scope="module")
+def ticks(world):
+    return bursty_ticks(
+        world.workload,
+        ticks_per_hour=6,
+        hours=3,
+        ca2=4.0,
+        price_jitter=0.05,
+        sites=tuple(s.name for s in world.sites),
+        seed=2,
+    )
+
+
+def _loop(world, engine, hours=3):
+    return ControlLoop(
+        engine,
+        "capping",
+        trigger=TriggerPolicy(debounce_s=120.0, max_staleness_s=900.0),
+        budgeter=world.budgeter(2_000_000.0),
+        hours=hours,
+    )
+
+
+async def _get(port: int, path: str) -> tuple[int, dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+class TestDeterminism:
+    def test_async_log_matches_serial_reference(
+        self, world, engine, ticks, tmp_path
+    ):
+        reference = [e.to_json() for e in run_serial(_loop(world, engine), ticks)]
+        log = tmp_path / "decisions.jsonl"
+        service = ControlPlaneService(
+            _loop(world, engine),
+            ticks,
+            http=False,
+            decision_log=log,
+            handle_signals=False,
+        )
+        summary = asyncio.run(service.run())
+        assert log.read_text().splitlines() == reference
+        assert summary["decisions"] == len(reference)
+
+    def test_decision_log_lines_are_json(self, world, engine, ticks, tmp_path):
+        log = tmp_path / "decisions.jsonl"
+        service = ControlPlaneService(
+            _loop(world, engine),
+            ticks,
+            http=False,
+            decision_log=log,
+            handle_signals=False,
+        )
+        asyncio.run(service.run())
+        for line in log.read_text().splitlines():
+            event = json.loads(line)
+            assert {"seq", "hour", "reason", "allocations"} <= event.keys()
+
+
+class TestKillResume:
+    def test_merged_log_matches_uninterrupted(
+        self, world, engine, ticks, tmp_path
+    ):
+        reference = [e.to_json() for e in run_serial(_loop(world, engine), ticks)]
+        log = tmp_path / "decisions.jsonl"
+        ckpt = tmp_path / "ckpt.json"
+        cut = len(ticks) * 2 // 3
+        service = ControlPlaneService(
+            _loop(world, engine),
+            ticks,
+            http=False,
+            decision_log=log,
+            checkpoint_path=ckpt,
+            handle_signals=False,
+        )
+
+        async def killed_run():
+            async def killer():
+                while service.ticks_processed < cut:
+                    await asyncio.sleep(0)
+                service.request_stop()
+
+            await asyncio.gather(service.run(), killer())
+
+        asyncio.run(killed_run())
+        assert service.stop_requested
+        assert service.checkpoints_written >= 1
+
+        payload = load_service_checkpoint(ckpt)
+        kept = truncate_jsonl(log, payload["decisions_logged"])
+        assert kept == payload["decisions_logged"]
+        resumed = ControlPlaneService(
+            restore_loop(engine, payload),
+            ticks,
+            http=False,
+            decision_log=log,
+            checkpoint_path=ckpt,
+            start_tick=payload["next_tick"],
+            decisions_logged=payload["decisions_logged"],
+            handle_signals=False,
+        )
+        asyncio.run(resumed.run())
+        assert log.read_text().splitlines() == reference
+
+    def test_checkpoint_payload_shape(self, world, engine, ticks, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        service = ControlPlaneService(
+            _loop(world, engine),
+            ticks,
+            http=False,
+            checkpoint_path=ckpt,
+            handle_signals=False,
+        )
+        asyncio.run(service.run())
+        payload = load_service_checkpoint(ckpt)
+        assert payload["kind"] == "service-run"
+        assert {"next_tick", "decisions_logged", "loop", "trigger"} <= payload.keys()
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "engine-run", "version": 1}))
+        with pytest.raises(ValueError):
+            load_service_checkpoint(bad)
+
+
+class TestTruncateJsonl:
+    def test_truncates_to_exact_line_count(self, tmp_path):
+        p = tmp_path / "log.jsonl"
+        p.write_text("a\nb\nc\n")
+        assert truncate_jsonl(p, 2) == 2
+        assert p.read_text() == "a\nb\n"
+
+    def test_missing_log_with_lines_expected_errors(self, tmp_path):
+        with pytest.raises((OSError, ValueError)):
+            truncate_jsonl(tmp_path / "absent.jsonl", 3)
+
+    def test_shorter_than_expected_errors(self, tmp_path):
+        p = tmp_path / "log.jsonl"
+        p.write_text("a\n")
+        with pytest.raises(ValueError):
+            truncate_jsonl(p, 5)
+
+    def test_zero_keep_creates_empty_log(self, tmp_path):
+        p = tmp_path / "absent.jsonl"
+        assert truncate_jsonl(p, 0) == 0
+        assert p.exists() and p.read_text() == ""
+
+
+class TestHttpApi:
+    def test_endpoints_respond_during_run(self, world, engine, ticks, tmp_path):
+        service = ControlPlaneService(
+            _loop(world, engine),
+            ticks,
+            port=0,
+            decision_log=tmp_path / "d.jsonl",
+            pace_s_per_hour=30.0,  # slow enough to poll mid-run
+            handle_signals=False,
+        )
+
+        async def drive():
+            run = asyncio.ensure_future(service.run())
+            while service.decisions_published == 0 and not run.done():
+                await asyncio.sleep(0.01)
+            assert service.port is not None
+            status, health = await _get(service.port, "/healthz")
+            assert status == 200
+            status, state = await _get(service.port, "/status")
+            assert status == 200
+            assert state["strategy"]
+            assert state["ticks_processed"] >= 1
+            status, decision = await _get(service.port, "/decision")
+            assert status == 200
+            assert decision["allocations"]
+            status, routing = await _get(service.port, "/routing")
+            assert status in (200, 404)  # 404 only if no DNS wired
+            status, missing = await _get(service.port, "/nope")
+            assert status == 404
+            assert "/status" in missing["routes"]
+            service.request_stop()
+            await run
+
+        asyncio.run(drive())

@@ -102,3 +102,33 @@ class TestSimulationResult:
             "degraded_hours",
             "peak_power_mw",
         }
+
+
+class TestRecordVersioning:
+    def test_to_dict_stamps_current_version(self):
+        from repro.sim.records import RECORD_VERSION
+
+        d = make_hour().to_dict()
+        assert d["v"] == RECORD_VERSION
+
+    def test_round_trip_is_field_identical(self):
+        rec = make_hour(hour=3, budget=250.0)
+        assert HourRecord.from_dict(rec.to_dict()) == rec
+
+    def test_future_version_rejected_with_clear_error(self):
+        d = make_hour().to_dict()
+        d["v"] = 99
+        with pytest.raises(ValueError, match="version"):
+            HourRecord.from_dict(d)
+
+    def test_missing_version_rejected(self):
+        d = make_hour().to_dict()
+        del d["v"]
+        with pytest.raises(ValueError, match="version"):
+            HourRecord.from_dict(d)
+
+    def test_malformed_site_record_rejected(self):
+        d = make_hour().to_dict()
+        d["sites"][0]["bogus_field"] = 1.0
+        with pytest.raises(ValueError, match="site record"):
+            HourRecord.from_dict(d)

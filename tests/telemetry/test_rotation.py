@@ -1,0 +1,95 @@
+"""Tests for the rotating JSONL writer used by ``repro serve``."""
+
+import json
+
+import pytest
+
+from repro.telemetry import RotatingJsonlWriter
+from repro.telemetry.export import read_jsonl
+
+
+def _record(i: int) -> dict:
+    return {"type": "counter", "name": f"c{i}", "value": i}
+
+
+class TestValidation:
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ValueError):
+            RotatingJsonlWriter(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            RotatingJsonlWriter(tmp_path / "t.jsonl", flush_every=0)
+        with pytest.raises(ValueError):
+            RotatingJsonlWriter(tmp_path / "t.jsonl", keep=0)
+
+    def test_write_after_close_errors(self, tmp_path):
+        w = RotatingJsonlWriter(tmp_path / "t.jsonl")
+        w.close()
+        with pytest.raises(ValueError):
+            w.write(_record(0))
+
+
+class TestWriting:
+    def test_every_segment_starts_with_meta_header(self, tmp_path):
+        with RotatingJsonlWriter(
+            tmp_path / "t.jsonl", max_bytes=256, flush_every=1
+        ) as w:
+            w.write_all(_record(i) for i in range(50))
+            assert w.rotations >= 1
+            for seg in w.segment_paths():
+                first = json.loads(seg.read_text().splitlines()[0])
+                assert first["type"] == "meta"
+
+    def test_flush_every_batches_but_close_flushes_all(self, tmp_path):
+        w = RotatingJsonlWriter(tmp_path / "t.jsonl", flush_every=1000)
+        w.write(_record(0))
+        w.close()
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert len(lines) == 2  # meta + the record
+
+    def test_records_written_counts_all_segments(self, tmp_path):
+        with RotatingJsonlWriter(
+            tmp_path / "t.jsonl", max_bytes=256, flush_every=1
+        ) as w:
+            w.write_all(_record(i) for i in range(40))
+        assert w.records_written == 40
+
+
+class TestRotation:
+    def test_keep_caps_retained_segments(self, tmp_path):
+        with RotatingJsonlWriter(
+            tmp_path / "t.jsonl", max_bytes=128, flush_every=1, keep=2
+        ) as w:
+            w.write_all(_record(i) for i in range(100))
+            assert w.rotations > 2
+            segs = w.segment_paths()
+        # keep rotated files + the live one, oldest first.
+        assert len(segs) == 3
+        assert [s.name for s in segs] == ["t.jsonl.2", "t.jsonl.1", "t.jsonl"]
+
+    def test_newest_records_survive_rotation(self, tmp_path):
+        with RotatingJsonlWriter(
+            tmp_path / "t.jsonl", max_bytes=256, flush_every=1, keep=2
+        ) as w:
+            w.write_all(_record(i) for i in range(60))
+            segs = w.segment_paths()
+        names = [
+            r["name"]
+            for seg in segs
+            for r in map(json.loads, seg.read_text().splitlines())
+            if r["type"] == "counter"
+        ]
+        assert names[-1] == "c59"
+        # Segments read oldest-to-newest with no interleaving.
+        indices = [int(n[1:]) for n in names]
+        assert indices == sorted(indices)
+
+    def test_each_segment_independently_loadable(self, tmp_path):
+        with RotatingJsonlWriter(
+            tmp_path / "t.jsonl", max_bytes=256, flush_every=1
+        ) as w:
+            w.write_all(
+                {"type": "counter", "name": f"c{i}", "value": float(i)}
+                for i in range(50)
+            )
+            for seg in w.segment_paths():
+                read_jsonl(seg)  # raises if a segment lacks its header

@@ -118,3 +118,78 @@ class TestTelemetryCommands:
         empty.write_text("")
         assert main(["telemetry", "summary", str(empty)]) == 1
         assert "no telemetry" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.hours == 24
+        assert args.source == "replay"
+        assert args.ticks_per_hour == 12
+        assert args.strategy == "capping"
+        assert args.degradation == "proportional"
+        assert args.port == 0
+
+    def test_bursty_source_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--source", "bursty", "--ca2", "8.0", "--price-jitter", "0.1"]
+        )
+        assert args.source == "bursty"
+        assert args.ca2 == 8.0
+        assert args.price_jitter == 0.1
+
+    def test_unknown_degradation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--degradation", "bogus"])
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["serve", "--resume", "--hours", "1"]) == 2
+        assert "--checkpoint" in capsys.readouterr().out
+
+    def test_missing_checkpoint_file_is_clean_error(self, capsys, tmp_path):
+        rc = main(
+            ["serve", "--resume", "--checkpoint", str(tmp_path / "absent.json")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_short_run_writes_decision_log(self, capsys, tmp_path):
+        log = tmp_path / "decisions.jsonl"
+        rc = main(
+            [
+                "serve",
+                "--hours", "2",
+                "--ticks-per-hour", "4",
+                "--monthly-budget", "2e6",
+                "--no-http",
+                "--decision-log", str(log),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        lines = log.read_text().splitlines()
+        assert lines
+        import json as _json
+
+        assert all("allocations" in _json.loads(l) for l in lines)
+
+    def test_checkpointed_run_then_resume_completes(self, capsys, tmp_path):
+        log = tmp_path / "decisions.jsonl"
+        ckpt = tmp_path / "ckpt.json"
+        common = [
+            "serve",
+            "--hours", "2",
+            "--ticks-per-hour", "4",
+            "--monthly-budget", "2e6",
+            "--no-http",
+            "--decision-log", str(log),
+            "--checkpoint", str(ckpt),
+        ]
+        assert main(common) == 0
+        # The finished run's checkpoint has nothing left to serve.
+        rc = main(["serve", "--resume", "--checkpoint", str(ckpt)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
