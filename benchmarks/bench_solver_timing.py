@@ -13,9 +13,12 @@ milliseconds leaves five orders of magnitude of headroom.
 Run as a script — ``PYTHONPATH=src python benchmarks/bench_solver_timing.py
 [--quick]`` — to produce the machine-readable perf baseline
 ``BENCH_solver.json`` at the repo root: the repeated-hour cost-min MILP
-with and without the compiled-model cache, and branch-and-bound node
-throughput with and without warm starts, at 3 and 13 sites. CI runs the
-quick mode and validates only the JSON shape, never absolute timings.
+with and without the compiled-model cache, branch-and-bound node
+throughput with and without warm starts, at 3 and 13 sites, plus the
+large-fleet dispatch cases (50/200/1000 sites through the region
+decomposition, against a monolithic reference where affordable) and the
+decomposition-vs-monolithic equivalence check. CI runs the quick mode
+and validates only the JSON shape, never absolute timings.
 """
 
 import json
@@ -52,6 +55,30 @@ def _replicate_13(world, t: int):
                 affine=base.affine,
                 policy=base.policy,
                 background_mw=base.background_mw * (0.9 + 0.02 * i),
+                power_cap_mw=base.power_cap_mw,
+                max_rate_rps=base.max_rate_rps,
+            )
+        )
+    return out
+
+
+def _replicate_n(world, n_sites: int, t: int):
+    """A large synthetic fleet: the 3-site world tiled to ``n_sites``.
+
+    Sites keep their source's pricing policy object, so the fleet has
+    three market "regions" with many co-located sites each — the shape
+    the decomposition solver's region packing exploits. Backgrounds are
+    perturbed (bounded, so 1000 sites stay physical) to break symmetry.
+    """
+    out = []
+    for i in range(n_sites):
+        base = world.sites[i % 3].hour(t)
+        out.append(
+            type(base)(
+                name=f"{base.name}-{i}",
+                affine=base.affine,
+                policy=base.policy,
+                background_mw=base.background_mw * (0.85 + 0.003 * (i % 100)),
                 power_cap_mw=base.power_cap_mw,
                 max_rate_rps=base.max_rate_rps,
             )
@@ -144,7 +171,15 @@ def test_cost_min_13_sites_scipy(benchmark, site_hours_13):
 #: Acceptance floors the baseline is judged against (see ARCHITECTURE.md,
 #: "Performance"). CI checks only the JSON shape; these ratios are for
 #: humans and for the repo's own perf tracking on a quiet machine.
-CRITERIA = {"model_cache_speedup_min": 3.0, "warm_node_speedup_min": 2.0}
+CRITERIA = {
+    "model_cache_speedup_min": 3.0,
+    "warm_node_speedup_min": 2.0,
+    # Large-fleet dispatch (the decomposition path): a 200-site hourly
+    # cost-min must land well inside the hourly control period.
+    "hour_latency_max_s": 2.0,
+    # Decomposition vs monolithic agreement, everywhere both run.
+    "equivalence_rel_gap_max": 1e-3,
+}
 
 #: First simulated hour of the repeated-hour sequences. Offset from 0 so
 #: backgrounds are mid-trace (every hour has a distinct demand pattern).
@@ -154,7 +189,9 @@ _T0 = 24
 def _hours_at(world, n_sites: int, t: int):
     if n_sites == 3:
         return [s.hour(t) for s in world.sites]
-    return _replicate_13(world, t)
+    if n_sites == 13:
+        return _replicate_13(world, t)
+    return _replicate_n(world, n_sites, t)
 
 
 def _cost_min_sf(site_hours, lam):
@@ -256,6 +293,88 @@ def _node_throughput_case(world, n_sites: int, reps: int) -> dict:
     }
 
 
+def _large_fleet_case(
+    world, n_sites: int, n_hours: int, passes: int, monolithic: bool
+) -> dict:
+    """Hourly cost-min dispatch at fleet scale via the decomposition path.
+
+    Times the hot decomposed solve over a repeated-hour sequence (warm
+    multipliers carry over, exactly like the Simulator's usage). Where a
+    monolithic reference is still affordable (``monolithic=True``) the
+    same hours are solved by SciPy/HiGHS and the worst per-hour cost gap
+    is recorded; past that scale only the per-hour latency is judged.
+    """
+    hour_list = [_hours_at(world, n_sites, _T0 + i) for i in range(n_hours)]
+    lams = [0.5 * sum(sh.max_rate_rps for sh in hours) for hours in hour_list]
+
+    def run(solver):
+        best, costs = float("inf"), []
+        for _ in range(passes):
+            t0 = time.perf_counter()
+            costs = [
+                solver.solve(hours, lam).predicted_cost
+                for hours, lam in zip(hour_list, lams)
+            ]
+            best = min(best, time.perf_counter() - t0)
+        return best, costs
+
+    dec_s, dec_costs = run(CostMinimizer(solver_backend="decomposition"))
+    case = {
+        "sites": n_sites,
+        "hours": n_hours,
+        "decomposed_ms_per_hour": 1e3 * dec_s / n_hours,
+        "hour_latency_s": dec_s / n_hours,
+    }
+    ok = True
+    if monolithic:
+        mono_s, mono_costs = run(CostMinimizer(backend="scipy"))
+        gap = max(
+            abs(a - b) / max(abs(a), 1e-9)
+            for a, b in zip(mono_costs, dec_costs)
+        )
+        case["monolithic_ms_per_hour"] = 1e3 * mono_s / n_hours
+        case["cost_rel_gap_max"] = gap
+        ok = ok and gap <= CRITERIA["equivalence_rel_gap_max"]
+    if n_sites >= 200:
+        ok = ok and dec_s / n_hours <= CRITERIA["hour_latency_max_s"]
+    case["meets_criterion"] = ok
+    return case
+
+
+def _equivalence_case(world, n_hours: int) -> dict:
+    """Decomposition vs monolithic on the paper-scale (<= 13 site) fleets.
+
+    At these sizes the duality gap usually cannot be certified, so the
+    decomposition-backed optimizers fall back to the monolithic solve —
+    either way, every answer must match the plain optimizer within the
+    0.1% equivalence tolerance, for both capping steps.
+    """
+    worst, n_cases = 0.0, 0
+    for n_sites in (3, 13):
+        mono_c, dec_c = CostMinimizer(), CostMinimizer(
+            solver_backend="decomposition"
+        )
+        mono_t, dec_t = ThroughputMaximizer(), ThroughputMaximizer(
+            solver_backend="decomposition"
+        )
+        for i in range(n_hours):
+            hours = _hours_at(world, n_sites, _T0 + i)
+            lam = 0.5 * sum(sh.max_rate_rps for sh in hours)
+            ref = mono_c.solve(hours, lam).predicted_cost
+            got = dec_c.solve(hours, lam).predicted_cost
+            worst = max(worst, abs(ref - got) / max(abs(ref), 1e-9))
+            budget = 0.7 * ref
+            ref_t = mono_t.solve(hours, lam, budget).served_total_rps
+            got_t = dec_t.solve(hours, lam, budget).served_total_rps
+            worst = max(worst, abs(ref_t - got_t) / max(abs(ref_t), 1e-9))
+            n_cases += 2
+    return {
+        "cases": n_cases,
+        "worst_rel_gap": worst,
+        "meets_criterion": worst <= CRITERIA["equivalence_rel_gap_max"],
+    }
+
+
 def run_timing_suite(quick: bool = False) -> dict:
     """Time the solver hot path and return the BENCH_solver.json payload.
 
@@ -273,16 +392,28 @@ def run_timing_suite(quick: bool = False) -> dict:
     n_hours = 4 if quick else 12
     reps = 1 if quick else 3
     passes = 2 if quick else 3
+    n_hours_fleet = 2 if quick else 6
+    passes_fleet = 1 if quick else 2
 
     cases = {
         "cost_min_3_sites": _repeated_hour_case(world, 3, n_hours, passes),
         "cost_min_13_sites": _repeated_hour_case(world, 13, n_hours, passes),
         "bb_nodes_3_sites": _node_throughput_case(world, 3, reps),
         "bb_nodes_13_sites": _node_throughput_case(world, 13, reps),
+        "dispatch_50_sites": _large_fleet_case(
+            world, 50, n_hours_fleet, passes_fleet, monolithic=True
+        ),
+        "dispatch_200_sites": _large_fleet_case(
+            world, 200, n_hours_fleet, passes_fleet, monolithic=False
+        ),
+        "dispatch_1000_sites": _large_fleet_case(
+            world, 1000, n_hours_fleet, passes_fleet, monolithic=False
+        ),
+        "decomposition_equivalence": _equivalence_case(world, n_hours_fleet),
     }
     return {
         "benchmark": "solver_timing",
-        "schema_version": 1,
+        "schema_version": 2,
         "quick": quick,
         "environment": {
             "python": platform.python_version(),
@@ -328,11 +459,27 @@ def _main(argv: list[str] | None = None) -> int:
                 f"scipy {case['scipy_ms_per_hour']:.1f} ms/h "
                 f"-> {case['model_cache_speedup']:.1f}x"
             )
-        else:
+        elif name.startswith("bb_nodes"):
             print(
                 f"  {name}: cold {case['cold_nodes_per_s']:.0f} nodes/s, "
                 f"warm {case['warm_nodes_per_s']:.0f} nodes/s "
                 f"-> {case['warm_node_speedup']:.1f}x"
+            )
+        elif name.startswith("dispatch"):
+            mono = case.get("monolithic_ms_per_hour")
+            extra = (
+                f", monolithic {mono:.1f} ms/h, "
+                f"gap {case['cost_rel_gap_max']:.2e}"
+                if mono is not None else ""
+            )
+            print(
+                f"  {name}: decomposed "
+                f"{case['decomposed_ms_per_hour']:.1f} ms/h{extra}"
+            )
+        else:
+            print(
+                f"  {name}: {case['cases']} cases, worst rel gap "
+                f"{case['worst_rel_gap']:.2e}"
             )
     print(f"criteria met: {payload['criteria']['met']}")
     return 0

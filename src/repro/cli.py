@@ -113,8 +113,53 @@ def _print_summary(name: str, result) -> None:
     print(f"  peak power:          {s['peak_power_mw']:.1f} MW")
 
 
+def _apply_solver_backend(args: argparse.Namespace) -> int | None:
+    """Validate --solver-backend and export it to the optimizers.
+
+    The name is published via ``REPRO_SOLVER_BACKEND`` so every
+    optimizer constructed anywhere inside the run (strategies build
+    their own) resolves it without threading a parameter through each
+    layer. Returns an exit code on a bad name, None to proceed.
+    """
+    name = getattr(args, "solver_backend", None)
+    if not name:
+        return None
+    from .solver.registry import backend_spec
+
+    try:
+        backend_spec(name)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    os.environ["REPRO_SOLVER_BACKEND"] = name
+    return None
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    """List the registered solver backends with capability flags."""
+    from .solver.registry import available_backends, backend_spec
+
+    names = available_backends()
+    width = max(len(n) for n in names)
+    flag_names = ("milp", "warm_start", "sparse", "dispatch")
+    rows = []
+    for name in names:
+        spec = backend_spec(name)
+        flags = ",".join(f for f in flag_names if getattr(spec, f)) or "-"
+        rows.append((name, flags, spec.description))
+    fwidth = max(len(f) for _, f, _ in rows)
+    print(f"{'backend':<{width}}  {'capabilities':<{fwidth}}  description")
+    for name, flags, desc in rows:
+        print(f"{name:<{width}}  {flags:<{fwidth}}  {desc}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import Engine, get_strategy, resolve_monthly_budget
+
+    code = _apply_solver_backend(args)
+    if code is not None:
+        return code
 
     faults = None
     degradation = None
@@ -308,6 +353,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint")
         return 2
+    code = _apply_solver_backend(args)
+    if code is not None:
+        return code
     try:
         loop, ticks, world, meta, start_tick, logged = (
             _serve_resumed(args) if args.resume else _serve_fresh(args)
@@ -425,6 +473,9 @@ def _report_comparison(ordered: "dict[str, object]") -> None:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .sim import STRATEGIES, available_strategies
 
+    code = _apply_solver_backend(args)
+    if code is not None:
+        return code
     if args.strategies is None:
         strategies = list(STRATEGIES)
     else:
@@ -476,6 +527,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sim.sweep import run_sweep, strategy_metric, sweep_grid
 
+    code = _apply_solver_backend(args)
+    if code is not None:
+        return code
     fractions: list[float | None] = []
     for token in args.budget_fractions.split(","):
         token = token.strip()
@@ -608,6 +662,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record telemetry (spans + solver metrics) and write a "
         "JSONL trace to PATH; inspect with 'repro telemetry summary PATH'",
+    )
+    common.add_argument(
+        "--solver-backend",
+        metavar="NAME",
+        default=None,
+        help="registered solver backend for the dispatch optimizers "
+        "(see 'repro solvers'); 'decomposition' enables the "
+        "region-decomposed large-fleet path explicitly",
     )
 
     p_sim = sub.add_parser(
@@ -774,7 +836,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--dns-ttl", type=float, default=300.0,
         help="resolver TTL for the realized-routing model",
     )
+    p_srv.add_argument(
+        "--solver-backend",
+        metavar="NAME",
+        default=None,
+        help="registered solver backend for the dispatch optimizers "
+        "(see 'repro solvers')",
+    )
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_sol = sub.add_parser(
+        "solvers", help="list the registered solver backends"
+    )
+    p_sol.set_defaults(func=_cmd_solvers)
 
     p_cmp = sub.add_parser(
         "compare", parents=[common], help="capping vs all baselines"

@@ -16,6 +16,12 @@ from .baselines import MinOnlyDispatcher, PriceMode, server_only_affine_slope
 from .bill_capper import BillCapper
 from .budgeter import Budgeter
 from .cost_min import CostMinimizer
+from .decomposition import (
+    DecompositionOutcome,
+    DecompositionSolver,
+    decomposition_auto_sites,
+    partition_market_regions,
+)
 from .dispatch_model import (
     DispatchModel,
     SiteVars,
@@ -51,6 +57,10 @@ __all__ = [
     "piecewise_widths",
     "DispatchModelCache",
     "MinOnlyCache",
+    "DecompositionSolver",
+    "DecompositionOutcome",
+    "decomposition_auto_sites",
+    "partition_market_regions",
     "CostMinimizer",
     "ThroughputMaximizer",
     "Budgeter",

@@ -90,11 +90,15 @@ class MinOnlyDispatcher:
         full physics.
     backend:
         Solver backend; the problem is an LP, any backend works.
+    solver_backend:
+        LP engine for the compiled hot path: ``"simplex"``,
+        ``"revised-simplex"`` or ``None`` (size-adaptive default).
     """
 
     price_mode: PriceMode
     server_slopes: dict[str, float]
     backend: object | None = None
+    solver_backend: str | None = None
     model_cache: object | None = field(default=None, repr=False, compare=False)
 
     @classmethod
@@ -169,7 +173,7 @@ class MinOnlyDispatcher:
             if sh.name not in self.server_slopes:
                 raise KeyError(f"no server slope for site {sh.name!r}")
         if self.model_cache is None:
-            self.model_cache = MinOnlyCache()
+            self.model_cache = MinOnlyCache(lp_solver=self.solver_backend)
         prices = [self.price_mode.constant_price(sh) for sh in site_hours]
         res = self.model_cache.solve(
             site_hours, total_rate_rps, prices, self.server_slopes

@@ -48,7 +48,16 @@ from .dispatch_model import RATE_SCALE
 from .linearize import reachable_segments
 from .site import SiteHour
 
-__all__ = ["MAX_COMBOS", "solve_cost_min", "solve_throughput_max"]
+__all__ = [
+    "MAX_COMBOS",
+    "SiteChoices",
+    "site_choices",
+    "combo_index",
+    "cost_min_fill",
+    "throughput_max_fill",
+    "solve_cost_min",
+    "solve_throughput_max",
+]
 
 #: Enumeration ceiling: beyond this many per-site choice combinations
 #: the branch-and-bound MILP (whose search is *not* exhaustive) wins.
@@ -59,7 +68,7 @@ _FEAS_TOL = 1e-9
 
 
 @dataclass(frozen=True)
-class _SiteChoices:
+class SiteChoices:
     """One site's admissible (segment | inactive) choices.
 
     Arrays are aligned per choice: ``lo``/``hi`` bound the scaled rate,
@@ -80,70 +89,97 @@ class _SiteChoices:
     pos: tuple[int, ...]
 
 
+# Backwards-friendly private alias (the class predates the public name).
+_SiteChoices = SiteChoices
+
+
+def site_choices(sh: SiteHour, step_margin_frac: float) -> SiteChoices | None:
+    """One site's choice set, or None on any per-site bail condition.
+
+    Shared by the enumeration kernel and the dual-decomposition solver
+    (:mod:`repro.core.decomposition`) so both price segment geometry
+    identically — :func:`~repro.core.linearize.reachable_segments` is
+    the single source of truth.
+    """
+    if sh.power_segments:
+        return None
+    a = sh.affine.slope_mw_per_rps * RATE_SCALE
+    b = sh.affine.intercept_mw
+    if not a > 0.0 or b < 0.0:
+        return None
+    mrs = sh.max_rate_rps / RATE_SCALE
+    segs = reachable_segments(
+        sh, sh.max_power_mw, step_margin_frac * sh.max_power_mw
+    )
+    lo, hi, m, f, price, pos = [], [], [], [], [], []
+    inactive_at = None
+    for j, (_, seg_price, p_lo, p_hi) in enumerate(segs):
+        if seg_price < 0.0:
+            return None
+        if inactive_at is None and p_lo == 0.0:
+            inactive_at = j
+        lam_lo = max(0.0, (p_lo - b) / a)
+        lam_hi = min(mrs, (p_hi - b) / a)
+        if lam_hi < lam_lo:
+            continue
+        lo.append(lam_lo)
+        hi.append(lam_hi)
+        m.append(seg_price * a)
+        f.append(seg_price * b)
+        price.append(seg_price)
+        pos.append(j)
+    if inactive_at is not None:
+        # z = 0: rate and power pinned at zero, the slack segment's
+        # binary absorbs the one_segment equality at no cost.
+        lo.append(0.0)
+        hi.append(0.0)
+        m.append(0.0)
+        f.append(0.0)
+        price.append(0.0)
+        pos.append(-(inactive_at + 1))
+    if not lo:
+        return None
+    return SiteChoices(
+        a=a, b=b,
+        lo=np.array(lo), hi=np.array(hi),
+        m=np.array(m), f=np.array(f), price=np.array(price),
+        pos=tuple(pos),
+    )
+
+
+def combo_index(
+    sites: list[SiteChoices], max_combos: int = MAX_COMBOS
+) -> np.ndarray | None:
+    """The (n_combos, n_sites) choice-index matrix, or None above the cap."""
+    n_combos = 1
+    for sc in sites:
+        n_combos *= sc.lo.size
+        if n_combos > max_combos:
+            return None
+    grids = np.meshgrid(
+        *[np.arange(sc.lo.size) for sc in sites], indexing="ij"
+    )
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
 def _prepare(
     site_hours: list[SiteHour], step_margin_frac: float
-) -> tuple[list[_SiteChoices], np.ndarray] | None:
+) -> tuple[list[SiteChoices], np.ndarray] | None:
     """Per-site choice sets and the combination index matrix.
 
     Returns None when any bail-out condition triggers, including a site
     with *no* admissible choice (the MILP then owns the infeasibility
     diagnosis).
     """
-    sites: list[_SiteChoices] = []
+    sites: list[SiteChoices] = []
     for sh in site_hours:
-        if sh.power_segments:
+        sc = site_choices(sh, step_margin_frac)
+        if sc is None:
             return None
-        a = sh.affine.slope_mw_per_rps * RATE_SCALE
-        b = sh.affine.intercept_mw
-        if not a > 0.0 or b < 0.0:
-            return None
-        mrs = sh.max_rate_rps / RATE_SCALE
-        segs = reachable_segments(
-            sh, sh.max_power_mw, step_margin_frac * sh.max_power_mw
-        )
-        lo, hi, m, f, price, pos = [], [], [], [], [], []
-        inactive_at = None
-        for j, (_, seg_price, p_lo, p_hi) in enumerate(segs):
-            if seg_price < 0.0:
-                return None
-            if inactive_at is None and p_lo == 0.0:
-                inactive_at = j
-            lam_lo = max(0.0, (p_lo - b) / a)
-            lam_hi = min(mrs, (p_hi - b) / a)
-            if lam_hi < lam_lo:
-                continue
-            lo.append(lam_lo)
-            hi.append(lam_hi)
-            m.append(seg_price * a)
-            f.append(seg_price * b)
-            price.append(seg_price)
-            pos.append(j)
-        if inactive_at is not None:
-            # z = 0: rate and power pinned at zero, the slack segment's
-            # binary absorbs the one_segment equality at no cost.
-            lo.append(0.0)
-            hi.append(0.0)
-            m.append(0.0)
-            f.append(0.0)
-            price.append(0.0)
-            pos.append(-(inactive_at + 1))
-        if not lo:
-            return None
-        sites.append(_SiteChoices(
-            a=a, b=b,
-            lo=np.array(lo), hi=np.array(hi),
-            m=np.array(m), f=np.array(f), price=np.array(price),
-            pos=tuple(pos),
-        ))
-    n_combos = 1
-    for sc in sites:
-        n_combos *= sc.lo.size
-        if n_combos > MAX_COMBOS:
-            return None
-    grids = np.meshgrid(
-        *[np.arange(sc.lo.size) for sc in sites], indexing="ij"
-    )
-    idx = np.stack([g.ravel() for g in grids], axis=1)
+        sites.append(sc)
+    idx = combo_index(sites)
+    if idx is None:
+        return None
     return sites, idx
 
 
@@ -186,22 +222,35 @@ def _result(
     )
 
 
-def solve_cost_min(
-    entry, site_hours: list[SiteHour], total_rate_scaled: float,
-    step_margin_frac: float,
-) -> SolveResult | None:
-    """Exact minimum-cost dispatch of ``total_rate_scaled`` (Mrps)."""
-    prep = _prepare(site_hours, step_margin_frac)
-    if prep is None:
-        return None
-    sites, idx = prep
+def _exact_cost(
+    sites: list[SiteChoices], idx: np.ndarray, best: int, lam: np.ndarray
+) -> float:
+    """Re-derive the bill exactly as the MILP prices it:
+    ``sum_i price_i * (a_i lam_i + b_i)`` over active sites."""
+    cost = 0.0
+    for i, sc in enumerate(sites):
+        j = idx[best, i]
+        if sc.pos[j] >= 0:
+            cost += float(sc.price[j]) * (sc.a * float(lam[i]) + sc.b)
+    return cost
+
+
+def cost_min_fill(
+    sites: list[SiteChoices], idx: np.ndarray, total_rate_scaled: float
+) -> tuple[int, np.ndarray, float] | None:
+    """Exact min-cost fill over the enumerated combinations.
+
+    Returns ``(best_combo_row, lam_per_site, exact_cost)``; None when no
+    combination can serve ``total_rate_scaled``. Entry-free so the
+    decomposition solver can run it per region.
+    """
     LO, HI, M, F = (_gather(sites, idx, k) for k in ("lo", "hi", "m", "f"))
     sum_lo = LO.sum(axis=1)
     feasible = (sum_lo <= total_rate_scaled + _FEAS_TOL) & (
         HI.sum(axis=1) >= total_rate_scaled - _FEAS_TOL
     )
     if not feasible.any():
-        return None  # the MILP owns the infeasibility diagnosis
+        return None
     remaining = np.maximum(total_rate_scaled - sum_lo, 0.0)
     order = np.argsort(M, axis=1, kind="stable")
     caps = np.take_along_axis(HI - LO, order, axis=1)
@@ -214,25 +263,35 @@ def solve_cost_min(
     cost = np.where(feasible, cost, np.inf)
     best = int(np.argmin(cost))
     lam = LO[best] + _unsort(order[best], take[best])
-    # Re-derive the objective exactly as the MILP prices it:
-    # sum_i price_i * (a_i lam_i + b_i) over active sites.
-    objective = 0.0
-    prices = _gather(sites, idx, "price")
-    for i, sc in enumerate(sites):
-        if sc.pos[idx[best, i]] >= 0:
-            objective += prices[best, i] * (sc.a * float(lam[i]) + sc.b)
-    return _result(entry, sites, idx[best], lam, objective)
+    return best, lam, _exact_cost(sites, idx, best, lam)
 
 
-def solve_throughput_max(
-    entry, site_hours: list[SiteHour], demand_scaled: float, budget: float,
-    step_margin_frac: float, weight: float,
+def solve_cost_min(
+    entry, site_hours: list[SiteHour], total_rate_scaled: float,
+    step_margin_frac: float,
 ) -> SolveResult | None:
-    """Exact budget-capped throughput maximization (rates in Mrps)."""
+    """Exact minimum-cost dispatch of ``total_rate_scaled`` (Mrps)."""
     prep = _prepare(site_hours, step_margin_frac)
     if prep is None:
         return None
     sites, idx = prep
+    fill = cost_min_fill(sites, idx, total_rate_scaled)
+    if fill is None:
+        return None  # the MILP owns the infeasibility diagnosis
+    best, lam, objective = fill
+    return _result(entry, sites, idx[best], lam, objective)
+
+
+def throughput_max_fill(
+    sites: list[SiteChoices], idx: np.ndarray, demand_scaled: float,
+    budget: float, weight: float,
+) -> tuple[int, np.ndarray, float, float] | None:
+    """Exact budget-capped throughput fill over the combinations.
+
+    Returns ``(best_combo_row, lam_per_site, served, exact_cost)``; None
+    when no combination is admissible (or the tie-break weight breaks
+    the greedy order). Entry-free for the decomposition solver.
+    """
     LO, HI, M, F = (_gather(sites, idx, k) for k in ("lo", "hi", "m", "f"))
     if weight < 0.0 or (weight > 0.0 and weight * M.max(initial=0.0) >= 1.0):
         return None  # rate would be unprofitable: greedy order invalid
@@ -263,11 +322,22 @@ def solve_throughput_max(
     value = np.where(feasible, served - weight * cost, -np.inf)
     best = int(np.argmax(value))
     lam = LO[best] + _unsort(order[best], take[best])
+    return best, lam, float(lam.sum()), _exact_cost(sites, idx, best, lam)
+
+
+def solve_throughput_max(
+    entry, site_hours: list[SiteHour], demand_scaled: float, budget: float,
+    step_margin_frac: float, weight: float,
+) -> SolveResult | None:
+    """Exact budget-capped throughput maximization (rates in Mrps)."""
+    prep = _prepare(site_hours, step_margin_frac)
+    if prep is None:
+        return None
+    sites, idx = prep
+    fill = throughput_max_fill(sites, idx, demand_scaled, budget, weight)
+    if fill is None:
+        return None
+    best, lam, served, exact_cost = fill
     # Objective exactly as the MILP prices it (user sense: maximize).
-    prices = _gather(sites, idx, "price")
-    exact_cost = 0.0
-    for i, sc in enumerate(sites):
-        if sc.pos[idx[best, i]] >= 0:
-            exact_cost += prices[best, i] * (sc.a * float(lam[i]) + sc.b)
-    objective = float(lam.sum() - weight * exact_cost)
+    objective = float(served - weight * exact_cost)
     return _result(entry, sites, idx[best], lam, objective)

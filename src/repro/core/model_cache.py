@@ -31,6 +31,7 @@ SciPy solves, is pinned by ``tests/core/test_model_cache.py``.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -47,6 +48,7 @@ from ..solver import (
 )
 from ..solver.branch_bound import BranchBoundSolver
 from ..solver.result import SolveStatus
+from ..solver.revised_simplex import RevisedSimplexSolver, lp_solver_for_size
 from ..solver.simplex import SimplexSolver
 from ..telemetry import get_telemetry
 from ..telemetry.instrument import record_solver_result
@@ -144,7 +146,8 @@ class _Entry:
     )
 
     def __init__(self, dm: DispatchModel, base: StandardForm, sense_max: bool,
-                 slots: list[_SiteSlots], serve_all_row, demand_row, budget_row):
+                 slots: list[_SiteSlots], serve_all_row, demand_row, budget_row,
+                 solver_backend: str | None = None):
         self.dm = dm
         self.base = base
         self.sense_max = sense_max
@@ -155,7 +158,19 @@ class _Entry:
         self.budget_row = budget_row
         # Private engine so its structure cache and root warm basis are
         # never thrashed by other problems; incumbents carry over hours.
-        self.solver = BranchBoundSolver(lp_solver=SimplexSolver(), warm_start=True)
+        # The LP engine is picked by problem size: dense tableau for
+        # small fleets, the sparse-pricing revised simplex once the
+        # tableau would not fit the cell budget.
+        if solver_backend is None:
+            n_rows = base.A_ub.shape[0] + base.A_eq.shape[0]
+            self.solver = BranchBoundSolver(
+                lp_solver=lp_solver_for_size(base.c.size, n_rows),
+                warm_start=True,
+            )
+        else:
+            from ..solver.registry import get_backend
+
+            self.solver = get_backend(solver_backend)
         self.last_x: np.ndarray | None = None
 
 
@@ -173,10 +188,18 @@ class DispatchModelCache:
     #: through every optimizer constructor.
     default_use_enum_kernel = True
 
-    def __init__(self, maxsize: int = 32, use_enum_kernel: bool | None = None):
+    def __init__(self, maxsize: int | None = None,
+                 use_enum_kernel: bool | None = None,
+                 solver_backend: str | None = None):
+        if maxsize is None:
+            maxsize = int(os.environ.get("REPRO_MODEL_CACHE_SIZE", "32"))
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        #: Registered backend name each compiled entry solves with; None
+        #: picks the size-adaptive default (dense simplex B&B for small
+        #: fleets, revised simplex above the tableau cell budget).
+        self.solver_backend = solver_backend
         #: Try the exact segment-enumeration kernel before the MILP
         #: (see :mod:`repro.core.enum_kernel`). It bails to the MILP
         #: whenever its assumptions don't hold; set False to force the
@@ -287,6 +310,8 @@ class DispatchModelCache:
         self._entries[key] = entry
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            if tel.enabled:
+                tel.counter("core.model_cache.evict").inc()
         if tel.enabled:
             tel.counter("core.model_cache.miss").inc()
         return entry
@@ -367,6 +392,7 @@ class DispatchModelCache:
             serve_all_row=eq_rows.get("serve_all"),
             demand_row=ub_rows.get("demand"),
             budget_row=ub_rows.get("budget"),
+            solver_backend=self.solver_backend,
         )
 
     @staticmethod
@@ -457,7 +483,12 @@ class DispatchModelCache:
     # -- solving ----------------------------------------------------------------
 
     def _solve(self, entry: _Entry, sf: StandardForm, name: str) -> SolveResult:
-        res = entry.solver.solve(sf, warm_x=entry.last_x)
+        if isinstance(entry.solver, BranchBoundSolver):
+            res = entry.solver.solve(sf, warm_x=entry.last_x)
+        else:
+            # Registry backends expose the plain solve(StandardForm)
+            # protocol; warm incumbents are a B&B-only concept.
+            res = entry.solver.solve(sf)
         if not res.ok and res.status not in (
             SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED
         ):
@@ -508,11 +539,23 @@ class MinOnlyCache:
     sides. Consecutive hours warm-start each other's simplex basis.
     """
 
-    def __init__(self):
+    def __init__(self, lp_solver=None):
         self._key: tuple | None = None
         self._base: StandardForm | None = None
         self._cap_rows: list[int | None] = []
-        self._solver = SimplexSolver()
+        if isinstance(lp_solver, str):
+            if lp_solver == "simplex":
+                lp_solver = SimplexSolver()
+            elif lp_solver == "revised-simplex":
+                lp_solver = RevisedSimplexSolver()
+            else:
+                raise ValueError(
+                    "MinOnlyCache lp_solver name must be 'simplex' or "
+                    f"'revised-simplex', got {lp_solver!r}"
+                )
+        #: None picks per-structure via lp_solver_for_size at compile.
+        self._solver = lp_solver
+        self._auto_solver = lp_solver is None
         self._warm = None
 
     def solve(
@@ -608,4 +651,6 @@ class MinOnlyCache:
         )
         self._cap_rows = cap_rows
         self._key = key
+        if self._auto_solver:
+            self._solver = lp_solver_for_size(n, len(rows) + 1)
         self._warm = None  # structure changed: stale basis is useless

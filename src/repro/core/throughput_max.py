@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 
 from ..solver import InfeasibleError
 from .allocation import CappingStep, HourlyDecision
-from .cost_min import _decision_from, _zero_decision
+from .cost_min import (
+    _decision_from,
+    _use_decomposition,
+    _zero_decision,
+    resolve_solver_backend,
+)
+from .decomposition import DecompositionSolver
 from .dispatch_model import RATE_SCALE, build_dispatch_model
 from .model_cache import DispatchModelCache
 from .site import SiteHour
@@ -30,6 +36,11 @@ class ThroughputMaximizer:
     ----------
     backend:
         Solver backend name or object; default HiGHS.
+    solver_backend:
+        Registered backend name for the compiled hot path, with the
+        same semantics as :class:`~repro.core.cost_min.CostMinimizer`
+        (``REPRO_SOLVER_BACKEND`` env default, ``"decomposition"``
+        for the region-decomposed solver, size-based auto-activation).
     cost_tiebreak_weight:
         Among maximum-throughput solutions, prefer cheaper ones: the
         objective is ``sum lambda_i - w * total_cost`` with ``w`` small
@@ -38,9 +49,13 @@ class ThroughputMaximizer:
     """
 
     backend: object | None = None
+    solver_backend: str | None = None
     cost_tiebreak_weight: float = 1e-6
     step_margin_frac: float = 0.01
     model_cache: DispatchModelCache | None = field(
+        default=None, repr=False, compare=False
+    )
+    _decomposer: DecompositionSolver | None = field(
         default=None, repr=False, compare=False
     )
 
@@ -64,9 +79,31 @@ class ThroughputMaximizer:
             decision = _zero_decision(site_hours, CappingStep.THROUGHPUT_MAX)
             return _with_budget(decision, budget)
 
-        if self.backend is None:
+        backend, solver_backend = resolve_solver_backend(
+            self.backend, self.solver_backend
+        )
+        if _use_decomposition(backend, solver_backend, len(site_hours)):
+            if self._decomposer is None:
+                self._decomposer = DecompositionSolver()
+            out = self._decomposer.solve_throughput_max(
+                site_hours, offered_rate_rps, budget,
+                self.step_margin_frac, self.cost_tiebreak_weight,
+            )
+            if out is not None:
+                decision = out.to_decision(
+                    site_hours, CappingStep.THROUGHPUT_MAX
+                )
+                return _with_budget(decision, budget)
+            # Uncertified gap: fall through to the monolithic solve.
+
+        if backend is None:
             if self.model_cache is None:
-                self.model_cache = DispatchModelCache()
+                cache_backend = (
+                    None if solver_backend == "decomposition" else solver_backend
+                )
+                self.model_cache = DispatchModelCache(
+                    solver_backend=cache_backend
+                )
             dm, res = self.model_cache.solve_throughput_max(
                 site_hours, offered_rate_rps, budget,
                 self.step_margin_frac, self.cost_tiebreak_weight,
@@ -87,7 +124,7 @@ class ThroughputMaximizer:
         dm.model.maximize(objective)
         # All-zero dispatch is always feasible (cost 0 <= budget), so a
         # failure here is a solver error rather than a modeling outcome.
-        res = dm.model.solve(backend=self.backend, raise_on_failure=True)
+        res = dm.model.solve(backend=backend, raise_on_failure=True)
         decision = _decision_from(dm, res, CappingStep.THROUGHPUT_MAX)
         return _with_budget(decision, budget)
 

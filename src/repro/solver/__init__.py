@@ -8,7 +8,11 @@ Public API:
 * Backends: :class:`ScipyBackend` (HiGHS, default),
   :class:`ScipyLpBackend` (LP + duals),
   :class:`BranchBoundSolver` (own B&B), :class:`SimplexSolver`
-  (pure-NumPy LP engine);
+  (pure-NumPy LP engine), :class:`RevisedSimplexSolver` (factorized
+  basis + sparse pricing, for 100+-site fleets);
+* Registry: :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` — named backend factories with capability
+  flags, the resolution point for ``--solver-backend``;
 * Errors: :class:`SolverError` and friends.
 """
 
@@ -34,7 +38,19 @@ from .cuts import CoverCut, apply_cuts, find_cover_cuts
 from .fallback import FallbackBackend
 from .lp_format import model_to_lp_string, parse_lp_string, read_lp, write_lp
 from .presolve import PresolveReport, PresolvingBackend, presolve
+from .registry import (
+    BackendSpec,
+    available_backends,
+    backend_spec,
+    get_backend,
+    register_backend,
+)
 from .result import SolveResult, SolveStatus
+from .revised_simplex import (
+    RevisedSimplexSolver,
+    RevisedWarmBasis,
+    lp_solver_for_size,
+)
 from .scipy_backend import ScipyBackend, ScipyLpBackend
 from .simplex import SimplexSolver
 
@@ -53,6 +69,14 @@ __all__ = [
     "ScipyLpBackend",
     "BranchBoundSolver",
     "SimplexSolver",
+    "RevisedSimplexSolver",
+    "RevisedWarmBasis",
+    "lp_solver_for_size",
+    "BackendSpec",
+    "register_backend",
+    "get_backend",
+    "backend_spec",
+    "available_backends",
     "SolverError",
     "ModelingError",
     "InfeasibleError",

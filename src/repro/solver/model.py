@@ -507,9 +507,10 @@ class Model:
         Parameters
         ----------
         backend:
-            ``None`` (auto: HiGHS), ``"scipy"``, ``"branch-bound"``,
-            ``"simplex"``, or any object with a
-            ``solve(StandardForm) -> SolveResult`` method.
+            ``None`` (auto: HiGHS), any registered backend name from
+            :func:`repro.solver.registry.available_backends` (e.g.
+            ``"scipy"``, ``"simplex"``, ``"revised-simplex"``), or any
+            object with a ``solve(StandardForm) -> SolveResult`` method.
         raise_on_failure:
             When true, raise :class:`InfeasibleError` /
             :class:`UnboundedError` / :class:`SolverLimitError` instead
@@ -538,19 +539,24 @@ class Model:
 
     @staticmethod
     def _resolve_backend(backend, **kwargs):
-        if backend is None or backend == "scipy":
+        if backend is None:
             from .scipy_backend import ScipyBackend
 
             return ScipyBackend(**kwargs)
-        if backend == "branch-bound":
-            from .branch_bound import BranchBoundSolver
+        if isinstance(backend, str):
+            from . import registry
 
-            return BranchBoundSolver(**kwargs)
-        if backend == "simplex":
-            from .branch_bound import BranchBoundSolver
-            from .simplex import SimplexSolver
-
-            return BranchBoundSolver(lp_solver=SimplexSolver(), **kwargs)
+            try:
+                spec = registry.backend_spec(backend)
+            except ValueError as exc:
+                raise ModelingError(str(exc)) from None
+            if spec.dispatch:
+                raise ModelingError(
+                    f"backend {backend!r} operates on dispatch problems, "
+                    "not compiled standard forms; pass it to the "
+                    "repro.core optimizers instead"
+                )
+            return spec.make(**kwargs)
         if hasattr(backend, "solve"):
             return backend
         raise ModelingError(f"unknown backend {backend!r}")

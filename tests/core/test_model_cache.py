@@ -251,3 +251,92 @@ class TestCacheBookkeeping:
                 cold.solve(hours, lam).predicted_cost, rel=1e-8
             )
         assert tel.registry.counter("core.model_cache.fallback").value >= 1
+
+
+class TestCacheConfig:
+    def test_env_var_sets_default_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE_SIZE", "3")
+        assert DispatchModelCache().maxsize == 3
+        # An explicit constructor arg always wins over the environment.
+        assert DispatchModelCache(maxsize=7).maxsize == 7
+
+    def test_default_capacity_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MODEL_CACHE_SIZE", raising=False)
+        assert DispatchModelCache().maxsize == 32
+
+    def test_eviction_counter(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            cache = DispatchModelCache(maxsize=1)
+            cache._entry("cost-min", hours_at(0), MARGIN)
+            cache._entry(
+                "cost-min", [site_hour("Z", 0.5e-6, 10.0, 50.0)], MARGIN
+            )
+        reg = tel.registry
+        assert reg.counter("core.model_cache.evict").value == 1
+        assert reg.counter("core.model_cache.miss").value == 2
+
+    def test_solver_backend_threaded_to_entries(self):
+        from repro.solver import ScipyBackend
+
+        cache = DispatchModelCache(solver_backend="scipy", use_enum_kernel=False)
+        hours = hours_at(0)
+        lam = 0.5 * sum(sh.max_rate_rps for sh in hours)
+        hot = CostMinimizer(model_cache=cache)
+        got = hot.solve(hours, lam)
+        (entry,) = cache._entries.values()
+        assert isinstance(entry.solver, ScipyBackend)
+        ref = CostMinimizer(backend="scipy").solve(hours, lam)
+        assert got.predicted_cost == pytest.approx(ref.predicted_cost, rel=1e-8)
+
+    def test_optimizer_solver_backend_reaches_cache(self):
+        hot = CostMinimizer(solver_backend="simplex")
+        hours = hours_at(0)
+        hot.solve(hours, 0.5 * sum(sh.max_rate_rps for sh in hours))
+        assert hot.model_cache.solver_backend == "simplex"
+
+
+class TestMinOnlyLpSelection:
+    def _dispatcher(self, **kwargs):
+        hours = hours_at(0)
+        return MinOnlyDispatcher(
+            price_mode=PriceMode.AVG,
+            server_slopes={sh.name: 0.4e-6 for sh in hours},
+            **kwargs,
+        ), hours
+
+    def test_named_engines_resolve(self):
+        from repro.core import MinOnlyCache
+        from repro.solver import RevisedSimplexSolver, SimplexSolver
+
+        assert type(MinOnlyCache(lp_solver="simplex")._solver) is SimplexSolver
+        assert type(
+            MinOnlyCache(lp_solver="revised-simplex")._solver
+        ) is RevisedSimplexSolver
+        engine = RevisedSimplexSolver()
+        assert MinOnlyCache(lp_solver=engine)._solver is engine
+
+    def test_unknown_name_rejected(self):
+        from repro.core import MinOnlyCache
+
+        with pytest.raises(ValueError, match="lp_solver"):
+            MinOnlyCache(lp_solver="scipy")
+
+    def test_revised_engine_matches_default(self):
+        plain, hours = self._dispatcher()
+        revised, _ = self._dispatcher(solver_backend="revised-simplex")
+        lam = 0.5 * sum(sh.max_rate_rps for sh in hours)
+        a = plain.solve(hours, lam)
+        b = revised.solve(hours, lam)
+        assert b.predicted_cost == pytest.approx(a.predicted_cost, rel=1e-8)
+
+    def test_auto_selection_at_compile(self):
+        from repro.core import MinOnlyCache
+        from repro.solver import SimplexSolver
+
+        cache = MinOnlyCache()
+        assert cache._solver is None
+        disp, hours = self._dispatcher(model_cache=cache)
+        disp.solve(hours, 0.5 * sum(sh.max_rate_rps for sh in hours))
+        # Three sites compile to a tiny LP: the dense engine wins.
+        assert type(cache._solver) is SimplexSolver

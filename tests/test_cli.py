@@ -193,3 +193,28 @@ class TestServeCommand:
         rc = main(["serve", "--resume", "--checkpoint", str(ckpt)])
         assert rc == 2
         assert "error:" in capsys.readouterr().out
+
+
+class TestSolversCommand:
+    def test_lists_backends_with_flags(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "decomposition" in out
+        assert "revised-simplex" in out
+        assert "milp,warm_start,sparse,dispatch" in out
+        assert "capabilities" in out
+
+    def test_simulate_rejects_unknown_backend(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER_BACKEND", raising=False)
+        assert main(
+            ["simulate", "--hours", "2", "--solver-backend", "nope"]
+        ) == 2
+        assert "unknown solver backend" in capsys.readouterr().out
+
+    def test_simulate_with_decomposition_backend(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER_BACKEND", raising=False)
+        assert main(
+            ["simulate", "--strategy", "min-only-avg", "--hours", "2",
+             "--solver-backend", "decomposition"]
+        ) == 0
+        assert "total cost" in capsys.readouterr().out
