@@ -1,0 +1,212 @@
+"""Benchmark harness for the closed-loop endogenous-pricing path.
+
+Writes ``BENCH_closedloop.json`` at the repo root (companion of
+``BENCH_service.json`` etc.). Tracked numbers:
+
+* **fixed-point iterations per hour** — OPF re-clears the damped
+  dispatch <-> DC-OPF iteration needs before the LMP vector settles
+  (2 is the floor: convergence is detected by comparing successive
+  clears);
+* **wall time per hour** — full closed-loop hour (strategy dispatch +
+  sweep-regenerated policies + OPF clears) on the paper world;
+* **convergence rate** — fraction of hours reaching the fixed point
+  within the iteration budget, on the intact grid and under an N-1
+  contingency with renewable-shaped background demand;
+* **mitigation** — the undamped best-response dynamic must oscillate
+  on the two-zone congestion step while damping converges the same
+  scenario; this is the closed-loop module's reason to exist.
+
+Run as a script: ``PYTHONPATH=src python benchmarks/bench_closedloop.py
+[--quick]``. CI runs quick mode and validates the JSON shape.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+#: Where the machine-readable baseline lands (repo root).
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_closedloop.json"
+
+#: Acceptance floors. The paper world's load range must settle every
+#: hour; contingency scenarios may legitimately fall back on a few
+#: hours, so their floor is lower.
+CRITERIA = {
+    "convergence_rate_min": 1.0,
+    "contingency_convergence_rate_min": 0.9,
+    "damping_mitigates_oscillation": True,
+}
+
+
+def _closed_loop_case(hours: int, scenario: dict) -> dict:
+    """One telemetry-instrumented closed-loop month via the sweep metric."""
+    from repro.sim import closedloop_metric
+    from repro.telemetry import Telemetry, use_telemetry
+
+    t0 = time.perf_counter()
+    with use_telemetry(Telemetry()):
+        summary = closedloop_metric({"hours": hours, **scenario})
+    wall_s = time.perf_counter() - t0
+    return {
+        "hours": summary["hours"],
+        "scenario": scenario,
+        "total_cost": summary["total_cost"],
+        "iterations": summary["iterations"],
+        "iterations_per_hour": summary["mean_iterations"],
+        "wall_s": wall_s,
+        "wall_s_per_hour": wall_s / max(1, summary["hours"]),
+        "convergence_rate": summary["convergence_rate"],
+        "oscillated_hours": summary["oscillated_hours"],
+        "fallback_hours": summary["fallback_hours"],
+    }
+
+
+def _paper_case(quick: bool) -> dict:
+    case = _closed_loop_case(6 if quick else 72, {})
+    case["meets_criterion"] = (
+        case["convergence_rate"] >= CRITERIA["convergence_rate_min"]
+    )
+    return case
+
+
+def _contingency_case(quick: bool) -> dict:
+    case = _closed_loop_case(
+        6 if quick else 48,
+        {"line_outage": "D-E", "background": "renewable", "operators": 3},
+    )
+    case["meets_criterion"] = (
+        case["convergence_rate"]
+        >= CRITERIA["contingency_convergence_rate_min"]
+    )
+    return case
+
+
+def _mitigation_case() -> dict:
+    """Undamped best response oscillates; damping converges it."""
+    from repro.powermarket.closedloop import (
+        ClosedLoopConfig,
+        EndogenousPricer,
+        MarketCoupling,
+        get_grid,
+    )
+    from repro.telemetry import Telemetry, use_telemetry
+
+    coupling = MarketCoupling(
+        grid=get_grid("two-zone"), site_buses={"DC": "Y"}
+    )
+
+    def spot_taker(policies, injections, rivals):
+        price = policies["Y"].price(60.0 + injections["DC"])
+        return {"DC": 10.0 if price > 20.0 else 120.0}
+
+    def run(damping: float):
+        with use_telemetry(Telemetry()):
+            pricer = EndogenousPricer(
+                coupling, ClosedLoopConfig(damping=damping, max_iterations=8)
+            )
+            t0 = time.perf_counter()
+            result = pricer.solve_hour(
+                {"DC": 60.0}, {"DC": 120.0}, spot_taker
+            )
+            return result, time.perf_counter() - t0
+
+    undamped, undamped_s = run(1.0)
+    damped, damped_s = run(0.5)
+    mitigated = (
+        undamped.oscillated
+        and not undamped.converged
+        and damped.converged
+        and not damped.oscillated
+    )
+    return {
+        "undamped": {
+            "converged": undamped.converged,
+            "oscillated": undamped.oscillated,
+            "iterations": undamped.iterations,
+            "wall_s": undamped_s,
+        },
+        "damped": {
+            "converged": damped.converged,
+            "oscillated": damped.oscillated,
+            "iterations": damped.iterations,
+            "wall_s": damped_s,
+        },
+        "damping_mitigates_oscillation": mitigated,
+        "meets_criterion": mitigated
+        == CRITERIA["damping_mitigates_oscillation"],
+    }
+
+
+def run_closedloop_suite(quick: bool = False) -> dict:
+    """Run all cases and return the BENCH_closedloop.json payload."""
+    import platform
+
+    import numpy
+
+    cases = {
+        "paper_world": _paper_case(quick),
+        "contingency": _contingency_case(quick),
+        "mitigation": _mitigation_case(),
+    }
+    return {
+        "benchmark": "closedloop",
+        "schema_version": 1,
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "cases": cases,
+        "criteria": {
+            **CRITERIA,
+            "met": all(c["meets_criterion"] for c in cases.values()),
+        },
+    }
+
+
+def _main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Closed-loop endogenous-pricing harness; writes "
+        "BENCH_closedloop.json at the repo root."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the runs for CI smoke (same JSON shape)",
+    )
+    parser.add_argument(
+        "--out", default=str(BENCH_JSON), help="output path for the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_closedloop_suite(quick=args.quick)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+    for name in ("paper_world", "contingency"):
+        c = payload["cases"][name]
+        print(
+            f"  {name} ({c['hours']}h): "
+            f"{c['iterations_per_hour']:.2f} iters/h, "
+            f"{c['wall_s_per_hour'] * 1e3:.1f} ms/h, "
+            f"convergence {c['convergence_rate']:.0%}, "
+            f"fallback {c['fallback_hours']:.0f}h"
+        )
+    m = payload["cases"]["mitigation"]
+    print(
+        f"  mitigation: undamped oscillated={m['undamped']['oscillated']} "
+        f"(iters {m['undamped']['iterations']}); damped "
+        f"converged={m['damped']['converged']} "
+        f"(iters {m['damped']['iterations']})"
+    )
+    print(f"  criteria met: {payload['criteria']['met']}")
+    return 0 if payload["criteria"]["met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

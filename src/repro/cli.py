@@ -154,6 +154,26 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _endogenous_runtime(args: argparse.Namespace, engine):
+    """Build the closed-loop pricing runtime when the flag is set.
+
+    Returns ``None`` when ``--endogenous-prices`` is off, keeping the
+    exogenous pipeline byte-identical (no closed-loop objects are even
+    constructed).
+    """
+    if not getattr(args, "endogenous_prices", False):
+        return None
+    from .powermarket import ClosedLoopConfig, get_grid
+    from .sim.endogenous import EndogenousPrices
+
+    try:
+        grid = get_grid(args.grid)
+        config = ClosedLoopConfig(damping=args.damping)
+        return EndogenousPrices(engine, grid=grid, config=config)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import Engine, get_strategy, resolve_monthly_budget
 
@@ -194,6 +214,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.checkpoint:
         # Everything 'repro resume' needs to rebuild the same world.
         meta = {"policy": args.policy, "seed": args.seed}
+    middleware = None
+    runtime = _endogenous_runtime(args, engine)
+    if runtime is not None:
+        from .sim.endogenous import EndogenousPriceMiddleware
+
+        middleware = [EndogenousPriceMiddleware(runtime)]
+        print(f"endogenous prices: grid={args.grid} "
+              f"damping={args.damping:g}")
     with _tracing(args):
         result = engine.run(
             strategy,
@@ -203,6 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             degradation=degradation,
             checkpoint_path=args.checkpoint or None,
             checkpoint_meta=meta,
+            middleware=middleware,
         )
     _print_summary(args.strategy, result)
     if args.checkpoint:
@@ -297,6 +326,7 @@ def _serve_fresh(args: argparse.Namespace):
         budgeter=budgeter,
         hours=hours,
         degradation=DegradationPolicy(args.degradation),
+        endogenous=_endogenous_runtime(args, engine),
     )
     meta = {
         "policy": args.policy,
@@ -336,6 +366,7 @@ def _serve_resumed(args: argparse.Namespace):
     )
     ticks = build_ticks(lam_trace, source)
     loop = restore_loop(engine, payload)
+    loop.endogenous = _endogenous_runtime(args, engine)
     kept = truncate_jsonl(meta["decision_log"], payload["decisions_logged"])
     print(f"resuming {payload['strategy']} from {args.checkpoint}: "
           f"{payload['loop']['settled_hours']}/{payload['horizon']} hours "
@@ -672,8 +703,35 @@ def build_parser() -> argparse.ArgumentParser:
         "region-decomposed large-fleet path explicitly",
     )
 
+    endo = argparse.ArgumentParser(add_help=False)
+    endo.add_argument(
+        "--endogenous-prices",
+        action="store_true",
+        help="close the loop: after each hour's dispatch, re-run the "
+        "DC-OPF with the fleet's realized power injected, regenerate "
+        "the stepped price curves from the fresh LMPs, and iterate to "
+        "a damped fixed point (bills the hour at the endogenous "
+        "prices; off = exogenous curves, bit-identical to before)",
+    )
+    endo.add_argument(
+        "--grid",
+        metavar="NAME",
+        default="pjm5bus",
+        help="registered grid for the closed-loop OPF (see "
+        "repro.powermarket.available_grids; default: pjm5bus)",
+    )
+    endo.add_argument(
+        "--damping",
+        type=float,
+        default=0.5,
+        metavar="BETA",
+        help="relaxation weight of the dispatch<->OPF fixed point in "
+        "(0, 1]; 1.0 is the undamped best response, which can "
+        "oscillate across congestion steps (default: 0.5)",
+    )
+
     p_sim = sub.add_parser(
-        "simulate", aliases=["run"], parents=[common],
+        "simulate", aliases=["run"], parents=[common, endo],
         help="run one registered strategy",
     )
     p_sim.add_argument(
@@ -738,7 +796,8 @@ def build_parser() -> argparse.ArgumentParser:
     # --trace telemetry flag would collide with serve's streaming
     # telemetry, and half the shared knobs live in the checkpoint).
     p_srv = sub.add_parser(
-        "serve", help="run the streaming control plane (sub-hourly "
+        "serve", parents=[endo],
+        help="run the streaming control plane (sub-hourly "
         "re-dispatch, HTTP API, checkpointed)"
     )
     p_srv.add_argument("--policy", type=int, default=1, choices=(0, 1, 2, 3))

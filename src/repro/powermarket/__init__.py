@@ -6,9 +6,25 @@ optimal power flow, and the piecewise-constant pricing policies the
 bill-capping algorithms consume.
 """
 
+from .closedloop import (
+    ClosedLoopConfig,
+    EndogenousPricer,
+    FixedPointResult,
+    MarketCoupling,
+    available_grids,
+    compress_steps,
+    get_grid,
+    line_outage,
+    policies_from_sweep,
+    register_grid,
+)
 from .curves import CurveBank, StepCurve
 from .dcopf import DcOpf, DispatchResult
-from .demand import background_for_policy, reco_like_background
+from .demand import (
+    background_for_policy,
+    reco_like_background,
+    renewable_background,
+)
 from .grids import ieee9_like, ring, two_zone
 from .lmp import LmpComponents, decompose_lmp
 from .network import Bus, Generator, Grid, Line
@@ -48,7 +64,18 @@ __all__ = [
     "PAPER_DC1_PRICES",
     "PAPER_BREAKPOINTS_MW",
     "reco_like_background",
+    "renewable_background",
     "background_for_policy",
+    "ClosedLoopConfig",
+    "FixedPointResult",
+    "MarketCoupling",
+    "EndogenousPricer",
+    "register_grid",
+    "get_grid",
+    "available_grids",
+    "line_outage",
+    "compress_steps",
+    "policies_from_sweep",
     "PtdfMatrix",
     "compute_ptdf",
     "injection_shift_flows",

@@ -93,11 +93,20 @@ class DcOpf:
         if res.status is not SolveStatus.OPTIMAL:
             return DispatchResult(False, float("nan"), {}, {}, {})
 
-        # Equality rows were added as: flow couplings first, then balances.
-        n_flow_eqs = len(self.grid.lines)
+        # Equality duals are mapped back to buses by *constraint name*
+        # (`balance[<bus>]`), never by positional offset: `_build`'s row
+        # ordering must not silently decide which dual is an LMP.
+        eq_rows = self._eq_rows(m)
+        if res.duals_eq.size < len(eq_rows):
+            raise ValueError(
+                f"backend {res.backend or type(self.backend).__name__!s} "
+                f"returned {res.duals_eq.size} equality duals for "
+                f"{len(eq_rows)} equality rows; LMPs need an LP backend "
+                "that reports duals"
+            )
         lmps = {
-            bus: float(res.duals_eq[n_flow_eqs + i])
-            for i, bus in enumerate(balance_order)
+            bus: float(res.duals_eq[eq_rows[f"balance[{bus}]"]])
+            for bus in balance_order
         }
         generation = {name: float(res.value(v)) for name, v in gen_vars.items()}
         flows = {key: float(res.value(v)) for key, v in flow_vars.items()}
@@ -112,24 +121,44 @@ class DcOpf:
         nodal price — is provably unchanged. ``inf`` when no constraint
         ever binds (practically: bounded by generation capacity, which
         ranging reports too).
+
+        The value is *incremental* MW above the current load at ``bus``
+        (``rhs_range_eq`` reports deltas relative to the current RHS,
+        not the absolute RHS at which the basis changes).
         """
         from ..solver import SimplexSolver
 
         if bus not in {b.name for b in self.grid.buses}:
             raise KeyError(f"unknown bus {bus!r}")
-        m, _, _, balance_order = self._build(loads)
+        m, _, _, _ = self._build(loads)
         sf = m.to_standard_form()
         res = SimplexSolver().solve(sf, ranging=True)
         if res.status is not SolveStatus.OPTIMAL:
             raise ValueError("load vector is infeasible")
-        row = len(self.grid.lines) + balance_order.index(bus)
+        # Resolve the balance row by name among the equality rows —
+        # positional arithmetic breaks as soon as `_build` reorders rows.
+        row = self._eq_rows(m)[f"balance[{bus}]"]
         _, hi = res.rhs_range_eq[row]
         return float(hi)
 
+    @staticmethod
+    def _eq_rows(m: Model) -> dict[str, int]:
+        """Name -> row index of the model's equality constraints.
+
+        Matches ``Model.to_standard_form``'s ordering (insertion order
+        among ``==`` constraints), which is also the order backends
+        report ``duals_eq`` and ``rhs_range_eq`` in.
+        """
+        return {
+            c.name: i
+            for i, c in enumerate(k for k in m._constrs if k.kind == "==")
+        }
+
     def _build(self, loads: dict[str, float]):
         """Construct the OPF model; returns (model, gens, flows, balance order)."""
+        bus_names = {b.name for b in self.grid.buses}
         for bus, mw in loads.items():
-            if bus not in {b.name for b in self.grid.buses}:
+            if bus not in bus_names:
                 raise KeyError(f"unknown bus {bus!r} in load vector")
             if mw < 0:
                 raise ValueError(f"negative load at bus {bus!r}")
@@ -208,11 +237,15 @@ class DcOpf:
             infeasible load levels yield ``nan``.
         """
         total_share = sum(load_shares.values())
-        if abs(total_share - 1.0) > 1e-9:
+        # Relative tolerance: float accumulation (e.g. rounded thirds)
+        # must not reject an intentionally-complete share vector.  The
+        # shares are renormalized so the sweep is exact either way.
+        if not np.isclose(total_share, 1.0, rtol=1e-6, atol=0.0):
             raise ValueError(f"load shares sum to {total_share}, expected 1")
+        shares = {b: s / total_share for b, s in load_shares.items()}
         out = {bus: np.full(len(system_loads), np.nan) for bus in load_shares}
         for i, total in enumerate(np.asarray(system_loads, dtype=float)):
-            res = self.dispatch({b: s * total for b, s in load_shares.items()})
+            res = self.dispatch({b: s * total for b, s in shares.items()})
             if res.feasible:
                 for bus in load_shares:
                     out[bus][i] = res.lmp_at(bus)

@@ -24,7 +24,11 @@ import numpy as np
 
 from .pricing import SteppedPricingPolicy
 
-__all__ = ["reco_like_background", "background_for_policy"]
+__all__ = [
+    "reco_like_background",
+    "renewable_background",
+    "background_for_policy",
+]
 
 #: Normalized 24-hour shape: trough around 4am, peak around 5-6pm.
 _DIURNAL = np.array(
@@ -99,6 +103,48 @@ def _ar1(eps: np.ndarray, rho: float) -> np.ndarray:
             out[i] = acc
         return out
     return lfilter([1.0], [1.0, -rho], eps)
+
+
+#: Normalized solar production shape: zero overnight, bell over 7am-7pm.
+_SOLAR = np.clip(np.sin((np.arange(24) - 6.5) / 12.5 * np.pi), 0.0, None)
+
+
+def renewable_background(
+    hours: int,
+    peak_mw: float,
+    *,
+    renewable_fraction: float = 0.35,
+    seed: int = 0,
+    noise: float = 0.03,
+    start_weekday: int = 0,
+) -> np.ndarray:
+    """Net background demand under renewable-shaped generation.
+
+    The gross trace is :func:`reco_like_background`; from it a
+    solar-shaped renewable production is subtracted, sized at
+    ``renewable_fraction`` of the gross peak and modulated by seeded
+    day-to-day cloudiness. The result is the classic "duck curve" net
+    load — a midday trough and a steep evening ramp — which parks the
+    market on a different side of the price steps than the plain
+    diurnal trace and is one of the closed-loop scenario axes.
+
+    Returns non-negative demand of shape ``(hours,)``, fully
+    reproducible from ``seed`` (gross and cloudiness draws use
+    decorrelated child seeds).
+    """
+    if not 0.0 <= renewable_fraction < 1.0:
+        raise ValueError("renewable_fraction must be in [0, 1)")
+    gross = reco_like_background(
+        hours, peak_mw, seed=seed, noise=noise, start_weekday=start_weekday
+    )
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x5EED]))
+    t = np.arange(hours)
+    days = hours // 24 + 1
+    cloudiness = rng.uniform(0.5, 1.0, size=days)
+    solar = (
+        renewable_fraction * peak_mw * _SOLAR[t % 24] * cloudiness[t // 24]
+    )
+    return np.maximum(gross - solar, 0.0)
 
 
 def background_for_policy(

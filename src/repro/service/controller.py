@@ -193,9 +193,16 @@ class ControlLoop:
         degradation: DegradationPolicy | None = DegradationPolicy.PROPORTIONAL,
         name: str | None = None,
         on_settle=None,
+        endogenous=None,
     ):
         self.engine = engine
         self.strategy = engine._resolve(strategy)
+        #: Optional closed-loop pricing runtime
+        #: (:class:`repro.sim.endogenous.EndogenousPrices`): every
+        #: sub-hourly dispatch is iterated to the LMP fixed point and
+        #: billed at the endogenous prices. ``None`` keeps the exogenous
+        #: path bit-identical.
+        self.endogenous = endogenous
         self.trigger = trigger or TriggerPolicy()
         self.horizon = engine._horizon(hours)
         self.degradation = degradation
@@ -344,7 +351,15 @@ class ControlLoop:
         ctx.budget = self.hour_budget
         with tel.span("service.dispatch", hour=self.hour, reason=reason):
             decision = dispatch_with_degradation(ctx, self.state)
-            record = self.engine._realize(self.hour, decision)
+            if self.endogenous is not None:
+                try:
+                    self.endogenous.apply(ctx, self.state)
+                    decision = ctx.decision
+                    record = self.engine._realize(self.hour, decision)
+                finally:
+                    self.endogenous.clear()
+            else:
+                record = self.engine._realize(self.hour, decision)
         tel.counter("service.dispatches").inc()
         tel.counter(f"service.trigger.{reason}").inc()
 

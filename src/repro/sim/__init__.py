@@ -25,9 +25,10 @@ from .parallel import (
     run_one_strategy,
 )
 from .records import HourRecord, SimulationResult, SiteRecord
+from .endogenous import EndogenousPriceMiddleware, EndogenousPrices
 from .registry import available_strategies, get_strategy, register_strategy
 from .simulator import Simulator
-from .sweep import derive_seed, run_sweep, sweep_grid
+from .sweep import closedloop_metric, derive_seed, run_sweep, sweep_grid
 
 __all__ = [
     "Simulator",
@@ -57,4 +58,7 @@ __all__ = [
     "sweep_grid",
     "run_sweep",
     "derive_seed",
+    "closedloop_metric",
+    "EndogenousPrices",
+    "EndogenousPriceMiddleware",
 ]

@@ -42,7 +42,7 @@ import contextlib
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Protocol, runtime_checkable
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -348,6 +348,10 @@ class Engine:
         self._local_at_memo: dict[tuple[str, int], LocalOptimizer] = {}
         self._bank: SiteBank | None = None
         self._curves: CurveBank | None = None
+        #: Per-site pricing override consulted by ``_realize`` — set by
+        #: the closed-loop endogenous-pricing runtime for the hour being
+        #: billed, ``None`` (bit-identical exogenous billing) otherwise.
+        self.policy_override: dict[str, Any] | None = None
         if batched and all(supports_batching(s.datacenter) for s in sites):
             self._bank = SiteBank.from_sites(sites)
             self._curves = CurveBank.from_policies([s.policy for s in sites])
@@ -365,6 +369,7 @@ class Engine:
         degradation: DegradationPolicy | None = None,
         checkpoint_path=None,
         checkpoint_meta: dict | None = None,
+        middleware: "Sequence[StageMiddleware] | None" = None,
     ) -> SimulationResult:
         """Run ``strategy`` through the stage pipeline for ``hours``.
 
@@ -384,6 +389,11 @@ class Engine:
         ``checkpoint_meta`` is carried verbatim in the payload (the CLI
         stores its world parameters there so ``repro resume`` can
         rebuild the engine).
+
+        ``middleware`` appends extra :class:`StageMiddleware` after the
+        built-in telemetry/fault middleware (e.g. the closed-loop
+        endogenous-pricing hook); ``None`` keeps the pipeline exactly
+        as before.
         """
         strategy = self._resolve(strategy)
         horizon = self._horizon(hours)
@@ -406,6 +416,7 @@ class Engine:
             degradation=degradation,
             checkpoint_path=checkpoint_path,
             checkpoint_meta=checkpoint_meta,
+            middleware=middleware,
         )
 
     def resume(
@@ -414,6 +425,7 @@ class Engine:
         *,
         strategy: "DispatchStrategy | str | None" = None,
         hours: int | None = None,
+        middleware: "Sequence[StageMiddleware] | None" = None,
     ) -> SimulationResult:
         """Continue a checkpointed run from its last settled hour.
 
@@ -479,6 +491,7 @@ class Engine:
             degradation=degradation,
             checkpoint_path=checkpoint_path,
             checkpoint_meta=payload.get("meta") or None,
+            middleware=middleware,
         )
 
     def _drive(
@@ -493,6 +506,7 @@ class Engine:
         degradation: DegradationPolicy | None,
         checkpoint_path,
         checkpoint_meta: dict | None,
+        middleware: "Sequence[StageMiddleware] | None" = None,
     ) -> SimulationResult:
         """The hour loop: stages through middleware, records appended."""
         stages = STAGES if strategy.wants_budget else tuple(
@@ -501,6 +515,8 @@ class Engine:
         middlewares: list[StageMiddleware] = [TelemetryMiddleware()]
         if faults is not None:
             middlewares.append(FaultMiddleware(faults))
+        if middleware:
+            middlewares.extend(middleware)
         with use_telemetry(self.telemetry or get_telemetry()):
             # Rolling budgeter snapshot backing the budget_loss fault: a
             # lost budgeter is restored from here, exactly as a restarted
@@ -846,6 +862,17 @@ class Engine:
                         float(site.background_mw[t]) + local.power_mw
                     )
                     rt = self._response_time(site, local)
+                if (
+                    self.policy_override is not None
+                    and site.name in self.policy_override
+                ):
+                    # Closed-loop endogenous pricing: bill this hour at
+                    # the fixed point's regenerated curve instead.
+                    price = float(
+                        self.policy_override[site.name].price(
+                            float(site.background_mw[t]) + local.power_mw
+                        )
+                    )
                 cost = price * local.power_mw
                 realized_cost += cost
                 total_shed += local.shed_rps

@@ -45,6 +45,7 @@ __all__ = [
     "run_sweep",
     "strategy_metric",
     "capped_month_metric",
+    "closedloop_metric",
 ]
 
 #: A sweep metric: ``metric(scenario, payload) -> value``. For
@@ -201,3 +202,109 @@ def capped_month_metric(scenario: Mapping[str, Any], payload: Any = None):
     return engine.run(
         "capping", budgeter=budgeter, hours=scenario.get("hours", 168)
     )
+
+
+def closedloop_metric(scenario: Mapping[str, Any], payload: Any = None):
+    """One closed-loop endogenous-pricing run; returns a summary dict.
+
+    The scenario axes of the closed-loop study (ROADMAP: oscillation /
+    mitigation dynamics):
+
+    ``policy_id``, ``seed``, ``hours``, ``monthly_budget``, ``strategy``
+        The usual world/run knobs (defaults: policy 1, seed 7, 24 h,
+        uncapped, ``capping``).
+    ``grid``
+        Registry name resolved via
+        :func:`repro.powermarket.closedloop.get_grid` (default
+        ``pjm5bus``).
+    ``line_outage``
+        A line key (e.g. ``"D-E"``) dropped from the grid before
+        coupling — the N-1 contingency axis. ``None`` = intact grid.
+    ``background``
+        ``"reco"`` (default) keeps the world's diurnal traces;
+        ``"renewable"`` swaps in duck-curve net load
+        (:func:`repro.powermarket.demand.renewable_background`)
+        calibrated to each site's first price breakpoint.
+    ``operators``
+        K symmetric operators chasing the same buses (amplifies the
+        fleet's price impact; the competition axis).
+    ``damping``, ``acceleration``, ``max_iterations``
+        Fixed-point mitigation knobs
+        (:class:`~repro.powermarket.closedloop.ClosedLoopConfig`).
+
+    Returns convergence statistics plus the month's realized cost —
+    scalars only, picklable across the process pool.
+    """
+    from dataclasses import replace
+
+    from ..experiments import paper_world
+    from ..powermarket import (
+        ClosedLoopConfig,
+        line_outage,
+        renewable_background,
+    )
+    from .endogenous import EndogenousPriceMiddleware
+    from .engine import Engine
+
+    seed = scenario.get("seed", 7)
+    world = paper_world(scenario.get("policy_id", 1), seed=seed)
+    if scenario.get("background", "reco") == "renewable":
+        world.sites = [
+            replace(
+                site,
+                background_mw=renewable_background(
+                    site.background_mw.size,
+                    (
+                        max(0.8 * site.policy.breakpoints[0], 5.0)
+                        if site.policy.breakpoints
+                        else 80.0
+                    ),
+                    seed=seed + 100 + i,
+                ),
+            )
+            for i, site in enumerate(world.sites)
+        ]
+    engine = Engine(world.sites, world.workload, world.mix)
+    config = ClosedLoopConfig(
+        damping=scenario.get("damping", 0.5),
+        acceleration=scenario.get("acceleration", "relaxation"),
+        max_iterations=scenario.get("max_iterations", 8),
+        operators=scenario.get("operators", 1),
+    )
+    mutate = (
+        line_outage(scenario["line_outage"])
+        if scenario.get("line_outage")
+        else None
+    )
+    middleware = EndogenousPriceMiddleware.for_engine(
+        engine,
+        grid=scenario.get("grid", "pjm5bus"),
+        config=config,
+        mutate=mutate,
+    )
+    budgeter = None
+    if scenario.get("monthly_budget") is not None:
+        budgeter = world.budgeter(scenario["monthly_budget"])
+    result = engine.run(
+        scenario.get("strategy", "capping"),
+        budgeter=budgeter,
+        hours=scenario.get("hours", 24),
+        middleware=[middleware],
+    )
+    tel = get_telemetry()
+
+    def total(name: str) -> float:
+        metric = tel.registry.get(name) if tel.enabled else None
+        return float(metric.value) if metric is not None else 0.0
+
+    hours = len(result.hours)
+    return {
+        "hours": hours,
+        "total_cost": float(sum(h.realized_cost for h in result.hours)),
+        "iterations": total("closedloop.iterations"),
+        "mean_iterations": total("closedloop.iterations") / max(1, hours),
+        "converged_hours": total("closedloop.converged"),
+        "convergence_rate": total("closedloop.converged") / max(1, hours),
+        "oscillated_hours": total("closedloop.oscillated"),
+        "fallback_hours": total("closedloop.fallback"),
+    }

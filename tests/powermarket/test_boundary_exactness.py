@@ -1,0 +1,128 @@
+"""Boundary exactness of the step-price lookup paths.
+
+A load exactly on a breakpoint is the sharpest correctness edge of the
+pricing layer: the right-open convention (``breakpoints[k-1] <= P <
+breakpoints[k]``) says such a load already pays the *higher* level. The
+scalar policy path, its vectorized sibling, :class:`StepCurve`, and the
+batched :class:`CurveBank` must all agree there, bit for bit — one of
+them flipping to left-closed would silently misprice every hour whose
+dispatch lands on a step (which Cost Capping deliberately does).
+
+Also pins the regeneration round trip: policies derived from an
+``lmp_sweep`` re-enter the system through ordinary
+``SteppedPricingPolicy`` construction (the ``paper_policy_dc1`` path)
+and serialization without drifting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.powermarket.closedloop import policies_from_sweep
+from repro.powermarket.curves import CurveBank, StepCurve
+from repro.powermarket.dcopf import DcOpf
+from repro.powermarket.grids import two_zone
+from repro.powermarket.pjm5bus import derive_step_policies
+from repro.powermarket.pricing import (
+    SteppedPricingPolicy,
+    paper_policies,
+    paper_policy_dc1,
+)
+
+EPS = 1e-9
+
+
+def _regenerated():
+    opf = DcOpf(two_zone())
+    window = np.arange(20.0, 200.0, 5.0)
+    return list(policies_from_sweep(opf, {"Y": 1.0}, window).values())
+
+
+def _all_policies():
+    return [*paper_policies(), paper_policy_dc1(), *_regenerated()]
+
+
+@pytest.fixture(scope="module", params=range(5), ids=lambda i: f"policy{i}")
+def policy(request):
+    return _all_policies()[request.param]
+
+
+class TestScalarBoundaries:
+    def test_breakpoint_takes_upper_level(self, policy):
+        for k, bp in enumerate(policy.breakpoints):
+            assert policy.price(bp) == policy.prices[k + 1]
+            assert policy.price(bp - EPS * bp) == policy.prices[k]
+            assert policy.level_index(bp) == k + 1
+
+    def test_price_array_agrees_at_breakpoints(self, policy):
+        if not policy.breakpoints:
+            pytest.skip("flat policy has no breakpoints")
+        bps = np.asarray(policy.breakpoints)
+        scalar = np.array([policy.price(b) for b in bps])
+        assert np.array_equal(policy.price_array(bps), scalar)
+        just_below = bps * (1 - EPS)
+        scalar_below = np.array([policy.price(b) for b in just_below])
+        assert np.array_equal(policy.price_array(just_below), scalar_below)
+
+
+class TestVectorizedBoundaries:
+    def test_step_curve_agrees_at_breakpoints(self, policy):
+        curve = StepCurve.from_policy(policy)
+        probes = np.asarray(
+            [0.0, *policy.breakpoints, *(b * (1 - EPS) for b in policy.breakpoints)]
+        )
+        scalar = np.array([policy.price(p) for p in probes])
+        assert np.array_equal(curve.price(probes), scalar)
+
+    def test_curve_bank_agrees_at_breakpoints(self):
+        policies = _all_policies()
+        bank = CurveBank.from_policies(policies)
+        width = max(len(p.breakpoints) for p in policies)
+        # Probe every policy at every one of its own breakpoints (padding
+        # rows with zeros, which both paths price at the base level).
+        probes = np.zeros((len(policies), width))
+        for i, p in enumerate(policies):
+            probes[i, : len(p.breakpoints)] = p.breakpoints
+        scalar = np.array(
+            [[p.price(x) for x in row] for p, row in zip(policies, probes)]
+        )
+        assert np.array_equal(bank.price(probes), scalar)
+
+    def test_curve_bank_padding_invisible(self):
+        # A flat policy padded next to a 4-step one must keep returning
+        # its single price even at the widest policy's breakpoints.
+        flat = SteppedPricingPolicy("flat", (), (31.0,))
+        wide = paper_policy_dc1()
+        bank = CurveBank.from_policies([flat, wide])
+        probes = np.array([wide.breakpoints, wide.breakpoints])
+        assert np.array_equal(bank.price(probes)[0], np.full(4, 31.0))
+
+
+class TestSweepRoundTrip:
+    def test_regenerated_policy_reconstructs(self):
+        for policy in _regenerated():
+            rebuilt = SteppedPricingPolicy(
+                policy.name, tuple(policy.breakpoints), tuple(policy.prices)
+            )
+            assert rebuilt == policy
+            probes = np.asarray([0.0, *policy.breakpoints, 1e6])
+            assert np.array_equal(
+                rebuilt.price_array(probes), policy.price_array(probes)
+            )
+
+    def test_serialization_round_trip(self):
+        for policy in _regenerated():
+            again = SteppedPricingPolicy.from_dict(policy.to_dict())
+            assert again == policy
+
+    def test_derived_pjm_policies_match_paper_construction(self):
+        derived = derive_step_policies(step_mw=10.0)
+        b = derived["B"]
+        # Same construction path as paper_policy_dc1: name, interior
+        # breakpoints, one more price than breakpoints, right-open.
+        paper = paper_policy_dc1()
+        assert b.name == paper.name
+        assert len(b.prices) == len(b.breakpoints) + 1
+        for k, bp in enumerate(b.breakpoints):
+            assert b.price(bp) == b.prices[k + 1]
+        # Both step through the same first level price ($10 marginal).
+        assert b.prices[0] == pytest.approx(paper.prices[0], abs=0.5)

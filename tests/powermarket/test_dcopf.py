@@ -12,7 +12,7 @@ from repro.powermarket import (
     LOAD_SHARES,
     pjm5bus,
 )
-from repro.solver import SimplexSolver
+from repro.solver import ScipyLpBackend, SimplexSolver
 from repro.solver.branch_bound import BranchBoundSolver
 
 
@@ -153,3 +153,108 @@ class TestSweep:
         opf = DcOpf(pjm5bus())
         with pytest.raises(ValueError, match="shares"):
             opf.lmp_sweep({"B": 0.5, "C": 0.2}, np.array([100.0]))
+
+
+class _BalanceFirstOpf(DcOpf):
+    """A DcOpf whose equality rows come out balance-first.
+
+    Simulates a future `_build` refactor that reorders constraint
+    insertion: any code mapping duals or RHS ranges by *positional
+    offset* (``len(lines) + i``) silently reads the wrong row here,
+    while name-based resolution stays correct.
+    """
+
+    def _build(self, loads):
+        m, gen_vars, flow_vars, balance_order = super()._build(loads)
+        ubs = [c for c in m._constrs if c.kind == "<="]
+        eqs = [c for c in m._constrs if c.kind == "=="]
+        balance = [c for c in eqs if c.name.startswith("balance[")]
+        flows = [c for c in eqs if c.name.startswith("flow[")]
+        m._constrs[:] = ubs + balance + flows
+        return m, gen_vars, flow_vars, balance_order
+
+
+class _DualLessBackend:
+    """Optimal primal solution, no duals — like a MILP-mode backend."""
+
+    def __init__(self):
+        self._inner = ScipyLpBackend()
+
+    def solve(self, sf):
+        res = self._inner.solve(sf)
+        res.duals_eq = np.empty(0)
+        res.backend = "dual-less-stub"
+        return res
+
+
+class TestHeadroomRegressions:
+    """`load_growth_headroom` must resolve the balance row by name."""
+
+    def _grid(self):
+        return _two_bus(limit=60.0)
+
+    def test_headroom_survives_constraint_reordering(self):
+        # Pre-fix: row = len(lines) + balance_order.index(bus) points at
+        # a flow-coupling row once balances are inserted first, so the
+        # two orderings disagree.  Post-fix both resolve `balance[Y]`.
+        loads = {"Y": 50.0}
+        baseline = DcOpf(self._grid()).load_growth_headroom(loads, "Y")
+        reordered = _BalanceFirstOpf(self._grid()).load_growth_headroom(loads, "Y")
+        assert reordered == pytest.approx(baseline)
+        assert baseline == pytest.approx(10.0, abs=1e-6)
+
+    def test_headroom_is_incremental_mw(self):
+        # Within the reported headroom every LMP is unchanged; just past
+        # it the import line saturates and Y's price jumps to the local
+        # unit.  That only holds if the value is a delta above the
+        # current load, not an absolute RHS level.
+        opf = DcOpf(self._grid())
+        loads = {"Y": 50.0}
+        h = opf.load_growth_headroom(loads, "Y")
+        assert h == pytest.approx(10.0, abs=1e-6)
+        base = opf.dispatch(loads)
+        inside = opf.dispatch({"Y": 50.0 + 0.9 * h})
+        beyond = opf.dispatch({"Y": 50.0 + h + 1.0})
+        for bus in ("X", "Y"):
+            assert inside.lmp_at(bus) == pytest.approx(base.lmp_at(bus), abs=1e-6)
+        assert beyond.lmp_at("Y") == pytest.approx(50.0)
+
+    def test_reordered_model_still_prices_correctly(self):
+        # The dispatch-side dual mapping is name-based too.
+        res = _BalanceFirstOpf(self._grid()).dispatch({"Y": 100.0})
+        assert res.feasible
+        assert res.lmp_at("X") == pytest.approx(10.0)
+        assert res.lmp_at("Y") == pytest.approx(50.0)
+
+
+class TestShareToleranceRegression:
+    """`lmp_sweep` accepts float-accumulated shares and renormalizes."""
+
+    def test_rounded_thirds_accepted(self):
+        # round(1/3, 7) * 3 sums to 0.9999999 — rejected by the old
+        # absolute 1e-9 gate, accepted (and renormalized) now.
+        opf = DcOpf(pjm5bus())
+        thirds = {b: round(1 / 3, 7) for b in ("B", "C", "D")}
+        assert abs(sum(thirds.values()) - 1.0) > 1e-8  # would fail pre-fix
+        loads = np.array([300.0, 660.0, 800.0])
+        approx = opf.lmp_sweep(thirds, loads)
+        exact = opf.lmp_sweep({b: 1 / 3 for b in ("B", "C", "D")}, loads)
+        for bus in ("B", "C", "D"):
+            np.testing.assert_allclose(approx[bus], exact[bus], atol=1e-6)
+
+    def test_grossly_wrong_shares_still_rejected(self):
+        opf = DcOpf(pjm5bus())
+        with pytest.raises(ValueError, match="shares"):
+            opf.lmp_sweep({"B": 0.7, "C": 0.2, "D": 0.2}, np.array([100.0]))
+
+
+class TestDualLessBackendError:
+    def test_dispatch_names_backend_when_duals_missing(self):
+        opf = DcOpf(_two_bus(), backend=_DualLessBackend())
+        with pytest.raises(ValueError, match="dual-less-stub"):
+            opf.dispatch({"Y": 100.0})
+
+    def test_unknown_bus_still_keyerror(self):
+        # The hoisted bus-name set keeps validation behavior identical.
+        with pytest.raises(KeyError, match="Q"):
+            DcOpf(_two_bus()).dispatch({"Q": 10.0})

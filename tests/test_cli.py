@@ -31,6 +31,18 @@ class TestParser:
             args = build_parser().parse_args([command, "--trace", "t.jsonl"])
             assert args.trace == "t.jsonl"
 
+    def test_endogenous_flags_on_run_and_serve(self):
+        for command in ("simulate", "run", "serve"):
+            args = build_parser().parse_args(
+                [command, "--endogenous-prices", "--grid", "two-zone",
+                 "--damping", "0.8"]
+            )
+            assert args.endogenous_prices is True
+            assert args.grid == "two-zone"
+            assert args.damping == 0.8
+            off = build_parser().parse_args([command])
+            assert off.endogenous_prices is False
+
     def test_telemetry_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["telemetry"])
@@ -68,6 +80,17 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "monthly budget" in out
+
+    def test_simulate_endogenous_prices(self, capsys):
+        assert main(["simulate", "--hours", "3", "--endogenous-prices"]) == 0
+        out = capsys.readouterr().out
+        assert "endogenous prices: grid=pjm5bus" in out
+        assert "total cost" in out
+
+    def test_simulate_endogenous_unknown_grid(self, capsys):
+        with pytest.raises(SystemExit, match="unknown grid"):
+            main(["simulate", "--hours", "1", "--endogenous-prices",
+                  "--grid", "bogus"])
 
     def test_headroom_command(self, capsys):
         assert main(["headroom", "--load", "450"]) == 0
