@@ -10,10 +10,23 @@ writes ``BENCH_service.json`` at the repo root (companion of
   realize path, not tick parsing);
 * **decision latency** — p50/p99 wall time of one ``on_tick`` call
   that produced a decision (solver + ground-truth realization);
+* **push latency** — p50/p99 wall time from the control loop producing
+  a decision to the read model publishing it to subscribers (the
+  push-based delivery path behind ``/decisions/stream``);
 * **tick-to-decision staleness** — in *simulated* seconds, how far the
   λ feed can drift from the decision in force: p50/p99/max over each
   tick's distance to the most recent dispatch. Bounded by the trigger
   policy's ``max_staleness_s`` by construction; the bench asserts it.
+* **shard scaling** — aggregate decisions/s of the multi-process
+  sharded plane (``repro serve --workers N``) at 1 vs 4 workers over
+  an 8-region scaled fleet. The ≥2× speedup floor only applies on
+  machines with ≥4 cores; below that the case still runs (the merged
+  logs must stay byte-identical) but the speedup check records a skip
+  reason instead of failing.
+* **slow-subscriber decoupling** — a stalled ``/decisions/stream``
+  subscriber must not inflate the control loop's p99 decision latency:
+  the read model drops oldest records per subscriber rather than
+  back-pressuring the loop.
 
 The harness also replays the identical storm through the synchronous
 :func:`~repro.service.run_serial` reference and asserts the two
@@ -33,12 +46,24 @@ import time
 #: Where the machine-readable baseline lands (repo root).
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
+#: Worker counts the shard-scaling case compares.
+SHARD_WORKERS = (1, 4)
+
 #: Acceptance floors. Decisions/s is hardware-sensitive, so the floor
 #: is deliberately conservative (a single enumeration-kernel dispatch
 #: over 3 sites measures in the low milliseconds on any recent CPU).
+#: The shard speedup floor is gated on ``shard_min_cores`` — on smaller
+#: machines the case records a skip reason instead of a verdict. The
+#: slow-subscriber check is a ratio with an absolute grace term so
+#: timer noise on near-zero latencies cannot fail it spuriously.
 CRITERIA = {
     "decisions_per_s_min": 5.0,
     "staleness_within_policy": True,
+    "push_p99_ms_max": 10.0,
+    "shard_speedup_min": 2.0,
+    "shard_min_cores": 4,
+    "slow_subscriber_p99_factor_max": 2.0,
+    "slow_subscriber_p99_grace_ms": 1.0,
 }
 
 
@@ -121,11 +146,14 @@ def _tick_storm_case(quick: bool) -> dict:
 
     # Timed: the asyncio service free-running the same storm, writing
     # its real decision log so the identity check covers the wire
-    # format, not just the in-memory events.
+    # format, not just the in-memory events. Runs with the read model
+    # enabled (``sse=True``) so the push path is part of the measured
+    # loop and its latency is sampled.
     log = pathlib.Path(tempfile.mkdtemp(prefix="bench_service_")) / "log.jsonl"
     async_loop = _make_loop(world, engine, trigger, hours)
     service = ControlPlaneService(
-        async_loop, ticks, http=False, decision_log=log, handle_signals=False
+        async_loop, ticks, http=False, decision_log=log,
+        handle_signals=False, sse=True,
     )
     t0 = time.perf_counter()
     asyncio.run(service.run())
@@ -134,6 +162,8 @@ def _tick_storm_case(quick: bool) -> dict:
     identical = log.read_text().splitlines() == serial_log
 
     lat = sorted(service.decide_wall_s)
+    push = sorted(service.readmodel.push_latency_s)
+    push_p99_ms = _percentile(push, 0.99) * 1e3
     staleness = _staleness(ticks, serial_events, trigger.max_staleness_s)
     decisions = async_loop.decisions
     return {
@@ -144,6 +174,8 @@ def _tick_storm_case(quick: bool) -> dict:
         "decisions_per_s": decisions / wall_s if wall_s > 0 else 0.0,
         "p50_decision_ms": _percentile(lat, 0.50) * 1e3,
         "p99_decision_ms": _percentile(lat, 0.99) * 1e3,
+        "p50_push_ms": _percentile(push, 0.50) * 1e3,
+        "p99_push_ms": push_p99_ms,
         "p50_staleness_s": staleness["p50_s"],
         "p99_staleness_s": staleness["p99_s"],
         "max_staleness_s": staleness["max_s"],
@@ -153,6 +185,7 @@ def _tick_storm_case(quick: bool) -> dict:
             identical
             and staleness["within_policy"]
             and decisions / wall_s >= CRITERIA["decisions_per_s_min"]
+            and push_p99_ms <= CRITERIA["push_p99_ms_max"]
         ),
     }
 
@@ -214,6 +247,145 @@ def _resume_case(quick: bool) -> dict:
     }
 
 
+def _shard_spec(hours: int, ticks_per_hour: int) -> dict:
+    sites = 8
+    return {
+        "world": {"kind": "scaled", "sites": sites, "policy": 1, "seed": 7},
+        "source": {
+            "kind": "bursty", "ticks_per_hour": ticks_per_hour,
+            "hours": hours, "seed": 11, "ca2": 6.0, "price_jitter": 0.04,
+            "sites": [f"DC{i + 1}" for i in range(sites)],
+        },
+        "strategy": "capping",
+        "trigger": {
+            "lambda_delta": 0.02, "price_delta": 0.02,
+            "debounce_s": 60.0, "max_staleness_s": 900.0,
+        },
+        "degradation": None,
+        "horizon": hours,
+        "monthly_budget": 4_000_000.0,
+    }
+
+
+def _shard_scaling_case(quick: bool) -> dict:
+    """1-worker vs 4-worker sharded plane over an 8-region fleet.
+
+    Byte-identity of the merged decision logs is unconditional. The
+    ≥2× aggregate-throughput floor only applies with ≥4 cores — a
+    single-core runner cannot speed anything up by forking, so the
+    check records ``speedup_skipped`` with the reason instead.
+    """
+    import tempfile
+
+    from repro.service import ShardedControlPlane
+
+    hours = 6 if quick else 12
+    ticks_per_hour = 30 if quick else 60
+    spec = _shard_spec(hours, ticks_per_hour)
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench_shard_"))
+
+    arms = {}
+    logs = {}
+    regions = None
+    errors = False
+    for workers in SHARD_WORKERS:
+        log = tmp / f"w{workers}.jsonl"
+        svc = ShardedControlPlane(
+            spec, workers=workers, decision_log=log,
+            http=False, handle_signals=False,
+        )
+        t0 = time.perf_counter()
+        summary = svc.run()
+        wall_s = time.perf_counter() - t0
+        regions = len(svc.regions)
+        errors = errors or bool(summary["worker_errors"])
+        logs[workers] = log
+        dps = summary["decisions"] / wall_s if wall_s > 0 else 0.0
+        arms[str(workers)] = {
+            "workers": workers,
+            "decisions": summary["decisions"],
+            "wall_s": wall_s,
+            "decisions_per_s": dps,
+            "decisions_per_s_per_worker": dps / workers,
+        }
+
+    base, wide = (arms[str(w)] for w in SHARD_WORKERS)
+    speedup = (
+        wide["decisions_per_s"] / base["decisions_per_s"]
+        if base["decisions_per_s"] > 0 else 0.0
+    )
+    identical = (
+        logs[SHARD_WORKERS[0]].read_text() == logs[SHARD_WORKERS[1]].read_text()
+    )
+
+    cores = os.cpu_count() or 1
+    gate = cores >= CRITERIA["shard_min_cores"]
+    return {
+        "hours": hours,
+        "regions": regions,
+        "arms": arms,
+        "speedup": speedup,
+        "merged_logs_identical": identical,
+        "speedup_skipped": (
+            None if gate else
+            f"cpu_count={cores} < {CRITERIA['shard_min_cores']}; "
+            "speedup floor not applied"
+        ),
+        "meets_criterion": (
+            identical
+            and not errors
+            and (not gate or speedup >= CRITERIA["shard_speedup_min"])
+        ),
+    }
+
+
+def _slow_subscriber_case(quick: bool) -> dict:
+    """A stalled stream subscriber must not slow the control loop.
+
+    Two identical storms through the ``sse=True`` service: one with no
+    subscribers (baseline), one with a bounded subscriber that never
+    drains. The read model drops that subscriber's oldest records in
+    O(1), so the loop's p99 decision latency must stay flat — the
+    criterion allows a 2× ratio plus an absolute grace term because
+    both numbers are single-digit milliseconds and jittery.
+    """
+    import tempfile
+
+    from repro.service import ControlPlaneService
+
+    hours = 4 if quick else 8
+    world, engine, ticks, trigger = _storm(hours, 30, seed=9)
+
+    def _run(stall: bool):
+        log = pathlib.Path(tempfile.mkdtemp(prefix="bench_sub_")) / "log.jsonl"
+        service = ControlPlaneService(
+            _make_loop(world, engine, trigger, hours), ticks,
+            http=False, decision_log=log, handle_signals=False, sse=True,
+        )
+        sub = service.readmodel.subscribe(maxlen=4) if stall else None
+        asyncio.run(service.run())
+        p99_ms = _percentile(sorted(service.decide_wall_s), 0.99) * 1e3
+        dropped = sub.dropped if sub else 0
+        return p99_ms, dropped
+
+    baseline_p99_ms, _ = _run(stall=False)
+    stalled_p99_ms, dropped = _run(stall=True)
+    bound_ms = (
+        baseline_p99_ms * CRITERIA["slow_subscriber_p99_factor_max"]
+        + CRITERIA["slow_subscriber_p99_grace_ms"]
+    )
+    return {
+        "hours": hours,
+        "baseline_p99_decision_ms": baseline_p99_ms,
+        "stalled_p99_decision_ms": stalled_p99_ms,
+        "p99_bound_ms": bound_ms,
+        "subscriber_dropped": dropped,
+        # The stalled arm must actually have stalled (records dropped)
+        # for the decoupling claim to mean anything.
+        "meets_criterion": dropped > 0 and stalled_p99_ms <= bound_ms,
+    }
+
+
 def run_service_suite(quick: bool = False) -> dict:
     """Run all cases and return the BENCH_service.json payload."""
     import platform
@@ -223,16 +395,19 @@ def run_service_suite(quick: bool = False) -> dict:
     cases = {
         "tick_storm": _tick_storm_case(quick),
         "kill_resume": _resume_case(quick),
+        "shard_scaling": _shard_scaling_case(quick),
+        "slow_subscriber": _slow_subscriber_case(quick),
     }
     return {
         "benchmark": "service",
-        "schema_version": 1,
+        "schema_version": 2,
         "quick": quick,
         "environment": {
             "python": platform.python_version(),
             "numpy": numpy.__version__,
             "machine": platform.machine(),
             "cpu_count": os.cpu_count() or 1,
+            "shard_workers": list(SHARD_WORKERS),
         },
         "cases": cases,
         "criteria": {
@@ -269,7 +444,9 @@ def _main(argv: list[str] | None = None) -> int:
         f"  tick storm ({c['hours']}h, {c['ticks']} ticks): "
         f"{c['decisions']} decisions in {c['wall_s']:.2f}s "
         f"-> {c['decisions_per_s']:.1f}/s, "
-        f"p50 {c['p50_decision_ms']:.1f}ms p99 {c['p99_decision_ms']:.1f}ms"
+        f"decide p50 {c['p50_decision_ms']:.1f}ms p99 "
+        f"{c['p99_decision_ms']:.1f}ms, "
+        f"push p50 {c['p50_push_ms']:.2f}ms p99 {c['p99_push_ms']:.2f}ms"
     )
     print(
         f"  staleness: p50 {c['p50_staleness_s']:.0f}s "
@@ -280,6 +457,25 @@ def _main(argv: list[str] | None = None) -> int:
     print(
         f"  kill/resume ({c['hours']}h): merged log identical: "
         f"{c['merged_log_identical']}"
+    )
+    c = payload["cases"]["shard_scaling"]
+    per_arm = ", ".join(
+        f"{a['workers']}w {a['decisions_per_s']:.0f}/s "
+        f"({a['decisions_per_s_per_worker']:.0f}/s/worker)"
+        for a in c["arms"].values()
+    )
+    note = f" [{c['speedup_skipped']}]" if c["speedup_skipped"] else ""
+    print(
+        f"  shard scaling ({c['regions']} regions): {per_arm}; "
+        f"speedup {c['speedup']:.2f}x; logs identical: "
+        f"{c['merged_logs_identical']}{note}"
+    )
+    c = payload["cases"]["slow_subscriber"]
+    print(
+        f"  slow subscriber: p99 {c['baseline_p99_decision_ms']:.1f}ms -> "
+        f"{c['stalled_p99_decision_ms']:.1f}ms "
+        f"(bound {c['p99_bound_ms']:.1f}ms, "
+        f"{c['subscriber_dropped']} dropped)"
     )
     print(f"  criteria met: {payload['criteria']['met']}")
     return 0 if payload["criteria"]["met"] else 1

@@ -374,6 +374,138 @@ def _serve_resumed(args: argparse.Namespace):
     return loop, ticks, world, meta, payload["next_tick"], kept
 
 
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """The ``--workers N`` / shard-checkpoint path: the multi-process
+    sharded control plane (:mod:`repro.service.shard`)."""
+    import asyncio
+
+    from .service import ShardedControlPlane
+    from .service.shard import build_world
+    from .sim import Engine, get_strategy, resolve_monthly_budget
+    from .telemetry import Telemetry, use_telemetry
+
+    if getattr(args, "endogenous_prices", False):
+        print("error: --endogenous-prices is not supported with --workers "
+              "(endogenous LMPs couple regions within the hour)")
+        return 2
+    try:
+        if args.resume:
+            service = ShardedControlPlane.resume(
+                args.checkpoint,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                http=not args.no_http,
+                pace_s_per_hour=args.pace,
+            )
+            print(f"resuming {service.spec['strategy']} from "
+                  f"{args.checkpoint}: "
+                  f"{service.coordinator.settled_hours}/"
+                  f"{service.coordinator.horizon} hours settled, "
+                  f"{service.n_workers} workers")
+        else:
+            n_sites = args.sites
+            if n_sites is not None and n_sites != 3:
+                world_spec = {"kind": "scaled", "sites": n_sites,
+                              "policy": args.policy, "seed": args.seed}
+            else:
+                world_spec = {"kind": "paper", "policy": args.policy,
+                              "seed": args.seed}
+            world = build_world(world_spec)
+            engine = Engine(world.sites, world.workload, world.mix)
+            hours = min(args.hours, world.hours)
+            if args.trace_file:
+                from .workload import read_trace_csv
+
+                hours = min(hours, read_trace_csv(args.trace_file).hours)
+            if hours < args.hours:
+                print(f"note: horizon clipped to {hours} h (trace length)")
+            site_names = [s.name for s in world.sites]
+            strategy = get_strategy(args.strategy)
+            monthly = args.monthly_budget
+            if monthly is None and args.budget_fraction is not None:
+                if not strategy.wants_budget:
+                    print(f"note: {args.strategy} is a price taker; "
+                          "--budget-fraction has no effect")
+                else:
+                    monthly = resolve_monthly_budget(
+                        world, args.budget_fraction, hours=hours,
+                        engine=engine,
+                    )
+                    print(f"monthly budget: ${monthly:,.0f} "
+                          f"({args.budget_fraction:.0%} of uncapped spend)")
+            spec = {
+                "world": world_spec,
+                "source": {
+                    "kind": args.source,
+                    "ticks_per_hour": args.ticks_per_hour,
+                    "hours": hours,
+                    "seed": args.tick_seed,
+                    "jitter": args.jitter,
+                    "ca2": args.ca2,
+                    "price_jitter": args.price_jitter,
+                    "sites": site_names if args.price_jitter > 0 else [],
+                    "trace_file": args.trace_file or None,
+                },
+                "strategy": args.strategy,
+                "trigger": {
+                    "lambda_delta": args.lambda_delta,
+                    "price_delta": args.price_delta,
+                    "debounce_s": args.debounce,
+                    "max_staleness_s": args.max_staleness,
+                },
+                "degradation": args.degradation,
+                "horizon": hours,
+                "monthly_budget": (
+                    monthly if strategy.wants_budget else None
+                ),
+            }
+            service = ShardedControlPlane(
+                spec,
+                workers=args.workers,
+                decision_log=args.decision_log,
+                checkpoint_path=args.checkpoint or None,
+                host=args.host,
+                port=args.port,
+                http=not args.no_http,
+                pace_s_per_hour=args.pace,
+            )
+    except (OSError, ValueError) as exc:
+        print(f"error: {getattr(exc, 'strerror', None) or exc}")
+        return 2
+
+    async def _run() -> dict:
+        if service.http_server is not None:
+            await service.http_server.start()
+            print(f"serving http://{args.host}:{service.port} "
+                  f"(/healthz /status /decision /decisions/stream "
+                  f"/regions /hours /telemetry)",
+                  flush=True)
+        return await service.run_async()
+
+    with use_telemetry(Telemetry()):
+        summary = asyncio.run(_run())
+
+    print(f"\n[serve {summary['strategy']} "
+          f"x{summary['workers']} workers, {summary['regions']} regions]")
+    print(f"  hours settled:       {summary['hours']}"
+          f"/{service.coordinator.horizon}")
+    print(f"  decisions:           {summary['decisions']}")
+    print(f"  total cost:          ${summary['total_cost']:,.0f}")
+    print(f"  premium throughput:  {summary['premium_throughput']:.2%}")
+    print(f"  ordinary throughput: {summary['ordinary_throughput']:.2%}")
+    print(f"  hours over budget:   {summary['hours_over_budget']}")
+    if summary["merged_log_lines"] is not None:
+        print(f"  decision log:        {service.decision_log} "
+              f"({summary['merged_log_lines']} lines merged)")
+    for wid, msg in summary["worker_errors"].items():
+        print(f"  worker {wid} error:    {msg}")
+    if summary["stopped"]:
+        where = f" --checkpoint {args.checkpoint}" if args.checkpoint else ""
+        print(f"  stopped by signal; resume with 'repro serve --resume{where}'")
+    return 1 if summary["worker_errors"] else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -387,6 +519,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     code = _apply_solver_backend(args)
     if code is not None:
         return code
+    if args.resume:
+        # The checkpoint kind decides which plane resumes it — a shard
+        # checkpoint resumes sharded whether or not --workers is given.
+        from .resilience import read_json
+
+        try:
+            kind = read_json(args.checkpoint).get("kind")
+        except (OSError, ValueError) as exc:
+            print(f"error: {getattr(exc, 'strerror', None) or exc}")
+            return 2
+        if kind == "shard-run":
+            return _serve_sharded(args)
+    elif args.workers is not None:
+        return _serve_sharded(args)
+    if args.workers is not None:
+        print("note: this checkpoint is a single-process run; "
+              "--workers ignored")
     try:
         loop, ticks, world, meta, start_tick, logged = (
             _serve_resumed(args) if args.resume else _serve_fresh(args)
@@ -416,6 +565,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         telemetry_writer=writer,
         start_tick=start_tick,
         decisions_logged=logged,
+        sse=args.sse,
     )
 
     async def _run() -> dict:
@@ -423,8 +573,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # Bind before replay starts so the port line is printed
             # (and parseable by scripts) ahead of any decision work.
             await service.http_server.start()
+            stream = " /decisions/stream" if args.sse else ""
             print(f"serving http://{args.host}:{service.port} "
-                  f"(/healthz /status /decision /routing /hours /telemetry)",
+                  f"(/healthz /status /decision{stream} /routing /hours "
+                  f"/telemetry)",
                   flush=True)
         return await service.run()
 
@@ -886,6 +1038,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--pace", type=float, default=0.0,
         help="wall seconds per simulated hour (0 = replay at full speed)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the control plane across N worker processes (one "
+        "market region per control loop, hourly budget barrier); "
+        "omit for the single-process service",
+    )
+    p_srv.add_argument(
+        "--sse", action="store_true",
+        help="serve the /decisions/stream server-sent-events endpoint "
+        "and the /decision?since= long-poll (always on with --workers)",
+    )
+    p_srv.add_argument(
+        "--sites", type=int, default=None, metavar="M",
+        help="with --workers: number of sites (default 3 = the paper "
+        "world; more cycles the Section VI-A specs into extra regions)",
     )
     p_srv.add_argument(
         "--telemetry", default=None, metavar="PATH",

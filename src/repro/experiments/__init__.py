@@ -8,11 +8,13 @@ from .paper_setup import (
     paper_heterogeneous_datacenters,
     paper_pricing,
     paper_world,
+    scaled_paper_world,
 )
 
 __all__ = [
     "PaperWorld",
     "paper_world",
+    "scaled_paper_world",
     "paper_datacenters",
     "paper_heterogeneous_datacenters",
     "paper_pricing",

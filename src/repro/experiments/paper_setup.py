@@ -280,3 +280,51 @@ def paper_world(
         for i, (dc, policy) in enumerate(zip(dcs, policies))
     ]
     return PaperWorld(sites=sites, history=history, workload=workload, mix=CustomerMix())
+
+
+def scaled_paper_world(
+    n_sites: int,
+    *,
+    policy_id: int = 1,
+    max_servers: int = DEFAULT_MAX_SERVERS,
+    demand_fraction: float = 0.50,
+    seed: int = 7,
+) -> PaperWorld:
+    """A fleet of ``n_sites`` Section VI-A sites for scale-out runs.
+
+    Sites cycle the three data-center specs and locational policies
+    (DC4 repeats DC1's hardware at bus B, and so on) but every site
+    gets its *own* policy object and background-demand trace — each is
+    an independent market the decomposition and shard machinery treats
+    as its own region. Workload peak is calibrated to the enlarged
+    fleet's combined capacity, exactly as :func:`paper_world` does.
+    """
+    import dataclasses as _dc
+
+    if n_sites < 1:
+        raise ValueError("n_sites must be >= 1")
+    base_dcs = paper_datacenters(max_servers=max_servers)
+    base_policies = paper_pricing(policy_id)
+    dcs = [
+        _dc.replace(base_dcs[i % len(base_dcs)], name=f"DC{i + 1}")
+        for i in range(n_sites)
+    ]
+    policies = [
+        SteppedPricingPolicy.from_dict(
+            base_policies[i % len(base_policies)].to_dict()
+        )
+        for i in range(n_sites)
+    ]
+    capacity = sum(dc.max_throughput_rps() for dc in dcs)
+    peak = demand_fraction * capacity
+    history, workload = paper_two_month_workload(peak, seed=seed)
+    hours = max(history.hours, workload.hours)
+    sites = [
+        Site(
+            datacenter=dc,
+            policy=policy,
+            background_mw=background_for_policy(policy, hours, seed=seed + 100 + i),
+        )
+        for i, (dc, policy) in enumerate(zip(dcs, policies))
+    ]
+    return PaperWorld(sites=sites, history=history, workload=workload, mix=CustomerMix())

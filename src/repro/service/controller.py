@@ -170,6 +170,14 @@ class ControlLoop:
     budgeter:
         Optional :class:`~repro.core.Budgeter`; only legal for
         strategies that consume a budget (as in :meth:`Engine.run`).
+    budget_source:
+        Optional ``callable(hour) -> float`` consulted instead of a
+        budgeter when an hour opens — the hook the sharded control
+        plane (:mod:`repro.service.shard`) uses to hand each region
+        loop its hourly allotment from the shared budget ledger.
+        Mutually exclusive with ``budgeter``; spend settlement is then
+        the ledger's job (reported through ``on_settle``), not the
+        loop's.
     hours:
         Horizon in hours (default: the engine workload's length).
         Ticks beyond the horizon are ignored.
@@ -189,6 +197,7 @@ class ControlLoop:
         *,
         trigger: TriggerPolicy | None = None,
         budgeter: Budgeter | None = None,
+        budget_source=None,
         hours: int | None = None,
         degradation: DegradationPolicy | None = DegradationPolicy.PROPORTIONAL,
         name: str | None = None,
@@ -208,11 +217,18 @@ class ControlLoop:
         self.degradation = degradation
         self.name = name or engine._result_name(self.strategy)
         self.on_settle = on_settle
-        if budgeter is not None and not self.strategy.wants_budget:
+        if budgeter is not None and budget_source is not None:
+            raise ValueError(
+                "pass either a budgeter or a budget_source, not both"
+            )
+        if (budgeter is not None or budget_source is not None) and (
+            not self.strategy.wants_budget
+        ):
             raise ValueError(
                 f"strategy {self.strategy.name!r} does not consume a "
                 "budget; run it without a budgeter"
             )
+        self.budget_source = budget_source
         # A freshly restored budgeter already has its settled hours
         # recorded, so only the remaining horizon must fit.
         already = budgeter.current_hour if budgeter is not None else 0
@@ -235,6 +251,7 @@ class ControlLoop:
         # Hour bookkeeping.
         self.hour: int | None = None
         self._start_hour = 0
+        self._hour_open = False
         self.hour_budget = math.inf
         self._hour_decisions = 0
         self._segment_start = 0.0
@@ -290,9 +307,39 @@ class ControlLoop:
         remaining ticks caused no re-dispatch — so stream truncation
         never leaves a half-accounted hour.
         """
-        if not self.finished and self.hour is not None:
+        if not self.finished and self._hour_open:
             self._settle_hour()
         self.finished = True
+
+    # -- explicit hour control (the sharded two-phase barrier) --------------
+
+    def open_hour(self, hour: int) -> None:
+        """Open ``hour`` explicitly (phase 2 of a shard hour barrier).
+
+        :meth:`on_tick` normally advances hours on its own; a shard
+        worker instead settles *all* its region loops, exchanges spends
+        for allotments at the budget ledger, and only then opens the
+        next hour on each loop — this method is that second phase.
+        Only the hour right after the last settled one is legal.
+        """
+        if self._hour_open:
+            raise ValueError(f"hour {self.hour} is still open")
+        expected = self._start_hour if self.hour is None else self.hour + 1
+        if hour != expected:
+            raise ValueError(f"expected hour {expected}, got {hour}")
+        if hour >= self.horizon:
+            raise ValueError(f"hour {hour} is past the {self.horizon} h horizon")
+        self._begin_hour(hour)
+
+    def settle_open_hour(self) -> dict | None:
+        """Settle the open hour at its boundary (phase 1 of a barrier).
+
+        Returns the hour summary, or ``None`` when no hour is open
+        (idempotent, so stream-end and explicit settlement compose).
+        """
+        if not self._hour_open:
+            return None
+        return self._settle_hour()
 
     # -- triggers -----------------------------------------------------------
 
@@ -391,6 +438,7 @@ class ControlLoop:
 
     def _begin_hour(self, hour: int) -> None:
         self.hour = hour
+        self._hour_open = True
         self._hour_decisions = 0
         self._segment_start = hour * _HOUR_S
         self._accrued = {
@@ -400,10 +448,13 @@ class ControlLoop:
             "demand_premium_rps": 0.0,
             "demand_ordinary_rps": 0.0,
         }
-        budgeter = self.state.budgeter
-        self.hour_budget = (
-            budgeter.hourly_budget() if budgeter is not None else math.inf
-        )
+        if self.budget_source is not None:
+            self.hour_budget = float(self.budget_source(hour))
+        else:
+            budgeter = self.state.budgeter
+            self.hour_budget = (
+                budgeter.hourly_budget() if budgeter is not None else math.inf
+            )
 
     def _close_segment(self, end_s: float) -> None:
         """Accrue the in-force decision over ``[segment_start, end_s)``.
@@ -423,7 +474,7 @@ class ControlLoop:
             acc["demand_ordinary_rps"] += record.demand_ordinary_rps * weight
         self._segment_start = end_s
 
-    def _settle_hour(self) -> None:
+    def _settle_hour(self) -> dict:
         self._close_segment((self.hour + 1) * _HOUR_S)
         summary = {
             "hour": self.hour,
@@ -435,9 +486,11 @@ class ControlLoop:
         if budgeter is not None:
             budgeter.record_spend(summary["realized_cost"])
         self.hour_summaries.append(summary)
+        self._hour_open = False
         get_telemetry().counter("service.hours_settled").inc()
         if self.on_settle is not None:
             self.on_settle(self, summary)
+        return summary
 
     # -- aggregate view ------------------------------------------------------
 

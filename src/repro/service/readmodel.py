@@ -1,0 +1,260 @@
+"""The replicated read model: what HTTP serves, decoupled from dispatch.
+
+The control loop (and, sharded, every worker process) *publishes*
+decision events; HTTP subscribers — SSE streams, long-polls, plain
+``GET /decision`` — *read* them. :class:`DecisionReadModel` is the
+buffer in between, built so that nothing a reader does can ever stall a
+publisher:
+
+* :meth:`publish` takes one lock, appends to bounded structures, and
+  returns — no I/O, no waiting on consumers. It is safe to call from
+  worker-pipe reader threads; wake-ups for asyncio waiters are
+  scheduled with ``call_soon_threadsafe``.
+* every subscriber owns a **bounded** queue; when a slow SSE client
+  falls behind, its oldest undelivered events are dropped (and counted
+  in ``dropped``) rather than buffered without bound or, worse,
+  back-pressured into the dispatch path. The decision *log* on disk
+  stays complete regardless — the queues are a live feed, not the
+  record.
+* the model keeps a bounded replay ring (``history`` events) so a
+  subscriber arriving with ``since=<pub_seq>`` can catch up without a
+  full log read, plus the latest event per region (the snapshot a bare
+  ``GET /decision`` serves).
+
+Every published record carries a monotonically increasing ``pub_seq``
+(the SSE ``id:`` field) and the region that produced it. Publish
+latency — producer ``time.monotonic()`` stamp to publish — is sampled
+into ``push_latency_s`` for the benchmark's p50/p99 push numbers
+(``time.monotonic`` shares one system-wide clock base on Linux, so
+cross-process stamps compare fine).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+
+from ..telemetry import get_telemetry
+
+__all__ = ["DecisionReadModel", "Subscription", "sse_frame", "sse_stream"]
+
+#: Push-latency samples kept for the bench (oldest dropped beyond this).
+_LATENCY_SAMPLES = 65536
+
+
+class Subscription:
+    """One subscriber's bounded live feed of published records.
+
+    Iterate with :meth:`drain` after awaiting :attr:`event`; the model
+    appends records (dropping the oldest beyond ``maxlen``) and sets
+    the event. ``dropped`` counts records this subscriber lost by
+    falling behind.
+    """
+
+    __slots__ = ("queue", "dropped", "event", "_loop")
+
+    def __init__(self, maxlen: int, loop: asyncio.AbstractEventLoop | None):
+        self.queue: deque = deque(maxlen=maxlen)
+        self.dropped = 0
+        self.event = asyncio.Event()
+        self._loop = loop
+
+    def _offer(self, record: dict) -> None:
+        """Append without blocking; count a drop when the queue is full."""
+        if len(self.queue) == self.queue.maxlen:
+            self.dropped += 1
+        self.queue.append(record)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.event.set)
+        else:
+            self.event.set()
+
+    def drain(self) -> list[dict]:
+        """Take everything queued so far and re-arm the event."""
+        out = []
+        while self.queue:
+            out.append(self.queue.popleft())
+        self.event.clear()
+        # A record published between the drain and the clear must not
+        # be lost: re-set when the queue is already non-empty again.
+        if self.queue:
+            self.event.set()
+        return out
+
+
+class DecisionReadModel:
+    """Snapshot store + replay ring + per-subscriber bounded queues."""
+
+    def __init__(self, history: int = 1024):
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=history)
+        self._latest: dict | None = None
+        self._latest_by_region: dict[int | None, dict] = {}
+        self._subs: set[Subscription] = set()
+        self._waiters: list[asyncio.Event] = []
+        self._aio: asyncio.AbstractEventLoop | None = None
+        self.pub_seq = 0
+        #: Producer-stamp → publish latency samples (seconds).
+        self.push_latency_s: deque = deque(maxlen=_LATENCY_SAMPLES)
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        """Attach the asyncio loop that subscribers live on.
+
+        Publishes from other threads then wake waiters through
+        ``call_soon_threadsafe``; without a bound loop, wake-ups are
+        set directly (single-threaded use).
+        """
+        self._aio = loop or asyncio.get_running_loop()
+
+    # -- write side ---------------------------------------------------------
+
+    def publish(
+        self,
+        event: dict,
+        *,
+        region: int | None = None,
+        produced_mono: float | None = None,
+    ) -> int:
+        """Record one decision event; never blocks on consumers.
+
+        Returns the record's ``pub_seq``. ``produced_mono`` is the
+        producer's ``time.monotonic()`` stamp for push-latency
+        accounting.
+        """
+        now = time.monotonic()
+        with self._lock:
+            self.pub_seq += 1
+            record = {"pub_seq": self.pub_seq, "region": region, "event": event}
+            self._ring.append(record)
+            self._latest = record
+            self._latest_by_region[region] = record
+            if produced_mono is not None:
+                self.push_latency_s.append(max(0.0, now - produced_mono))
+            subs = list(self._subs)
+            waiters, self._waiters = self._waiters, []
+        for sub in subs:
+            sub._offer(record)
+        for ev in waiters:
+            if self._aio is not None:
+                self._aio.call_soon_threadsafe(ev.set)
+            else:
+                ev.set()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("service.readmodel.published").inc()
+            if produced_mono is not None:
+                tel.histogram("service.readmodel.push_s").observe(
+                    max(0.0, now - produced_mono)
+                )
+        return record["pub_seq"]
+
+    # -- read side ----------------------------------------------------------
+
+    def latest(self, region: int | None = None) -> dict | None:
+        """The newest record (for ``region`` when given), or ``None``."""
+        with self._lock:
+            if region is None:
+                return self._latest
+            return self._latest_by_region.get(region)
+
+    def snapshot(self) -> dict:
+        """Per-region latest records plus the global cursor."""
+        with self._lock:
+            return {
+                "pub_seq": self.pub_seq,
+                "regions": {
+                    str(r): rec for r, rec in self._latest_by_region.items()
+                },
+            }
+
+    def since(self, pub_seq: int) -> list[dict]:
+        """Ring records newer than ``pub_seq`` (oldest first).
+
+        Records older than the ring's horizon are gone — subscribers
+        that far behind re-anchor on the snapshot (the decision log on
+        disk is the complete record).
+        """
+        with self._lock:
+            return [r for r in self._ring if r["pub_seq"] > pub_seq]
+
+    def subscribe(self, maxlen: int = 256) -> Subscription:
+        sub = Subscription(maxlen, self._aio)
+        with self._lock:
+            self._subs.add(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            self._subs.discard(sub)
+
+    @property
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    @property
+    def dropped_total(self) -> int:
+        with self._lock:
+            return sum(s.dropped for s in self._subs)
+
+    async def wait_newer(
+        self, pub_seq: int, timeout_s: float
+    ) -> dict | None:
+        """Long-poll primitive: the next record past ``pub_seq``.
+
+        Returns the oldest such record, or ``None`` on timeout.
+        """
+        backlog = self.since(pub_seq)
+        if backlog:
+            return backlog[0]
+        ev = asyncio.Event()
+        with self._lock:
+            # Re-check under the lock: a publish may have landed
+            # between the backlog read and the waiter registration.
+            if self._latest is not None and self._latest["pub_seq"] > pub_seq:
+                return self._latest
+            self._waiters.append(ev)
+        try:
+            await asyncio.wait_for(ev.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            with self._lock:
+                if ev in self._waiters:
+                    self._waiters.remove(ev)
+            return None
+        backlog = self.since(pub_seq)
+        return backlog[0] if backlog else self.latest()
+
+
+# -- SSE plumbing -------------------------------------------------------------
+
+
+def sse_frame(record: dict) -> bytes:
+    """One server-sent event: ``id:`` is the record's ``pub_seq``, so a
+    reconnecting client resumes with ``?since=<Last-Event-ID>``."""
+    return (
+        f"id: {record['pub_seq']}\ndata: {json.dumps(record)}\n\n"
+    ).encode("utf-8")
+
+
+async def sse_stream(model: DecisionReadModel, since: int = 0):
+    """The ``/decisions/stream`` body: replay the ring past ``since``,
+    then live-follow a bounded subscription until the client goes away
+    (the server ``aclose``\\ s the generator, which unsubscribes)."""
+    sub = model.subscribe()
+    last = int(since)
+    try:
+        for record in model.since(last):
+            last = record["pub_seq"]
+            yield sse_frame(record)
+        while True:
+            await sub.event.wait()
+            for record in sub.drain():
+                if record["pub_seq"] <= last:
+                    continue
+                last = record["pub_seq"]
+                yield sse_frame(record)
+    finally:
+        model.unsubscribe(sub)

@@ -52,7 +52,8 @@ from ..core import Budgeter
 from ..resilience import DegradationPolicy, atomic_write_json, read_json
 from ..telemetry import RotatingJsonlWriter, get_telemetry
 from .controller import ControlLoop, DecisionEvent, TriggerPolicy
-from .httpd import JsonHttpServer
+from .httpd import JsonHttpServer, StreamResponse
+from .readmodel import DecisionReadModel, sse_stream
 
 __all__ = [
     "SERVICE_CHECKPOINT_VERSION",
@@ -118,6 +119,7 @@ class ControlPlaneService:
         start_tick: int = 0,
         decisions_logged: int = 0,
         handle_signals: bool = True,
+        sse: bool = False,
     ):
         if pace_s_per_hour < 0:
             raise ValueError("pace must be >= 0")
@@ -133,6 +135,11 @@ class ControlPlaneService:
             pathlib.Path(decision_log) if decision_log is not None else None
         )
         self.handle_signals = handle_signals
+        #: Optional push plumbing (``repro serve --sse``): decisions are
+        #: published into a read model feeding ``/decisions/stream`` and
+        #: the ``/decision?since=`` long-poll. ``None`` keeps the
+        #: original poll-only surface.
+        self.readmodel = DecisionReadModel() if sse else None
         self.http_server = (
             JsonHttpServer(self._routes(), host, port) if http else None
         )
@@ -163,6 +170,8 @@ class ControlPlaneService:
     async def run(self) -> dict:
         """Feed the stream to the loop; return the run summary."""
         aio = asyncio.get_running_loop()
+        if self.readmodel is not None:
+            self.readmodel.bind_loop(aio)
         if self.handle_signals:
             for sig in (signal.SIGTERM, signal.SIGINT):
                 try:
@@ -231,6 +240,10 @@ class ControlPlaneService:
             self._log_fh.write(event.to_json() + "\n")
             self._log_fh.flush()
         self.decisions_published += 1
+        if self.readmodel is not None:
+            self.readmodel.publish(
+                event.to_dict(), produced_mono=time.monotonic()
+            )
         if self.dns is not None:
             # The window since the dispatcher's clock carried the *old*
             # answer weights; realize it before switching targets.
@@ -291,7 +304,7 @@ class ControlPlaneService:
     # -- HTTP API -----------------------------------------------------------
 
     def _routes(self) -> dict:
-        return {
+        routes = {
             "/healthz": lambda: (200, {"status": "ok"}),
             "/status": self._r_status,
             "/decision": self._r_decision,
@@ -299,6 +312,10 @@ class ControlPlaneService:
             "/hours": self._r_hours,
             "/telemetry": self._r_telemetry,
         }
+        if self.readmodel is not None:
+            routes["/decision"] = self._r_decision_push
+            routes["/decisions/stream"] = self._r_stream
+        return routes
 
     def _r_status(self):
         loop = self.loop
@@ -320,6 +337,27 @@ class ControlPlaneService:
         if event is None:
             return 404, {"error": "no decision yet"}
         return 200, event.to_dict()
+
+    async def _r_decision_push(self, query):
+        """``/decision`` with the read model: bare GET keeps the poll
+        semantics; ``?since=<pub_seq>&wait_s=`` long-polls for the next
+        newer record (200 with ``timeout: true`` when none arrives)."""
+        since = query.get("since")
+        if since is None:
+            record = self.readmodel.latest()
+            if record is None:
+                return 404, {"error": "no decision yet"}
+            return 200, {**record["event"], "pub_seq": record["pub_seq"]}
+        wait_s = min(float(query.get("wait_s", 30.0)), 120.0)
+        record = await self.readmodel.wait_newer(int(since), wait_s)
+        if record is None:
+            return 200, {"pub_seq": self.readmodel.pub_seq, "timeout": True}
+        return 200, {**record["event"], "pub_seq": record["pub_seq"]}
+
+    def _r_stream(self, query):
+        return StreamResponse(
+            sse_stream(self.readmodel, int(query.get("since", 0) or 0))
+        )
 
     def _r_routing(self):
         if self._target_fractions is None:

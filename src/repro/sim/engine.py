@@ -356,6 +356,29 @@ class Engine:
             self._bank = SiteBank.from_sites(sites)
             self._curves = CurveBank.from_policies([s.policy for s in sites])
 
+    def subset(self, site_names) -> "Engine":
+        """A new engine over a subset of this engine's sites.
+
+        The shard control plane (:mod:`repro.service.shard`) gives each
+        market region a :class:`~repro.service.ControlLoop` over only
+        its region's sites; the workload trace and customer mix are
+        shared (region traffic shares are applied to the λ observations
+        by the caller, not baked into the trace). Order follows this
+        engine's site order, so subsetting is deterministic.
+        """
+        wanted = set(site_names)
+        picked = [s for s in self.sites if s.name in wanted]
+        if len(picked) != len(wanted):
+            missing = wanted - {s.name for s in picked}
+            raise ValueError(f"unknown sites: {sorted(missing)}")
+        return Engine(
+            picked,
+            self.workload,
+            self.mix,
+            telemetry=self.telemetry,
+            batched=self.batched,
+        )
+
     # -- running -----------------------------------------------------------------
 
     def run(

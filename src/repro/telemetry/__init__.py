@@ -38,6 +38,7 @@ from .metrics import (
     Histogram,
     MetricRegistry,
     NullRegistry,
+    merge_counters,
 )
 from .session import NULL, Telemetry, get_telemetry, set_telemetry, use_telemetry
 from .tracing import NullTracer, Span, Tracer
@@ -57,6 +58,7 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "NullRegistry",
+    "merge_counters",
     "DEFAULT_BUCKETS",
     "Span",
     "Tracer",

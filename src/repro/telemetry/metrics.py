@@ -29,6 +29,7 @@ __all__ = [
     "MetricRegistry",
     "NullRegistry",
     "DEFAULT_BUCKETS",
+    "merge_counters",
 ]
 
 #: Default histogram boundaries: geometric-ish, wide enough for both
@@ -222,6 +223,18 @@ class _NullHistogram(Histogram):
 _NULL_COUNTER = _NullCounter("null")
 _NULL_GAUGE = _NullGauge("null")
 _NULL_HISTOGRAM = _NullHistogram("null", (1.0,))
+
+
+def merge_counters(registry: MetricRegistry, counters: dict) -> None:
+    """Fold another process's counter totals into ``registry``.
+
+    The shard front uses this to aggregate the per-worker telemetry
+    snapshots reported over the worker pipes: counters add, so each
+    ``{name: value}`` total is an increment here. Gauges and histograms
+    are not mergeable across processes and stay per-worker.
+    """
+    for name, value in counters.items():
+        registry.counter(name).inc(value)
 
 
 class NullRegistry(MetricRegistry):

@@ -1,0 +1,150 @@
+"""Read-model tests: bounded feeds, non-blocking publish, long-poll."""
+
+import asyncio
+import json
+import time
+
+from repro.service import DecisionReadModel, sse_frame, sse_stream
+
+
+def _ev(n):
+    return {"seq": n, "hour": 0}
+
+
+class TestPublishAndRead:
+    def test_pub_seq_monotone_and_latest(self):
+        rm = DecisionReadModel()
+        assert rm.latest() is None
+        seqs = [rm.publish(_ev(i), region=i % 2) for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert rm.latest()["event"] == _ev(4)
+        assert rm.latest(region=0)["event"] == _ev(4)
+        assert rm.latest(region=1)["event"] == _ev(3)
+
+    def test_since_replays_ring_in_order(self):
+        rm = DecisionReadModel(history=8)
+        for i in range(12):
+            rm.publish(_ev(i))
+        got = rm.since(6)
+        assert [r["pub_seq"] for r in got] == [7, 8, 9, 10, 11, 12]
+        # Ring is bounded: the oldest records are gone.
+        assert [r["pub_seq"] for r in rm.since(0)] == list(range(5, 13))
+
+    def test_snapshot_carries_per_region_latest(self):
+        rm = DecisionReadModel()
+        rm.publish(_ev(0), region=0)
+        rm.publish(_ev(1), region=1)
+        snap = rm.snapshot()
+        assert snap["pub_seq"] == 2
+        assert snap["regions"]["0"]["event"] == _ev(0)
+        assert snap["regions"]["1"]["event"] == _ev(1)
+
+
+class TestBoundedSubscribers:
+    def test_slow_subscriber_drops_oldest(self):
+        rm = DecisionReadModel()
+        sub = rm.subscribe(maxlen=4)
+        for i in range(10):
+            rm.publish(_ev(i))
+        assert sub.dropped == 6
+        assert rm.dropped_total == 6
+        # The queue kept the newest records.
+        kept = [r["event"]["seq"] for r in sub.drain()]
+        assert kept == [6, 7, 8, 9]
+
+    def test_publish_never_blocks_on_stalled_subscriber(self):
+        rm = DecisionReadModel()
+        rm.subscribe(maxlen=2)  # never drained
+        t0 = time.perf_counter()
+        for i in range(5000):
+            rm.publish(_ev(i))
+        elapsed = time.perf_counter() - t0
+        # 5000 publishes against a full queue stay well under a second
+        # (drop-oldest is O(1)); a blocking design would hang forever.
+        assert elapsed < 1.0
+        assert rm.pub_seq == 5000
+
+    def test_unsubscribe_stops_delivery(self):
+        rm = DecisionReadModel()
+        sub = rm.subscribe()
+        rm.publish(_ev(0))
+        rm.unsubscribe(sub)
+        rm.publish(_ev(1))
+        assert len(sub.queue) == 1
+        assert rm.subscribers == 0
+
+    def test_push_latency_sampled(self):
+        rm = DecisionReadModel()
+        rm.publish(_ev(0), produced_mono=time.monotonic())
+        assert len(rm.push_latency_s) == 1
+        assert 0.0 <= rm.push_latency_s[0] < 1.0
+
+
+class TestWaitNewer:
+    def test_immediate_backlog(self):
+        async def run():
+            rm = DecisionReadModel()
+            rm.bind_loop()
+            rm.publish(_ev(0))
+            rm.publish(_ev(1))
+            record = await rm.wait_newer(1, timeout_s=1.0)
+            assert record["pub_seq"] == 2
+
+        asyncio.run(run())
+
+    def test_wakes_on_publish_from_thread(self):
+        async def run():
+            rm = DecisionReadModel()
+            rm.bind_loop()
+            aio = asyncio.get_running_loop()
+
+            async def poke():
+                await asyncio.sleep(0.05)
+                await aio.run_in_executor(None, rm.publish, _ev(0))
+
+            task = asyncio.ensure_future(poke())
+            record = await rm.wait_newer(0, timeout_s=5.0)
+            await task
+            assert record["pub_seq"] == 1
+
+        asyncio.run(run())
+
+    def test_timeout_returns_none(self):
+        async def run():
+            rm = DecisionReadModel()
+            rm.bind_loop()
+            assert await rm.wait_newer(0, timeout_s=0.05) is None
+
+        asyncio.run(run())
+
+
+class TestSse:
+    def test_frame_format(self):
+        record = {"pub_seq": 7, "region": 1, "event": _ev(3)}
+        frame = sse_frame(record)
+        assert frame.startswith(b"id: 7\ndata: ")
+        assert frame.endswith(b"\n\n")
+        assert json.loads(frame[frame.index(b"{"):].strip()) == record
+
+    def test_stream_replays_then_follows(self):
+        async def run():
+            rm = DecisionReadModel()
+            rm.bind_loop()
+            rm.publish(_ev(0))
+            rm.publish(_ev(1))
+            stream = sse_stream(rm, since=1)
+            frames = [await anext(stream)]  # replay: pub_seq 2
+
+            async def publish_soon():
+                await asyncio.sleep(0.02)
+                rm.publish(_ev(2))
+
+            task = asyncio.ensure_future(publish_soon())
+            frames.append(await anext(stream))  # live: pub_seq 3
+            await task
+            await stream.aclose()
+            ids = [int(f.split(b"\n")[0].split(b": ")[1]) for f in frames]
+            assert ids == [2, 3]
+            assert rm.subscribers == 0  # aclose unsubscribed
+
+        asyncio.run(run())

@@ -59,7 +59,12 @@ def _loop(world, engine, hours=3):
 
 async def _get(port: int, path: str) -> tuple[int, dict]:
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
-    writer.write(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+    # Connection: close — the server defaults to keep-alive for
+    # HTTP/1.1, and this helper reads to EOF.
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: x\r\n"
+        "Connection: close\r\n\r\n".encode()
+    )
     await writer.drain()
     raw = await reader.read()
     writer.close()
@@ -220,6 +225,58 @@ class TestHttpApi:
             status, missing = await _get(service.port, "/nope")
             assert status == 404
             assert "/status" in missing["routes"]
+            service.request_stop()
+            await run
+
+        asyncio.run(drive())
+
+
+class TestSseMode:
+    def test_long_poll_and_stream_serve_published_decisions(
+        self, world, engine, ticks, tmp_path
+    ):
+        service = ControlPlaneService(
+            _loop(world, engine),
+            ticks,
+            port=0,
+            decision_log=tmp_path / "d.jsonl",
+            pace_s_per_hour=30.0,
+            handle_signals=False,
+            sse=True,
+        )
+
+        async def drive():
+            run = asyncio.ensure_future(service.run())
+            while service.decisions_published == 0 and not run.done():
+                await asyncio.sleep(0.01)
+            # Bare /decision keeps the poll semantics, plus pub_seq.
+            status, latest = await _get(service.port, "/decision")
+            assert status == 200
+            assert latest["pub_seq"] >= 1
+            # Long-poll: the next decision past the current cursor.
+            status, nxt = await _get(
+                service.port,
+                f"/decision?since={latest['pub_seq']}&wait_s=30",
+            )
+            assert status == 200
+            assert nxt.get("timeout") or nxt["pub_seq"] > latest["pub_seq"]
+            # SSE: subscribe and read at least one live frame.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            writer.write(
+                b"GET /decisions/stream HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"text/event-stream" in head
+            frame = await asyncio.wait_for(
+                reader.readuntil(b"\n\n"), timeout=30.0
+            )
+            assert frame.startswith(b"id: ")
+            assert b'"pub_seq"' in frame
+            writer.close()
+            await writer.wait_closed()
             service.request_stop()
             await run
 
