@@ -1,0 +1,58 @@
+"""Pluggable tariff / settlement layer.
+
+``repro.billing`` turns the bill from a single hand-threaded scalar
+into a settled list of per-component line items:
+
+* :class:`~repro.billing.components.TariffComponent` — one tariff term
+  (``charge(hour_ctx) -> LineItem`` plus checkpoint serialization);
+* :class:`~repro.billing.components.EnergyCharge` — the paper's
+  energy-only bill, bit-for-bit;
+* :class:`~repro.billing.components.DemandCharge` — billing-cycle
+  peak-kW tracking with incremental settlement and the linearized peak
+  term the dispatcher uses to shave peaks;
+* :class:`~repro.billing.ledger.SettlementLedger` — ordered components
+  plus the open hour's usage accruals;
+* the named registry (:func:`register_tariff` / :func:`get_tariff` /
+  :func:`available_tariffs`), mirroring ``sim.registry`` and
+  ``solver.registry``, with :func:`make_ledger` parsing CLI specs like
+  ``energy+demand:rate=6,cycle=168``.
+"""
+
+from .components import (
+    DEFAULT_DEMAND_RATE_PER_KW,
+    HOURS_PER_MONTH,
+    DemandCharge,
+    EnergyCharge,
+    HourUsage,
+    LineItem,
+    TariffComponent,
+)
+from .ledger import LEDGER_STATE_VERSION, SettlementLedger
+from .registry import (
+    DEFAULT_TARIFF,
+    available_tariffs,
+    get_tariff,
+    make_ledger,
+    register_tariff,
+    restore_component,
+    restore_ledger,
+)
+
+__all__ = [
+    "DEFAULT_DEMAND_RATE_PER_KW",
+    "DEFAULT_TARIFF",
+    "HOURS_PER_MONTH",
+    "LEDGER_STATE_VERSION",
+    "DemandCharge",
+    "EnergyCharge",
+    "HourUsage",
+    "LineItem",
+    "SettlementLedger",
+    "TariffComponent",
+    "available_tariffs",
+    "get_tariff",
+    "make_ledger",
+    "register_tariff",
+    "restore_component",
+    "restore_ledger",
+]

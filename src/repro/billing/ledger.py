@@ -1,0 +1,143 @@
+"""The settlement ledger: accrue usage, settle hours into line items.
+
+One :class:`SettlementLedger` replaces the ad-hoc scalar spend plumbing
+that used to ride through the engine settle stage, the service control
+loop's time-weighted accrual, and the shard budget barrier. The ledger
+accrues the two usage quantities every tariff component consumes
+(realized energy cost and average power), and at each hour boundary
+settles them through its ordered component list into
+:class:`~repro.billing.components.LineItem` rows.
+
+Bit-identity contract
+---------------------
+Under the default ``energy`` tariff the ledger must be invisible:
+
+* accrual uses exactly the ``acc += value * weight`` fold (from 0.0, in
+  arrival order) the control loop has always used for
+  ``realized_cost``, so the accrued energy is the same float;
+* the hour total folds component amounts starting from ``0.0``, and
+  ``0.0 + energy == energy`` bitwise, so the budgeter records the same
+  spend and every downstream hourly budget — hence every decision log
+  byte — is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .components import HourUsage, LineItem, TariffComponent
+
+__all__ = ["SettlementLedger", "LEDGER_STATE_VERSION"]
+
+LEDGER_STATE_VERSION = 1
+
+
+class SettlementLedger:
+    """Ordered tariff components plus the current hour's accruals."""
+
+    def __init__(
+        self,
+        components: Iterable[TariffComponent],
+        *,
+        tariff: str = "energy",
+    ) -> None:
+        self.components: list[TariffComponent] = list(components)
+        if not self.components:
+            raise ValueError("a settlement ledger needs >= 1 component")
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tariff components in {names}")
+        #: The spec string this ledger was built from (display/meta).
+        self.tariff = tariff
+        self._energy = 0.0
+        self._power = 0.0
+
+    # -- accrual / settlement ---------------------------------------------------
+
+    def accrue(
+        self, energy_cost: float, power_mw: float, weight: float = 1.0
+    ) -> None:
+        """Fold one segment's usage into the open hour.
+
+        Whole-hour callers (the engine) pass ``weight=1.0`` once; the
+        service control loop calls this per tick segment with the same
+        fractional weights it applies to its other accruals.
+        """
+        self._energy += energy_cost * weight
+        self._power += power_mw * weight
+
+    def settle(self, hour: int) -> list[LineItem]:
+        """Close the hour: charge every component, reset the accruals."""
+        usage = HourUsage(hour, self._energy, self._power)
+        self._energy = 0.0
+        self._power = 0.0
+        return [component.charge(usage) for component in self.components]
+
+    @staticmethod
+    def total(items: Iterable[LineItem]) -> float:
+        """Sum of line-item amounts, folded from 0.0 in ledger order."""
+        total = 0.0
+        for item in items:
+            total += item.amount
+        return total
+
+    # -- dispatcher hooks ---------------------------------------------------------
+
+    def project(self, hour: int, energy_cost: float, power_mw: float) -> float:
+        """Projected hour bill of a candidate dispatch, all components."""
+        total = 0.0
+        for component in self.components:
+            total += component.project(hour, energy_cost, power_mw)
+        return total
+
+    def peak_term(self, hour: int) -> tuple[float, float] | None:
+        """First component's ``(cycle_peak_mw, penalty_per_mw)``, if any."""
+        for component in self.components:
+            term = component.peak_term(hour)
+            if term is not None:
+                return term
+        return None
+
+    def component(self, name: str) -> TariffComponent | None:
+        for component in self.components:
+            if component.name == name:
+                return component
+        return None
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.components)
+
+    @property
+    def is_energy_only(self) -> bool:
+        return self.component_names == ("energy",)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "v": LEDGER_STATE_VERSION,
+            "tariff": self.tariff,
+            "components": [c.to_dict() for c in self.components],
+            "accrued": {"energy": self._energy, "power": self._power},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SettlementLedger":
+        version = data.get("v")
+        if version != LEDGER_STATE_VERSION:
+            raise ValueError(
+                f"unsupported ledger state version {version!r} "
+                f"(expected {LEDGER_STATE_VERSION})"
+            )
+        # Imported here: the registry imports this module for make_ledger.
+        from .registry import restore_component
+
+        ledger = cls(
+            [restore_component(c) for c in data["components"]],
+            tariff=str(data.get("tariff", "")),
+        )
+        accrued = data.get("accrued", {})
+        ledger._energy = float(accrued.get("energy", 0.0))
+        ledger._power = float(accrued.get("power", 0.0))
+        return ledger

@@ -1,0 +1,153 @@
+"""Central registry of tariff components, mirroring ``sim.registry``.
+
+Every billing term the repo can settle — the paper's energy charge, the
+demand charge, and anything a user registers — is a named component
+class here. All entry points (``repro run/serve/compare/sweep
+--tariff``, ``repro tariffs``, checkpoint restore) resolve tariffs
+through this module, so adding a term is one :func:`register_tariff`
+call.
+
+A *tariff spec* is a ``+``-joined list of component tokens, each
+optionally parameterized::
+
+    energy
+    energy+demand
+    energy+demand:rate=6,cycle=168
+
+:func:`make_ledger` parses a spec into a fresh
+:class:`~repro.billing.ledger.SettlementLedger`; component state is
+per-run (the demand charge carries its cycle peak) and must never be
+shared between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .components import DemandCharge, EnergyCharge, TariffComponent
+from .ledger import SettlementLedger
+
+__all__ = [
+    "DEFAULT_TARIFF",
+    "register_tariff",
+    "get_tariff",
+    "available_tariffs",
+    "make_ledger",
+    "restore_component",
+    "restore_ledger",
+]
+
+#: The spec every entry point defaults to: the paper's energy-only bill.
+DEFAULT_TARIFF = "energy"
+
+_COMPONENTS: dict[str, type[TariffComponent]] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in components exactly once."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        _COMPONENTS.setdefault("energy", EnergyCharge)
+        _COMPONENTS.setdefault("demand", DemandCharge)
+
+
+def register_tariff(
+    name: str, component: type[TariffComponent], *, replace: bool = False
+) -> None:
+    """Register a component class under ``name``.
+
+    ``component`` must subclass :class:`TariffComponent` with a
+    matching ``name`` attribute. Re-registering an existing name raises
+    unless ``replace=True`` — shadowing a built-in silently is almost
+    always a bug in user code.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("tariff name must be a non-empty string")
+    if not (isinstance(component, type) and issubclass(component, TariffComponent)):
+        raise TypeError("tariff component must subclass TariffComponent")
+    _ensure_builtins()
+    if name in _COMPONENTS and not replace:
+        raise ValueError(
+            f"tariff {name!r} is already registered; pass replace=True "
+            "to override it"
+        )
+    if component.name != name:
+        raise ValueError(
+            f"component class for {name!r} is named {component.name!r}"
+        )
+    _COMPONENTS[name] = component
+
+
+def get_tariff(
+    name: str, params: Mapping[str, str] | None = None
+) -> TariffComponent:
+    """A fresh component instance for ``name``.
+
+    Raises :class:`ValueError` with the list of registered names when
+    the name is unknown — the message every CLI entry point surfaces
+    verbatim.
+    """
+    _ensure_builtins()
+    cls = _COMPONENTS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown tariff {name!r}; expected one of {available_tariffs()}"
+        )
+    return cls.from_params(params or {})
+
+
+def available_tariffs() -> tuple[str, ...]:
+    """All registered component names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_COMPONENTS))
+
+
+def make_ledger(spec: str | None = None) -> SettlementLedger:
+    """Parse a tariff spec string into a fresh settlement ledger."""
+    spec = (spec or DEFAULT_TARIFF).strip()
+    if not spec:
+        spec = DEFAULT_TARIFF
+    components = []
+    for token in spec.split("+"):
+        token = token.strip()
+        if not token:
+            raise ValueError(f"empty component in tariff spec {spec!r}")
+        name, _, param_str = token.partition(":")
+        params: dict[str, str] = {}
+        if param_str:
+            for pair in param_str.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(
+                        f"bad parameter {pair!r} in tariff spec {spec!r}; "
+                        "expected key=value"
+                    )
+                params[key.strip()] = value.strip()
+        components.append(get_tariff(name.strip(), params))
+    return SettlementLedger(components, tariff=spec)
+
+
+def restore_component(data: Mapping) -> TariffComponent:
+    """Rebuild one component from its ``to_dict`` checkpoint payload."""
+    _ensure_builtins()
+    kind = data.get("kind")
+    cls = _COMPONENTS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"checkpoint names unknown tariff {kind!r}; expected one of "
+            f"{available_tariffs()}"
+        )
+    return cls.from_dict(data)
+
+
+def restore_ledger(data: Mapping | None) -> SettlementLedger:
+    """Rebuild a ledger from its checkpoint payload.
+
+    ``None`` — the shape every pre-tariff checkpoint migrates through —
+    restores the default energy-only ledger.
+    """
+    if data is None:
+        return make_ledger(DEFAULT_TARIFF)
+    return SettlementLedger.from_dict(data)

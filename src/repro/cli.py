@@ -26,6 +26,11 @@ Commands
     Run several registered strategies side by side
     (``--strategies capping,min-only-avg,...``; defaults to Cost
     Capping plus the Min-Only baselines).
+``tariffs``
+    List the registered tariff components. ``simulate``, ``serve``,
+    ``compare`` and ``sweep`` accept ``--tariff SPEC`` to settle the run
+    against a multi-component tariff (e.g. ``energy+demand:rate=6``)
+    instead of the paper's energy-only bill.
 ``headroom``
     LMPs plus single-solve load-growth headroom per consumer bus.
 ``study``
@@ -135,6 +140,70 @@ def _apply_solver_backend(args: argparse.Namespace) -> int | None:
     return None
 
 
+def _validate_tariff(args: argparse.Namespace) -> int | None:
+    """Validate --tariff before any expensive work.
+
+    Parses the spec once through :func:`repro.billing.make_ledger` so a
+    typo'd component or parameter fails with the registry's error
+    message instead of mid-run. Returns an exit code on a bad spec,
+    None to proceed.
+    """
+    spec = getattr(args, "tariff", None)
+    if spec is None:
+        return None
+    from .billing import make_ledger
+
+    try:
+        make_ledger(spec)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    return None
+
+
+def _print_bill_components(hours) -> None:
+    """Per-component bill totals for a settled run.
+
+    Silent for energy-only runs (the component total would just repeat
+    the headline cost); any other tariff gets one line per component
+    plus the settled total.
+    """
+    totals: dict[str, float] = {}
+    settled = 0.0
+    for h in hours:
+        for item in h.line_items:
+            totals[item.component] = totals.get(item.component, 0.0) + item.amount
+            settled += item.amount
+    if set(totals) <= {"energy"}:
+        return
+    breakdown = " + ".join(
+        f"{name} ${totals[name]:,.0f}" for name in sorted(totals)
+    )
+    print(f"  settled bill:        ${settled:,.0f} ({breakdown})")
+
+
+def _cmd_tariffs(args: argparse.Namespace) -> int:
+    """List the registered tariff components (mirrors ``repro solvers``)."""
+    from .billing import DEFAULT_TARIFF, available_tariffs, get_tariff
+
+    names = available_tariffs()
+    width = max(len("component"), *(len(n) for n in names))
+    rows = []
+    for name in names:
+        component = get_tariff(name)
+        doc = (type(component).__doc__ or "").strip().splitlines()
+        desc = doc[0].rstrip(".") if doc else ""
+        if name == DEFAULT_TARIFF:
+            desc += " (default)"
+        rows.append((name, desc))
+    print(f"{'component':<{width}}  description")
+    for name, desc in rows:
+        print(f"{name:<{width}}  {desc}")
+    print("\ncompose specs with '+', parameters with ':key=value,...' — "
+          "e.g. --tariff energy+demand:rate=6,cycle=168")
+    return 0
+
+
 def _cmd_solvers(args: argparse.Namespace) -> int:
     """List the registered solver backends with capability flags."""
     from .solver.registry import available_backends, backend_spec
@@ -177,7 +246,7 @@ def _endogenous_runtime(args: argparse.Namespace, engine):
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import Engine, get_strategy, resolve_monthly_budget
 
-    code = _apply_solver_backend(args)
+    code = _apply_solver_backend(args) or _validate_tariff(args)
     if code is not None:
         return code
 
@@ -229,11 +298,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             hours=args.hours,
             faults=faults,
             degradation=degradation,
+            tariff=args.tariff,
             checkpoint_path=args.checkpoint or None,
             checkpoint_meta=meta,
             middleware=middleware,
         )
     _print_summary(args.strategy, result)
+    _print_bill_components(result.hours)
     if args.checkpoint:
         print(f"  checkpoint:          {args.checkpoint} "
               f"(resume with 'repro resume {args.checkpoint}')")
@@ -266,6 +337,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     with _tracing(args):
         result = engine.resume(args.checkpoint, hours=args.hours)
     _print_summary(payload["strategy"], result)
+    _print_bill_components(result.hours)
     return 0
 
 
@@ -327,6 +399,7 @@ def _serve_fresh(args: argparse.Namespace):
         hours=hours,
         degradation=DegradationPolicy(args.degradation),
         endogenous=_endogenous_runtime(args, engine),
+        tariff=args.tariff,
     )
     meta = {
         "policy": args.policy,
@@ -459,6 +532,7 @@ def _serve_sharded(args: argparse.Namespace) -> int:
                 "monthly_budget": (
                     monthly if strategy.wants_budget else None
                 ),
+                "tariff": args.tariff,
             }
             service = ShardedControlPlane(
                 spec,
@@ -516,9 +590,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint")
         return 2
-    code = _apply_solver_backend(args)
+    code = _apply_solver_backend(args) or _validate_tariff(args)
     if code is not None:
         return code
+    if args.resume and args.tariff is not None:
+        print("note: --resume reads the tariff from the checkpoint; "
+              "--tariff ignored")
     if args.resume:
         # The checkpoint kind decides which plane resumes it — a shard
         # checkpoint resumes sharded whether or not --workers is given.
@@ -648,6 +725,7 @@ def _report_comparison(ordered: "dict[str, object]") -> None:
     for name, res in ordered.items():
         label = "cost-capping (uncapped)" if name == "capping" else name
         _print_summary(label, res)
+        _print_bill_components(res.hours)
         if reference is not None and name != "capping":
             saving = 1 - reference.total_cost / res.total_cost
             print(f"  -> capping saves {saving:.1%} vs this baseline")
@@ -656,7 +734,7 @@ def _report_comparison(ordered: "dict[str, object]") -> None:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .sim import STRATEGIES, available_strategies
 
-    code = _apply_solver_backend(args)
+    code = _apply_solver_backend(args) or _validate_tariff(args)
     if code is not None:
         return code
     if args.strategies is None:
@@ -687,6 +765,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             hours=args.hours,
             strategies=strategies,
             workers=workers,
+            tariff=args.tariff,
         )
         _report_comparison({name: results[name] for name in strategies})
         return 0
@@ -700,19 +779,105 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     engine = Engine(world.sites, world.workload, world.mix)
     with _tracing(args):
         results = {
-            name: engine.run(get_strategy(name), hours=args.hours)
+            name: engine.run(
+                get_strategy(name), hours=args.hours, tariff=args.tariff
+            )
             for name in strategies
         }
         _report_comparison(results)
     return 0
 
 
+def _sweep_tariff_axis(args: argparse.Namespace) -> "list[str | None] | int":
+    """The sweep's tariff axis from --tariff/--demand-rates/--cycle-hours.
+
+    Without either axis flag the axis is the single base spec (--tariff,
+    possibly None = default energy). Each demand rate x cycle length
+    otherwise appends a parameterized ``demand`` component to the base
+    spec; the rate token 'none' keeps an energy-only scenario in the
+    grid as the comparison point. Returns an exit code on a bad value.
+    """
+    base = args.tariff or "energy"
+    rates: list[float | None] | None = None
+    if args.demand_rates is not None:
+        rates = []
+        for token in args.demand_rates.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token.lower() in ("none", "energy"):
+                rates.append(None)
+                continue
+            try:
+                value = float(token)
+            except ValueError:
+                print(f"error: bad demand rate {token!r}")
+                return 2
+            if value < 0.0:
+                print(f"error: demand rates must be >= 0, got {token}")
+                return 2
+            rates.append(value)
+        if not rates:
+            print("error: --demand-rates needs at least one value")
+            return 2
+    cycles: list[int] | None = None
+    if args.cycle_hours is not None:
+        cycles = []
+        for token in args.cycle_hours.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                value = int(token)
+            except ValueError:
+                print(f"error: bad billing-cycle length {token!r}")
+                return 2
+            if value < 1:
+                print(f"error: cycle hours must be >= 1, got {token}")
+                return 2
+            cycles.append(value)
+        if not cycles:
+            print("error: --cycle-hours needs at least one value")
+            return 2
+    if rates is None and cycles is None:
+        return [args.tariff]
+    tariffs: list[str | None] = []
+    for rate in rates if rates is not None else [None]:
+        if rate is None and rates is not None:
+            # 'none': the energy-only comparison point, once.
+            if base not in tariffs:
+                tariffs.append(base)
+            continue
+        for cycle in cycles if cycles is not None else [None]:
+            params = []
+            if rate is not None:
+                params.append(f"rate={rate:g}")
+            if cycle is not None:
+                params.append(f"cycle={cycle}")
+            spec = f"{base}+demand"
+            if params:
+                spec += ":" + ",".join(params)
+            tariffs.append(spec)
+    return tariffs
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sim.sweep import run_sweep, strategy_metric, sweep_grid
 
-    code = _apply_solver_backend(args)
+    code = _apply_solver_backend(args) or _validate_tariff(args)
     if code is not None:
         return code
+    tariffs = _sweep_tariff_axis(args)
+    if isinstance(tariffs, int):
+        return tariffs
+    from .billing import make_ledger
+
+    for spec in tariffs:
+        try:
+            make_ledger(spec)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
     fractions: list[float | None] = []
     for token in args.budget_fractions.split(","):
         token = token.strip()
@@ -740,6 +905,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = sweep_grid(
         seed=[args.seed + i for i in range(args.seeds)],
         budget_fraction=fractions,
+        tariff=tariffs,
     )
     for sc in scenarios:
         sc.update(
@@ -748,22 +914,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with _tracing(args):
         results = run_sweep(strategy_metric, scenarios, workers=args.workers)
 
-    print(f"{len(scenarios)} scenarios "
-          f"({args.seeds} seeds x {len(fractions)} budgets), "
+    multi_tariff = len(tariffs) > 1
+    axes = f"{args.seeds} seeds x {len(fractions)} budgets"
+    if multi_tariff:
+        axes += f" x {len(tariffs)} tariffs"
+    print(f"{len(scenarios)} scenarios ({axes}), "
           f"strategy={args.strategy}, {args.hours}h, "
           f"workers={args.workers}")
+    twidth = max(len(t or "energy") for t in tariffs) if multi_tariff else 0
+    tariff_head = f" {'tariff':<{twidth}}" if multi_tariff else ""
+    peak_head = f" {'peak MW':>8}" if multi_tariff else ""
     print(f"{'seed':>6} {'budget':>8} {'total $':>14} {'premium':>8} "
-          f"{'ordinary':>9} {'over':>5}")
+          f"{'ordinary':>9} {'over':>5}" + peak_head + tariff_head)
     for sc, res in zip(scenarios, results):
         s = res.summary()
         frac = (
             "   -" if sc["budget_fraction"] is None
             else f"{sc['budget_fraction']:.2f}"
         )
-        print(f"{sc['seed']:>6} {frac:>8} {s['total_cost']:>14,.0f} "
+        # Under multi-component tariffs the headline cost is the full
+        # settled bill; energy-only settles identically to total_cost.
+        total = sum(h.settled_cost for h in res.hours)
+        extra = ""
+        if multi_tariff:
+            extra = (f" {s['peak_power_mw']:>8.1f}"
+                     f" {sc['tariff'] or 'energy':<{twidth}}")
+        print(f"{sc['seed']:>6} {frac:>8} {total:>14,.0f} "
               f"{s['premium_throughput']:>8.2%} "
               f"{s['ordinary_throughput']:>9.2%} "
-              f"{int(s['hours_over_budget']):>5}")
+              f"{int(s['hours_over_budget']):>5}" + extra)
     return 0
 
 
@@ -855,6 +1034,17 @@ def build_parser() -> argparse.ArgumentParser:
         "region-decomposed large-fleet path explicitly",
     )
 
+    tariff = argparse.ArgumentParser(add_help=False)
+    tariff.add_argument(
+        "--tariff",
+        metavar="SPEC",
+        default=None,
+        help="tariff the run settles against: '+'-joined registered "
+        "components, each optionally parameterized — e.g. 'energy' "
+        "(default, the paper's bill) or 'energy+demand:rate=6,cycle=168' "
+        "(see 'repro tariffs')",
+    )
+
     endo = argparse.ArgumentParser(add_help=False)
     endo.add_argument(
         "--endogenous-prices",
@@ -883,7 +1073,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_sim = sub.add_parser(
-        "simulate", aliases=["run"], parents=[common, endo],
+        "simulate", aliases=["run"], parents=[common, endo, tariff],
         help="run one registered strategy",
     )
     p_sim.add_argument(
@@ -948,7 +1138,7 @@ def build_parser() -> argparse.ArgumentParser:
     # --trace telemetry flag would collide with serve's streaming
     # telemetry, and half the shared knobs live in the checkpoint).
     p_srv = sub.add_parser(
-        "serve", parents=[endo],
+        "serve", parents=[endo, tariff],
         help="run the streaming control plane (sub-hourly "
         "re-dispatch, HTTP API, checkpointed)"
     )
@@ -1077,8 +1267,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sol.set_defaults(func=_cmd_solvers)
 
+    p_trf = sub.add_parser(
+        "tariffs", help="list the registered tariff components"
+    )
+    p_trf.set_defaults(func=_cmd_tariffs)
+
     p_cmp = sub.add_parser(
-        "compare", parents=[common], help="capping vs all baselines"
+        "compare", parents=[common, tariff], help="capping vs all baselines"
     )
     p_cmp.add_argument(
         "--strategies",
@@ -1099,8 +1294,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep",
-        parents=[common],
-        help="grid sweep of one strategy over seeds x budget fractions",
+        parents=[common, tariff],
+        help="grid sweep of one strategy over seeds x budget fractions "
+        "(x demand-charge tariffs)",
     )
     p_sweep.add_argument(
         "--strategy",
@@ -1118,6 +1314,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="none,0.95,0.85",
         help="comma-separated monthly budgets as fractions of the "
         "uncapped spend; 'none' runs uncapped (capping only)",
+    )
+    p_sweep.add_argument(
+        "--demand-rates",
+        metavar="RATES",
+        default=None,
+        help="comma-separated demand-charge rates ($/kW of billing-cycle "
+        "peak) appended to the base --tariff as a tariff axis; 'none' "
+        "keeps an energy-only scenario as the comparison point",
+    )
+    p_sweep.add_argument(
+        "--cycle-hours",
+        metavar="HOURS",
+        default=None,
+        help="comma-separated billing-cycle lengths (hours) for the "
+        "demand-charge axis (default: the component's 720 h month)",
     )
     p_sweep.add_argument(
         "--workers",

@@ -92,6 +92,7 @@ class BillCapper:
         *,
         forced_failure: Exception | None = None,
         degradation: "DegradationPolicy | None | object" = _UNSET,
+        peak_term: tuple[float, float] | None = None,
     ) -> HourlyDecision:
         """Run the two-step algorithm for one invocation period.
 
@@ -114,6 +115,15 @@ class BillCapper:
             never mutated — run-scoped policies (the engine's
             ``degradation=`` argument) ride through here instead of
             leaking into a caller-supplied capper.
+        peak_term:
+            ``(cycle_peak_mw, penalty_per_mw)`` when a demand charge is
+            in force (see :class:`repro.billing.DemandCharge`). Step
+            1's acceptance test then reserves headroom for the demand
+            charge the candidate dispatch would incur, and step 2
+            prices peak excess inside the budget row so the maximizer
+            actively shaves peaks. ``None`` (the default, and always
+            under the ``energy`` tariff) preserves the paper's
+            energy-only flow bit for bit.
         """
         if premium_rps < 0 or ordinary_rps < 0:
             raise ValueError("offered rates must be >= 0")
@@ -123,12 +133,12 @@ class BillCapper:
         if not tel.enabled:
             return self._guarded(
                 site_hours, premium_rps, ordinary_rps, budget, forced_failure,
-                degradation,
+                degradation, peak_term,
             )
         with tel.span("capper.decide") as sp:
             decision = self._guarded(
                 site_hours, premium_rps, ordinary_rps, budget, forced_failure,
-                degradation,
+                degradation, peak_term,
             )
             sp.set(step=decision.step.value, predicted_cost=decision.predicted_cost)
         tel.counter(f"capper.step.{decision.step.value}").inc()
@@ -143,13 +153,16 @@ class BillCapper:
         budget: float,
         forced_failure: Exception | None,
         degradation: "DegradationPolicy | None | object" = _UNSET,
+        peak_term: tuple[float, float] | None = None,
     ) -> HourlyDecision:
         """Run the two-step solve, degrading instead of crashing the hour."""
         policy = self.degradation if degradation is _UNSET else degradation
         try:
             if forced_failure is not None:
                 raise forced_failure
-            decision = self._decide(site_hours, premium_rps, ordinary_rps, budget)
+            decision = self._decide(
+                site_hours, premium_rps, ordinary_rps, budget, peak_term
+            )
         except SolverError as exc:
             if policy is None:
                 raise
@@ -178,6 +191,7 @@ class BillCapper:
         premium_rps: float,
         ordinary_rps: float,
         budget: float,
+        peak_term: tuple[float, float] | None = None,
     ) -> HourlyDecision:
         demand_premium = premium_rps
         demand_ordinary = ordinary_rps
@@ -189,9 +203,19 @@ class BillCapper:
 
         # Step 1: cost minimization for the full load. The same safety
         # factor guards the acceptance test: the realized bill runs
-        # slightly above the smooth decision estimate.
+        # slightly above the smooth decision estimate. Under a demand
+        # charge the acceptance compares the *projected hour bill* —
+        # energy plus the demand charge the candidate's power peak
+        # would incur — so headroom is reserved for both terms.
         step1 = self.cost_minimizer.solve(site_hours, total)
-        if step1.predicted_cost <= budget * self.budget_safety * (1 + _BUDGET_RTOL) + 1e-12:
+        projected = step1.predicted_cost
+        if peak_term is not None:
+            cycle_peak_mw, penalty_per_mw = peak_term
+            step1_power = sum(
+                a.predicted_power_mw for a in step1.allocations
+            )
+            projected += penalty_per_mw * max(0.0, step1_power - cycle_peak_mw)
+        if projected <= budget * self.budget_safety * (1 + _BUDGET_RTOL) + 1e-12:
             return self._classed(
                 step1,
                 CappingStep.COST_MIN,
@@ -204,10 +228,20 @@ class BillCapper:
 
         # Step 2: throughput maximization within the budget (shaved by
         # the safety factor so realized spending lands under the true
-        # budget despite the smooth-vs-stepped model gap).
-        step2 = self.throughput_maximizer.solve(
-            site_hours, total, budget * self.budget_safety
-        )
+        # budget despite the smooth-vs-stepped model gap). The peak
+        # term, when in force, rides into the budget row so the
+        # maximizer shaves peaks instead of merely paying for them.
+        if peak_term is None:
+            # No kwargs: caller-supplied maximizers (and test stubs)
+            # predating the peak term keep working under `energy`.
+            step2 = self.throughput_maximizer.solve(
+                site_hours, total, budget * self.budget_safety
+            )
+        else:
+            step2 = self.throughput_maximizer.solve(
+                site_hours, total, budget * self.budget_safety,
+                peak_mw=peak_term[0], peak_penalty=peak_term[1],
+            )
         throughput = step2.served_total_rps
         if throughput >= premium_rps * (1 - 1e-9):
             # The tolerance admits throughput a hair below premium_rps;

@@ -21,7 +21,61 @@ import numpy as np
 from ..telemetry import get_telemetry
 from ..workload import HOURS_PER_WEEK, HourOfWeekPredictor
 
-__all__ = ["Budgeter"]
+__all__ = [
+    "Budgeter",
+    "available_budget",
+    "clawed_back_carry",
+    "month_weights",
+]
+
+
+def month_weights(
+    predictor: HourOfWeekPredictor, month_hours: int, start_weekday: int
+) -> np.ndarray:
+    """Per-hour budget weights over the month, summing to 1.
+
+    The hour-of-week profile tiled across the month and normalized,
+    falling back to uniform weights on an all-zero profile. Shared by
+    :class:`Budgeter` and
+    :class:`~repro.core.robust_budgeter.AdaptiveBudgeter` so the two
+    splitters can never disagree on what an hour's predicted share is.
+    """
+    weekly = predictor.weekly_profile()
+    idx = (np.arange(month_hours) + start_weekday * 24) % HOURS_PER_WEEK
+    profile = weekly[idx]
+    total = profile.sum()
+    if total <= 0:
+        return np.full(month_hours, 1.0 / month_hours)
+    return profile / total
+
+
+def available_budget(base: float, carry: float, *, carryover: bool) -> float:
+    """The zero-floored budget an hour actually hands the dispatcher.
+
+    ``base`` plus the week's carryover (when enabled), floored at zero:
+    a claw-back-driven negative balance must never surface as a
+    negative hourly budget. Both budgeters route every budget they
+    publish — and every overspend test — through this one floor.
+    """
+    budget = base
+    if carryover:
+        budget += carry
+    return max(0.0, budget)
+
+
+def clawed_back_carry(
+    available: float, cost: float, *, claw_back_deficit: bool
+) -> float:
+    """Carryover left after settling an hour that was handed ``available``.
+
+    Unused budget rolls forward; a deficit is forgotten (the paper's
+    behaviour — overspent hours simply violate the budget) unless
+    ``claw_back_deficit`` keeps it negative to starve later hours.
+    """
+    carry = available - cost
+    if not claw_back_deficit:
+        carry = max(0.0, carry)
+    return carry
 
 
 class Budgeter:
@@ -69,24 +123,11 @@ class Budgeter:
         self.start_weekday = int(start_weekday)
         self.carryover = carryover
         self.claw_back_deficit = claw_back_deficit
-        self._weights = self._month_weights(predictor, month_hours, start_weekday)
+        self._weights = month_weights(predictor, month_hours, start_weekday)
         self._base = self.monthly_budget * self._weights
         self._spent = np.zeros(month_hours)
         self._next_hour = 0
         self._carry = 0.0
-
-    @staticmethod
-    def _month_weights(
-        predictor: HourOfWeekPredictor, month_hours: int, start_weekday: int
-    ) -> np.ndarray:
-        """Per-hour budget weights over the month, summing to 1."""
-        weekly = predictor.weekly_profile()
-        idx = (np.arange(month_hours) + start_weekday * 24) % HOURS_PER_WEEK
-        profile = weekly[idx]
-        total = profile.sum()
-        if total <= 0:
-            return np.full(month_hours, 1.0 / month_hours)
-        return profile / total
 
     # -- the hourly protocol ----------------------------------------------------
 
@@ -103,10 +144,11 @@ class Budgeter:
         """Budget available for the current hour (base + carryover)."""
         if self._next_hour >= self.month_hours:
             raise RuntimeError("budgeting period exhausted")
-        budget = self.base_budget(self._next_hour)
-        if self.carryover:
-            budget += self._carry
-        return max(0.0, budget)
+        return available_budget(
+            self.base_budget(self._next_hour),
+            self._carry,
+            carryover=self.carryover,
+        )
 
     def record_spend(self, cost: float) -> None:
         """Record the hour's realized cost and advance to the next hour.
@@ -124,13 +166,12 @@ class Budgeter:
         # Same floor as hourly_budget(): carry and the overspend test are
         # relative to the budget the capper was actually handed, not to a
         # claw-back-driven negative balance it never saw.
-        available = max(
-            0.0,
-            self.base_budget(hour) + (self._carry if self.carryover else 0.0),
+        available = available_budget(
+            self.base_budget(hour), self._carry, carryover=self.carryover
         )
-        self._carry = available - cost
-        if not self.claw_back_deficit:
-            self._carry = max(0.0, self._carry)
+        self._carry = clawed_back_carry(
+            available, cost, claw_back_deficit=self.claw_back_deficit
+        )
         self._next_hour += 1
         # Weeks are budgeted independently: carryover resets at calendar
         # week edges (aligned with the start weekday).

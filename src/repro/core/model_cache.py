@@ -45,6 +45,7 @@ from ..solver import (
     SolverLimitError,
     StandardForm,
     UnboundedError,
+    quicksum,
 )
 from ..solver.branch_bound import BranchBoundSolver
 from ..solver.result import SolveStatus
@@ -141,13 +142,13 @@ class _Entry:
 
     __slots__ = (
         "dm", "base", "sense_max", "slots", "patch",
-        "serve_all_row", "demand_row", "budget_row",
-        "solver", "last_x",
+        "serve_all_row", "demand_row", "budget_row", "peak_row",
+        "solver", "last_x", "warm",
     )
 
     def __init__(self, dm: DispatchModel, base: StandardForm, sense_max: bool,
                  slots: list[_SiteSlots], serve_all_row, demand_row, budget_row,
-                 solver_backend: str | None = None):
+                 peak_row=None, solver_backend: str | None = None):
         self.dm = dm
         self.base = base
         self.sense_max = sense_max
@@ -156,6 +157,16 @@ class _Entry:
         self.serve_all_row = serve_all_row
         self.demand_row = demand_row
         self.budget_row = budget_row
+        self.peak_row = peak_row
+        # Warm-started solves carry process history (the previous hour's
+        # incumbent and root basis) that a checkpoint cannot, so a
+        # resumed run would branch-and-bound through a different node
+        # order and land on ULP-different optima. Energy-only entries
+        # never notice — their hot path is the stateless enumeration
+        # kernel — but peak-row (demand charge) structures always reach
+        # the MILP, so they must solve cold to keep kill/resume and
+        # restart byte-identical to an uninterrupted run.
+        self.warm = peak_row is None
         # Private engine so its structure cache and root warm basis are
         # never thrashed by other problems; incumbents carry over hours.
         # The LP engine is picked by problem size: dense tableau for
@@ -165,7 +176,7 @@ class _Entry:
             n_rows = base.A_ub.shape[0] + base.A_eq.shape[0]
             self.solver = BranchBoundSolver(
                 lp_solver=lp_solver_for_size(base.c.size, n_rows),
-                warm_start=True,
+                warm_start=self.warm,
             )
         else:
             from ..solver.registry import get_backend
@@ -246,13 +257,29 @@ class DispatchModelCache:
         budget: float,
         step_margin_frac: float,
         cost_tiebreak_weight: float,
+        peak_mw: float | None = None,
+        peak_penalty: float = 0.0,
     ) -> tuple[DispatchModel, SolveResult]:
-        """Hot-path equivalent of ``ThroughputMaximizer``'s solve."""
+        """Hot-path equivalent of ``ThroughputMaximizer``'s solve.
+
+        With a demand charge in force (``peak_mw`` is the billing
+        cycle's peak so far, ``peak_penalty`` its $/MW rate), the
+        compiled structure gains a ``peak_excess`` variable priced at
+        the penalty inside the budget row and (tiebreak-weighted)
+        objective, plus a ``peak`` row ``sum(p_i) - peak_excess <=
+        peak_mw`` whose RHS is patched per solve. The penalty is part
+        of the structure key, so energy-only callers hit the exact
+        pre-existing entry — and the enumeration kernel, which assumes
+        a separable bill, only runs for them.
+        """
+        peak_active = peak_mw is not None and peak_penalty > 0.0
+        extra: tuple = (float(cost_tiebreak_weight),)
+        if peak_active:
+            extra = (float(cost_tiebreak_weight), float(peak_penalty))
         entry = self._entry(
-            "throughput-max", site_hours, step_margin_frac,
-            extra=(float(cost_tiebreak_weight),),
+            "throughput-max", site_hours, step_margin_frac, extra=extra
         )
-        if self.use_enum_kernel:
+        if self.use_enum_kernel and not peak_active:
             res = self._try_kernel(
                 enum_kernel.solve_throughput_max,
                 entry, site_hours, offered_rate_rps / RATE_SCALE, budget,
@@ -264,6 +291,8 @@ class DispatchModelCache:
         sf = self._patched(entry, site_hours, step_margin_frac)
         sf.b_ub[entry.demand_row] = offered_rate_rps / RATE_SCALE
         sf.b_ub[entry.budget_row] = budget
+        if peak_active:
+            sf.b_ub[entry.peak_row] = peak_mw
         res = self._solve(entry, sf, "throughput-max")
         return self._rebound(entry, site_hours), res
 
@@ -350,11 +379,25 @@ class DispatchModelCache:
             m.minimize(dm.total_cost)
         else:
             m.add(dm.total_rate_scaled <= 0.0, name="demand")
-            m.add(dm.total_cost <= 0.0, name="budget")
-            (weight,) = extra
+            total_bill = dm.total_cost
+            if len(extra) == 2:
+                # Demand-charge structure: the hour's bill is energy
+                # plus the penalty on power above the cycle peak. The
+                # peak row's RHS (the peak itself) is patched per
+                # solve; its coefficients are constant.
+                weight, penalty = extra
+                peak_excess = m.var("peak_excess", lb=0.0)
+                m.add(
+                    quicksum(s.power for s in dm.sites) - peak_excess <= 0.0,
+                    name="peak",
+                )
+                total_bill = total_bill + penalty * peak_excess
+            else:
+                (weight,) = extra
+            m.add(total_bill <= 0.0, name="budget")
             objective = dm.total_rate_scaled
             if weight > 0:
-                objective = objective - weight * dm.total_cost
+                objective = objective - weight * total_bill
             m.maximize(objective)
 
         base = m.to_standard_form()
@@ -392,6 +435,7 @@ class DispatchModelCache:
             serve_all_row=eq_rows.get("serve_all"),
             demand_row=ub_rows.get("demand"),
             budget_row=ub_rows.get("budget"),
+            peak_row=ub_rows.get("peak"),
             solver_backend=self.solver_backend,
         )
 
@@ -501,7 +545,8 @@ class DispatchModelCache:
 
             res = ScipyBackend().solve(sf)
         if res.ok:
-            entry.last_x = res.x
+            if entry.warm:
+                entry.last_x = res.x
             value = res.objective + sf.obj_constant
             if entry.sense_max:
                 value = -value

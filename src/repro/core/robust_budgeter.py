@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..workload import HOURS_PER_WEEK, HourOfWeekPredictor
+from ..workload import HourOfWeekPredictor
+from .budgeter import available_budget, month_weights
 
 __all__ = ["AdaptiveBudgeter"]
 
@@ -79,15 +80,7 @@ class AdaptiveBudgeter:
         self.month_hours = int(month_hours)
         self.reserve_fraction = float(reserve_fraction)
         self.release_hours = int(release_hours)
-        weekly = predictor.weekly_profile()
-        idx = (np.arange(month_hours) + start_weekday * 24) % HOURS_PER_WEEK
-        profile = weekly[idx]
-        total = profile.sum()
-        self._weights = (
-            profile / total
-            if total > 0
-            else np.full(month_hours, 1.0 / month_hours)
-        )
+        self._weights = month_weights(predictor, month_hours, start_weekday)
         # Suffix sums of weights: remaining predicted share per hour.
         self._suffix = np.concatenate(
             [np.cumsum(self._weights[::-1])[::-1], [0.0]]
@@ -114,7 +107,9 @@ class AdaptiveBudgeter:
             raise RuntimeError("budgeting period exhausted")
         remaining_pool = self._allocatable(t) - self.total_spent
         share = self._weights[t] / self._suffix[t] if self._suffix[t] > 0 else 1.0
-        return max(0.0, remaining_pool * share)
+        # The shared zero floor: an overdrawn pool (late-month premium
+        # overspend) publishes a 0 budget, never a negative one.
+        return available_budget(remaining_pool * share, 0.0, carryover=False)
 
     def record_spend(self, cost: float) -> None:
         """Record the hour's realized cost and advance."""

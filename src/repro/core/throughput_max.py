@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..solver import InfeasibleError
+from ..solver import InfeasibleError, quicksum
 from .allocation import CappingStep, HourlyDecision
 from .cost_min import (
     _decision_from,
@@ -64,17 +64,30 @@ class ThroughputMaximizer:
         site_hours: list[SiteHour],
         offered_rate_rps: float,
         budget: float,
+        *,
+        peak_mw: float | None = None,
+        peak_penalty: float = 0.0,
     ) -> HourlyDecision:
         """Serve as much of ``offered_rate_rps`` as ``budget`` allows.
 
         Returns a decision whose ``served_total_rps`` is the achievable
         throughput ``lambda_throughput`` of Section V-A; all of it is
         reported as a single class (the bill capper splits classes).
+
+        With a demand charge in force (``peak_mw`` = the billing
+        cycle's peak average power so far, ``peak_penalty`` = its $/MW
+        rate), the hour's bill inside the budget row and the cost
+        tiebreak becomes ``energy + penalty * max(0, total_power -
+        peak_mw)``, linearized with one ``peak_excess`` variable — the
+        maximizer then shaves new peaks whenever throughput permits.
+        The region decomposition and the enumeration kernel assume a
+        site-separable bill, so the peak term routes around both.
         """
         if offered_rate_rps < 0:
             raise ValueError("offered rate must be >= 0")
         if budget < 0:
             raise ValueError("budget must be >= 0")
+        peak_active = peak_mw is not None and peak_penalty > 0.0
         if offered_rate_rps == 0:
             decision = _zero_decision(site_hours, CappingStep.THROUGHPUT_MAX)
             return _with_budget(decision, budget)
@@ -82,7 +95,9 @@ class ThroughputMaximizer:
         backend, solver_backend = resolve_solver_backend(
             self.backend, self.solver_backend
         )
-        if _use_decomposition(backend, solver_backend, len(site_hours)):
+        if not peak_active and _use_decomposition(
+            backend, solver_backend, len(site_hours)
+        ):
             if self._decomposer is None:
                 self._decomposer = DecompositionSolver()
             out = self._decomposer.solve_throughput_max(
@@ -107,6 +122,8 @@ class ThroughputMaximizer:
             dm, res = self.model_cache.solve_throughput_max(
                 site_hours, offered_rate_rps, budget,
                 self.step_margin_frac, self.cost_tiebreak_weight,
+                peak_mw=peak_mw if peak_active else None,
+                peak_penalty=peak_penalty if peak_active else 0.0,
             )
             decision = _decision_from(dm, res, CappingStep.THROUGHPUT_MAX)
             return _with_budget(decision, budget)
@@ -117,10 +134,18 @@ class ThroughputMaximizer:
         dm.model.add(
             dm.total_rate_scaled <= offered_rate_rps / RATE_SCALE, name="demand"
         )
-        dm.model.add(dm.total_cost <= budget, name="budget")
+        total_bill = dm.total_cost
+        if peak_active:
+            peak_excess = dm.model.var("peak_excess", lb=0.0)
+            dm.model.add(
+                quicksum(s.power for s in dm.sites) - peak_excess <= peak_mw,
+                name="peak",
+            )
+            total_bill = total_bill + peak_penalty * peak_excess
+        dm.model.add(total_bill <= budget, name="budget")
         objective = dm.total_rate_scaled
         if self.cost_tiebreak_weight > 0:
-            objective = objective - self.cost_tiebreak_weight * dm.total_cost
+            objective = objective - self.cost_tiebreak_weight * total_bill
         dm.model.maximize(objective)
         # All-zero dispatch is always feasible (cost 0 <= budget), so a
         # failure here is a solver error rather than a modeling outcome.

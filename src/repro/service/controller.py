@@ -48,6 +48,7 @@ import json
 import math
 from dataclasses import dataclass
 
+from ..billing import SettlementLedger, make_ledger, restore_ledger
 from ..core import Budgeter, HourlyDecision
 from ..resilience import DegradationPolicy
 from ..sim.engine import (
@@ -152,8 +153,14 @@ class DecisionEvent:
         return json.dumps(self.to_dict())
 
 
-#: Schema version of :meth:`ControlLoop.state_dict` payloads.
-LOOP_STATE_VERSION = 1
+#: Schema version of :meth:`ControlLoop.state_dict` payloads. Version
+#: history:
+#:
+#: * 1 — through the energy-only billing spine.
+#: * 2 — adds the settlement ledger state (``"ledger"``); v1 payloads
+#:   migrate by keeping the loop's constructed ledger (energy-only
+#:   checkpoints carry no cross-hour tariff state).
+LOOP_STATE_VERSION = 2
 
 
 class ControlLoop:
@@ -177,7 +184,16 @@ class ControlLoop:
         loop its hourly allotment from the shared budget ledger.
         Mutually exclusive with ``budgeter``; spend settlement is then
         the ledger's job (reported through ``on_settle``), not the
-        loop's.
+        loop's. When neither is given, the loop synthesizes a source
+        returning ``inf`` — budgeted and unbudgeted hours open through
+        the same code path.
+    tariff:
+        Tariff spec string (``"energy"``, ``"energy+demand:rate=6"``)
+        or a pre-built :class:`~repro.billing.SettlementLedger`. Each
+        hour's time-weighted energy cost and average power accrue into
+        the ledger; settlement bills through its components. ``None``
+        (the default) builds the ``energy`` tariff, whose single line
+        item reproduces the pre-ledger spend bit for bit.
     hours:
         Horizon in hours (default: the engine workload's length).
         Ticks beyond the horizon are ignored.
@@ -198,6 +214,7 @@ class ControlLoop:
         trigger: TriggerPolicy | None = None,
         budgeter: Budgeter | None = None,
         budget_source=None,
+        tariff: "str | SettlementLedger | None" = None,
         hours: int | None = None,
         degradation: DegradationPolicy | None = DegradationPolicy.PROPORTIONAL,
         name: str | None = None,
@@ -228,7 +245,19 @@ class ControlLoop:
                 f"strategy {self.strategy.name!r} does not consume a "
                 "budget; run it without a budgeter"
             )
-        self.budget_source = budget_source
+        # Hours always open through a budget source: an explicit one
+        # (the shard ledger's hook) or the synthesized budgeter-or-inf
+        # source below — one code path, so the two can't drift.
+        self.budget_source = (
+            budget_source
+            if budget_source is not None
+            else self._budgeter_source
+        )
+        self.ledger = (
+            tariff
+            if isinstance(tariff, SettlementLedger)
+            else make_ledger(tariff)
+        )
         # A freshly restored budgeter already has its settled hours
         # recorded, so only the remaining horizon must fit.
         already = budgeter.current_hour if budgeter is not None else 0
@@ -396,6 +425,7 @@ class ControlLoop:
         ctx.demand_ordinary_rps = self.engine.mix.ordinary_rate(self.lambda_now)
         ctx.site_hours = self._observed_site_hours()
         ctx.budget = self.hour_budget
+        ctx.ledger = self.ledger
         with tel.span("service.dispatch", hour=self.hour, reason=reason):
             decision = dispatch_with_degradation(ctx, self.state)
             if self.endogenous is not None:
@@ -436,6 +466,14 @@ class ControlLoop:
 
     # -- hour accounting ----------------------------------------------------
 
+    def _budgeter_source(self, hour: int) -> float:
+        """Default budget source: the budgeter's hourly budget, or
+        ``inf`` when the loop runs uncapped — the same shape as the
+        shard ledger's external source, so :meth:`_begin_hour` has one
+        path regardless of who allots the hour."""
+        budgeter = self.state.budgeter
+        return budgeter.hourly_budget() if budgeter is not None else math.inf
+
     def _begin_hour(self, hour: int) -> None:
         self.hour = hour
         self._hour_open = True
@@ -448,13 +486,7 @@ class ControlLoop:
             "demand_premium_rps": 0.0,
             "demand_ordinary_rps": 0.0,
         }
-        if self.budget_source is not None:
-            self.hour_budget = float(self.budget_source(hour))
-        else:
-            budgeter = self.state.budgeter
-            self.hour_budget = (
-                budgeter.hourly_budget() if budgeter is not None else math.inf
-            )
+        self.hour_budget = float(self.budget_source(hour))
 
     def _close_segment(self, end_s: float) -> None:
         """Accrue the in-force decision over ``[segment_start, end_s)``.
@@ -472,19 +504,28 @@ class ControlLoop:
             acc["served_ordinary_rps"] += record.served_ordinary_rps * weight
             acc["demand_premium_rps"] += record.demand_premium_rps * weight
             acc["demand_ordinary_rps"] += record.demand_ordinary_rps * weight
+            # Same `x * weight` fold the accruals above use, so the
+            # ledger's energy equals acc["realized_cost"] bit for bit.
+            self.ledger.accrue(
+                record.realized_cost, record.total_power_mw, weight
+            )
         self._segment_start = end_s
 
     def _settle_hour(self) -> dict:
         self._close_segment((self.hour + 1) * _HOUR_S)
+        items = self.ledger.settle(self.hour)
+        spend = SettlementLedger.total(items)
         summary = {
             "hour": self.hour,
             "budget": self.hour_budget,
             "decisions": self._hour_decisions,
             **self._accrued,
+            "spend": spend,
+            "line_items": [li.to_dict() for li in items],
         }
         budgeter = self.state.budgeter
         if budgeter is not None:
-            budgeter.record_spend(summary["realized_cost"])
+            budgeter.record_spend(spend)
         self.hour_summaries.append(summary)
         self._hour_open = False
         get_telemetry().counter("service.hours_settled").inc()
@@ -507,9 +548,15 @@ class ControlLoop:
             "strategy": self.name,
             "hours": self.settled_hours,
             "decisions": self.decisions,
-            "total_cost": total("realized_cost"),
+            "total_cost": sum(
+                s.get("spend", s["realized_cost"])
+                for s in self.hour_summaries
+            ),
             "hours_over_budget": sum(
-                s["realized_cost"] > s["budget"] * (1 + 1e-9)
+                # Full settled bill when the summary carries one;
+                # restored pre-ledger summaries fall back to the energy
+                # cost (their bill *was* the energy cost).
+                s.get("spend", s["realized_cost"]) > s["budget"] * (1 + 1e-9)
                 for s in self.hour_summaries
             ),
             "premium_throughput": (
@@ -542,6 +589,7 @@ class ControlLoop:
                 if self.state.last_good is not None
                 else None
             ),
+            "ledger": self.ledger.to_dict(),
         }
 
     def load_state(self, data: dict) -> None:
@@ -552,7 +600,7 @@ class ControlLoop:
         loop, mirroring the engine checkpoint layout.
         """
         version = data.get("v")
-        if version != LOOP_STATE_VERSION:
+        if version not in (1, LOOP_STATE_VERSION):
             raise ValueError(
                 f"unsupported control-loop state version {version!r} "
                 f"(expected {LOOP_STATE_VERSION})"
@@ -582,6 +630,10 @@ class ControlLoop:
             if data.get("last_good") is not None
             else None
         )
+        # v1 states predate the ledger: keep the constructed one (the
+        # energy-only default carries no cross-hour tariff state).
+        if data.get("ledger") is not None:
+            self.ledger = restore_ledger(data["ledger"])
         self._last_time = self._start_hour * _HOUR_S
 
 

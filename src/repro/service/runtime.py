@@ -64,7 +64,13 @@ __all__ = [
 ]
 
 #: Service checkpoint schema version; bump when the payload changes.
-SERVICE_CHECKPOINT_VERSION = 1
+#: Version history:
+#:
+#: * 1 — through the energy-only billing spine.
+#: * 2 — adds the tariff spec and the settlement-ledger state (inside
+#:   the ``"loop"`` payload); v1 checkpoints migrate onto the default
+#:   ``energy`` tariff, whose ledger carries no cross-hour state.
+SERVICE_CHECKPOINT_VERSION = 2
 
 
 class ControlPlaneService:
@@ -274,6 +280,7 @@ class ControlPlaneService:
             "degradation": (
                 loop.degradation.value if loop.degradation is not None else None
             ),
+            "tariff": loop.ledger.tariff,
             "next_tick": self._current_tick_seq,
             "decisions_logged": self.decisions_published,
             "loop": loop.state_dict(),
@@ -397,7 +404,7 @@ def load_service_checkpoint(path) -> dict:
     if payload.get("kind") != "service-run":
         raise ValueError(f"{path} is not a service run checkpoint")
     version = payload.get("version")
-    if version != SERVICE_CHECKPOINT_VERSION:
+    if version not in (1, SERVICE_CHECKPOINT_VERSION):
         raise ValueError(
             f"unsupported service checkpoint version {version!r} "
             f"(expected {SERVICE_CHECKPOINT_VERSION})"
@@ -427,6 +434,11 @@ def restore_loop(engine, payload: dict) -> ControlLoop:
         payload["strategy"],
         trigger=TriggerPolicy(**payload["trigger"]),
         budgeter=budgeter,
+        # v1 checkpoints predate tariffs: None rebuilds the `energy`
+        # default they were billed under. The ledger's accrued state
+        # (and e.g. a demand charge's cycle peak) is then restored by
+        # load_state from the loop payload.
+        tariff=payload.get("tariff"),
         hours=payload["horizon"],
         degradation=(
             DegradationPolicy(payload["degradation"])

@@ -90,7 +90,13 @@ __all__ = [
 ]
 
 #: Shard checkpoint schema version; bump when the payload changes.
-SHARD_CHECKPOINT_VERSION = 1
+#: Version history:
+#:
+#: * 1 — through the energy-only billing spine.
+#: * 2 — region loop states carry settlement-ledger state and the
+#:   payload names the tariff spec; v1 checkpoints migrate onto the
+#:   default ``energy`` tariff (no cross-hour ledger state to restore).
+SHARD_CHECKPOINT_VERSION = 2
 
 _HOUR_S = 3600.0
 
@@ -338,9 +344,22 @@ class ShardCoordinator:
             if len(hours) != 1:
                 raise RuntimeError(f"regions settled different hours: {hours}")
             hour = hours.pop()
-            # Fixed region order keeps the float sum — and through it the
-            # budgeter's carryover — identical for every worker count.
-            total = sum(settles[r]["spend"] for r in sorted(settles))
+            # Per-component spends fold in fixed (component, region)
+            # order — each component summed over sorted regions, the
+            # components summed in sorted-name order — so the float
+            # total, and through it the budgeter's carryover, is
+            # identical for every worker count. The energy-only tariff
+            # reduces to the pre-ledger sum of region spends bit for
+            # bit (one component, same region order, same fold).
+            spends = {
+                r: settles[r].get("spends", {"energy": settles[r]["spend"]})
+                for r in settles
+            }
+            names = sorted({c for per in spends.values() for c in per})
+            total = sum(
+                sum(spends[r].get(name, 0.0) for r in sorted(settles))
+                for name in names
+            )
             if self.budgeter is not None:
                 self.budgeter.record_spend(total)
             self.settled_hours = hour + 1
@@ -376,6 +395,7 @@ class ShardCoordinator:
             "kind": "shard-run",
             "version": SHARD_CHECKPOINT_VERSION,
             "strategy": self.spec["strategy"],
+            "tariff": self.spec.get("tariff"),
             "horizon": self.horizon,
             "regions_planned": len(self.regions),
             "settled_hours": self.settled_hours,
@@ -397,7 +417,7 @@ def load_shard_checkpoint(path) -> dict:
     if payload.get("kind") != "shard-run":
         raise ValueError(f"{path} is not a shard run checkpoint")
     version = payload.get("version")
-    if version != SHARD_CHECKPOINT_VERSION:
+    if version not in (1, SHARD_CHECKPOINT_VERSION):
         raise ValueError(
             f"unsupported shard checkpoint version {version!r} "
             f"(expected {SHARD_CHECKPOINT_VERSION})"
@@ -540,6 +560,7 @@ class RegionDriver:
                 strategy,
                 trigger=TriggerPolicy(**spec["trigger"]),
                 budget_source=budget_source,
+                tariff=spec.get("tariff"),
                 hours=self.horizon,
                 degradation=degradation,
                 name=f"{spec['strategy']}/region{r}",
@@ -630,7 +651,13 @@ class RegionDriver:
                 fh.flush()
             settles[str(r)] = {
                 "hour": hour,
-                "spend": summary["realized_cost"],
+                "spend": summary["spend"],
+                # Per-component amounts so the coordinator's fold stays
+                # deterministic at any worker count (see _on_round).
+                "spends": {
+                    li["component"]: li["amount"]
+                    for li in summary["line_items"]
+                },
                 "summary": summary,
                 "loop": loop.state_dict(),
                 "strategy_state": (
@@ -1110,9 +1137,14 @@ class ShardedControlPlane:
             "regions": len(self.regions),
             "hours": self.coordinator.settled_hours,
             "decisions": self.decisions_published,
-            "total_cost": sum(s["realized_cost"] for s in hours),
+            # Full settled bills where present; restored pre-ledger
+            # summaries fall back to the energy cost (their bill).
+            "total_cost": sum(
+                s.get("spend", s["realized_cost"]) for s in hours
+            ),
             "hours_over_budget": sum(
-                s["realized_cost"] > s["budget"] * (1 + 1e-9) for s in hours
+                s.get("spend", s["realized_cost"]) > s["budget"] * (1 + 1e-9)
+                for s in hours
             ),
             "premium_throughput": (
                 sum(s["served_premium_rps"] for s in hours) / demand_p

@@ -46,6 +46,7 @@ from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..billing import SettlementLedger, make_ledger, restore_ledger
 from ..core import Budgeter, CappingStep, HourlyDecision, Site, SiteHour
 from ..datacenter import (
     LocalDecision,
@@ -90,8 +91,11 @@ STAGES = ("observe", "budget", "dispatch", "realize", "settle")
 
 #: Engine checkpoint schema version; bump when the payload changes.
 #: Version 2: ``records`` entries carry their own ``v`` schema field
-#: (see :data:`repro.sim.records.RECORD_VERSION`).
-CHECKPOINT_VERSION = 2
+#: (see :data:`repro.sim.records.RECORD_VERSION`). Version 3: adds the
+#: settlement ``ledger`` (tariff components + accruals); version-2
+#: checkpoints load via migration onto the default energy-only ledger,
+#: whose settles are bit-identical to the scalar spend they replace.
+CHECKPOINT_VERSION = 3
 
 
 @dataclass
@@ -116,6 +120,10 @@ class HourContext:
     demand_ordinary_rps: float = 0.0
     budget: float = float("inf")
     site_hours: list[SiteHour] = field(default_factory=list)
+    #: The run's settlement ledger. Demand-aware strategies read its
+    #: ``peak_term(hour)`` to price peak excess into the dispatch MILP;
+    #: ``None`` (and the default energy-only ledger) yields no term.
+    ledger: SettlementLedger | None = None
     faults: HourFaults | None = None
     forced_failure: Exception | None = None
     decision: HourlyDecision | None = None
@@ -181,6 +189,9 @@ class RunState:
     """
 
     budgeter: Budgeter | None = None
+    #: The run's settlement ledger (None inside the service control
+    #: loop, which owns its own ledger and settles at tick boundaries).
+    ledger: SettlementLedger | None = None
     #: Budgeter snapshot backing the ``budget_loss`` fault channel.
     restore_ckpt: dict | None = None
     #: Last successfully solved decision (feeds HOLD_LAST degradation
@@ -390,6 +401,7 @@ class Engine:
         name: str | None = None,
         faults: FaultInjector | None = None,
         degradation: DegradationPolicy | None = None,
+        tariff: "str | SettlementLedger | None" = None,
         checkpoint_path=None,
         checkpoint_meta: dict | None = None,
         middleware: "Sequence[StageMiddleware] | None" = None,
@@ -406,6 +418,13 @@ class Engine:
         :attr:`~repro.resilience.DegradationPolicy.PROPORTIONAL` when
         faults are wired) instead of raising, and ``faults=None`` stays
         bit-identical to a plain run.
+
+        ``tariff`` is a spec string (``"energy"``,
+        ``"energy+demand:rate=6"``) or a prebuilt
+        :class:`~repro.billing.SettlementLedger`; the settle stage
+        charges every component and records per-component line items on
+        each hour. The default (energy-only) tariff settles
+        bit-identically to the pre-ledger scalar spend.
 
         ``checkpoint_path`` persists the full run state after every
         settled hour with an atomic write-then-rename;
@@ -428,7 +447,11 @@ class Engine:
         self._check_budgeter(budgeter, horizon, needed=horizon)
         strategy.prepare(self)
         result = SimulationResult(name or self._result_name(strategy))
-        state = RunState(budgeter=budgeter)
+        ledger = (
+            tariff if isinstance(tariff, SettlementLedger)
+            else make_ledger(tariff)
+        )
+        state = RunState(budgeter=budgeter, ledger=ledger)
         return self._drive(
             strategy,
             result,
@@ -503,7 +526,13 @@ class Engine:
             else None
         )
         result = SimulationResult(payload["result_name"], records)
-        state = RunState(budgeter=budgeter, last_good=last_good)
+        # Version-2 checkpoints predate the ledger; migration restores
+        # the default energy-only ledger, whose settles equal the old
+        # scalar spend bit for bit.
+        ledger = restore_ledger(payload.get("ledger"))
+        state = RunState(
+            budgeter=budgeter, ledger=ledger, last_good=last_good
+        )
         return self._drive(
             strategy,
             result,
@@ -553,6 +582,7 @@ class Engine:
                     run_name=result.name,
                     degradation=degradation,
                     faults_active=faults is not None,
+                    ledger=state.ledger,
                 )
                 with contextlib.ExitStack() as hour_stack:
                     for mw in middlewares:
@@ -607,9 +637,25 @@ class Engine:
         ctx.record = self._realize(ctx.hour, ctx.decision)
 
     def _stage_settle(self, ctx: HourContext, state: RunState) -> None:
-        """Feed the realized bill back into the budgeter's state."""
+        """Settle the hour through the ledger; feed the bill back.
+
+        The ledger accrues the whole hour at weight 1.0 (``x * 1.0 ==
+        x`` bitwise), settles every tariff component into line items on
+        the record, and the folded total — exactly ``realized_cost``
+        under the energy-only default — is what the budgeter records.
+        """
+        spend = ctx.record.realized_cost
+        if state.ledger is not None:
+            state.ledger.accrue(
+                ctx.record.realized_cost, ctx.record.total_power_mw
+            )
+            items = state.ledger.settle(ctx.hour)
+            ctx.record = dataclasses.replace(
+                ctx.record, line_items=tuple(items)
+            )
+            spend = SettlementLedger.total(items)
         if state.budgeter is not None:
-            state.budgeter.record_spend(ctx.record.realized_cost)
+            state.budgeter.record_spend(spend)
             if state.restore_ckpt is not None:
                 state.restore_ckpt = state.budgeter.checkpoint()
 
@@ -657,6 +703,9 @@ class Engine:
                 if hasattr(strategy, "state_dict")
                 else None
             ),
+            "ledger": (
+                state.ledger.to_dict() if state.ledger is not None else None
+            ),
             "meta": meta or {},
         }
         atomic_write_json(payload, path)
@@ -668,7 +717,7 @@ class Engine:
         if payload.get("kind") != "engine-run":
             raise ValueError(f"{path} is not an engine run checkpoint")
         version = payload.get("version")
-        if version != CHECKPOINT_VERSION:
+        if version not in (2, CHECKPOINT_VERSION):
             raise ValueError(
                 f"unsupported engine checkpoint version {version!r} "
                 f"(expected {CHECKPOINT_VERSION})"

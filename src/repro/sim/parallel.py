@@ -68,6 +68,7 @@ def run_one_strategy(
     hours: int = 168,
     budget_fraction: float | None = None,
     monthly_budget: float | None = None,
+    tariff: str | None = None,
 ):
     """Run one registered strategy on a freshly built paper world.
 
@@ -79,7 +80,9 @@ def run_one_strategy(
     :func:`resolve_monthly_budget`) takes precedence over
     ``budget_fraction``, which otherwise triggers a local uncapped
     anchor run. Budget parameters only apply to strategies that consume
-    a budget; price takers ignore them, as they always have.
+    a budget; price takers ignore them, as they always have. ``tariff``
+    is a :func:`repro.billing.make_ledger` spec string (default: the
+    paper's energy-only bill).
     """
     from ..experiments import paper_world
     from .engine import Engine
@@ -96,7 +99,7 @@ def run_one_strategy(
             )
         if monthly_budget is not None:
             budgeter = world.budgeter(monthly_budget)
-    return engine.run(strat, budgeter=budgeter, hours=hours)
+    return engine.run(strat, budgeter=budgeter, hours=hours, tariff=tariff)
 
 
 def compare_strategies(
@@ -106,6 +109,7 @@ def compare_strategies(
     strategies: Sequence[str] = STRATEGIES,
     workers: int = 1,
     budget_fraction: float | None = None,
+    tariff: str | None = None,
 ):
     """Run several strategies over the same world; optionally in parallel.
 
@@ -147,6 +151,7 @@ def compare_strategies(
             "seed": seed,
             "hours": hours,
             "monthly_budget": monthly_budget,
+            "tariff": tariff,
         }
         for s in strategies
     ]

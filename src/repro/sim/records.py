@@ -6,6 +6,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..billing import LineItem
 from ..core import CappingStep
 
 __all__ = ["RECORD_VERSION", "SiteRecord", "HourRecord", "SimulationResult"]
@@ -13,8 +14,13 @@ __all__ = ["RECORD_VERSION", "SiteRecord", "HourRecord", "SimulationResult"]
 #: Schema version of serialized :class:`HourRecord` payloads. Bump when
 #: a record's shape changes incompatibly; :meth:`HourRecord.from_dict`
 #: rejects mismatches with a clear error instead of a ``KeyError`` deep
-#: inside a checkpoint load.
-RECORD_VERSION = 1
+#: inside a checkpoint load. Version history:
+#:
+#: * 1 — through the energy-only billing spine.
+#: * 2 — adds per-component ``line_items`` from the settlement ledger;
+#:   v1 payloads migrate with an empty item list (their realized cost
+#:   *is* the energy line item).
+RECORD_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -48,7 +54,10 @@ class HourRecord:
     ``budget`` is the hourly budget in force (``inf`` when uncapped);
     ``realized_cost`` is the bill actually incurred under the exact
     power models and stepped prices; ``predicted_cost`` is what the
-    dispatcher's decision model expected.
+    dispatcher's decision model expected. ``line_items`` is the
+    settlement ledger's per-component breakdown of the hour's bill
+    (energy, demand charge, ...); under the default ``energy`` tariff
+    the single item's amount equals ``realized_cost`` exactly.
     """
 
     hour: int
@@ -61,6 +70,7 @@ class HourRecord:
     served_premium_rps: float
     served_ordinary_rps: float
     sites: tuple[SiteRecord, ...]
+    line_items: tuple[LineItem, ...] = ()
 
     @property
     def served_total_rps(self) -> float:
@@ -82,6 +92,28 @@ class HourRecord:
     @property
     def total_power_mw(self) -> float:
         return sum(s.power_mw for s in self.sites)
+
+    @property
+    def settled_cost(self) -> float:
+        """The hour's full bill across tariff components.
+
+        Folded from 0.0 in ledger order; equals ``realized_cost``
+        bitwise under the energy-only tariff (``0.0 + x == x``). Hours
+        recorded without a ledger (decision records inside the service
+        loop, migrated v1 checkpoints) fall back to the energy cost.
+        """
+        if not self.line_items:
+            return self.realized_cost
+        total = 0.0
+        for item in self.line_items:
+            total += item.amount
+        return total
+
+    def line_item(self, component: str) -> LineItem | None:
+        for item in self.line_items:
+            if item.component == component:
+                return item
+        return None
 
     @property
     def worst_response_time_s(self) -> float:
@@ -107,12 +139,13 @@ class HourRecord:
             "served_premium_rps": self.served_premium_rps,
             "served_ordinary_rps": self.served_ordinary_rps,
             "sites": [s.to_dict() for s in self.sites],
+            "line_items": [li.to_dict() for li in self.line_items],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "HourRecord":
         version = data.get("v")
-        if version != RECORD_VERSION:
+        if version not in (1, RECORD_VERSION):
             raise ValueError(
                 f"unsupported hour-record version {version!r} (expected "
                 f"{RECORD_VERSION}); the checkpoint was written by an "
@@ -130,6 +163,12 @@ class HourRecord:
                 served_premium_rps=data["served_premium_rps"],
                 served_ordinary_rps=data["served_ordinary_rps"],
                 sites=tuple(SiteRecord.from_dict(s) for s in data["sites"]),
+                # v1 payloads predate line items; their realized cost
+                # *is* the (single, energy) charge, so migration keeps
+                # settled_cost identical.
+                line_items=tuple(
+                    LineItem.from_dict(li) for li in data.get("line_items", ())
+                ),
             )
         except KeyError as exc:
             raise ValueError(f"hour record missing field {exc}") from None

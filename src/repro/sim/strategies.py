@@ -61,6 +61,21 @@ class CappingStrategy:
         effective = ctx.degradation or self.capper.degradation
         if effective is None and ctx.faults_active:
             effective = DegradationPolicy.PROPORTIONAL
+        # A demand charge in the run's tariff exposes its linearized
+        # peak term ((cycle peak, $/MW penalty)); the energy-only
+        # default yields None and the capper's flow is untouched.
+        peak_term = (
+            ctx.ledger.peak_term(ctx.hour) if ctx.ledger is not None else None
+        )
+        if peak_term is None:
+            return self.capper.decide(
+                ctx.site_hours,
+                ctx.demand_premium_rps,
+                ctx.demand_ordinary_rps,
+                ctx.budget,
+                forced_failure=ctx.forced_failure,
+                degradation=effective,
+            )
         return self.capper.decide(
             ctx.site_hours,
             ctx.demand_premium_rps,
@@ -68,6 +83,7 @@ class CappingStrategy:
             ctx.budget,
             forced_failure=ctx.forced_failure,
             degradation=effective,
+            peak_term=peak_term,
         )
 
     # The capper's hold-last history is run state: without it a resumed

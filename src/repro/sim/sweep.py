@@ -172,7 +172,8 @@ def strategy_metric(scenario: Mapping[str, Any], payload: Any = None):
     Scenario keys mirror :func:`repro.sim.parallel.run_one_strategy`:
     ``strategy`` (any :func:`repro.sim.registry.available_strategies`
     name) plus optional ``policy_id``, ``seed``, ``hours``,
-    ``budget_fraction``, ``monthly_budget``. Returns the strategy's
+    ``budget_fraction``, ``monthly_budget``, ``tariff`` (a
+    :func:`repro.billing.make_ledger` spec). Returns the strategy's
     :class:`~repro.sim.records.SimulationResult`.
     """
     from .parallel import run_one_strategy

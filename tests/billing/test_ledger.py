@@ -1,0 +1,105 @@
+"""Unit tests for the settlement ledger, including the bit-identity fold."""
+
+import random
+
+import pytest
+
+from repro.billing import (
+    DemandCharge,
+    EnergyCharge,
+    SettlementLedger,
+    make_ledger,
+)
+
+
+def test_requires_at_least_one_component():
+    with pytest.raises(ValueError, match=">= 1 component"):
+        SettlementLedger([])
+
+
+def test_rejects_duplicate_components():
+    with pytest.raises(ValueError, match="duplicate"):
+        SettlementLedger([EnergyCharge(), EnergyCharge()])
+
+
+def test_accrual_fold_is_bitwise_identical_to_scalar_plumbing():
+    # The control loop's historical accrual was `acc += cost * weight`
+    # folded from 0.0 in arrival order. The ledger must produce the
+    # same float exactly, not merely approximately, or decision logs
+    # change bytes under the default tariff.
+    rng = random.Random(42)
+    segments = [(rng.uniform(0, 500), rng.uniform(0, 1)) for _ in range(50)]
+
+    acc = 0.0
+    ledger = make_ledger("energy")
+    for cost, weight in segments:
+        acc += cost * weight
+        ledger.accrue(cost, cost / 10.0, weight)
+
+    items = ledger.settle(0)
+    assert len(items) == 1
+    assert items[0].amount == acc  # bitwise
+    assert SettlementLedger.total(items) == acc  # 0.0 + x == x bitwise
+
+
+def test_settle_resets_accruals():
+    ledger = make_ledger("energy")
+    ledger.accrue(100.0, 10.0)
+    ledger.settle(0)
+    items = ledger.settle(1)
+    assert items[0].amount == 0.0
+
+
+def test_total_folds_from_zero_in_order():
+    ledger = make_ledger("energy+demand:rate=1,cycle=24")
+    ledger.accrue(250.0, 40.0)
+    items = ledger.settle(0)
+    assert [i.component for i in items] == ["energy", "demand"]
+    assert SettlementLedger.total(items) == 250.0 + 40.0 * 1000.0
+
+
+def test_project_sums_components():
+    ledger = make_ledger("energy+demand:rate=1,cycle=24")
+    assert ledger.project(0, 80.0, 30.0) == 80.0 + 30.0 * 1000.0
+
+
+def test_peak_term_delegates_to_first_pricing_component():
+    assert make_ledger("energy").peak_term(0) is None
+    ledger = make_ledger("energy+demand:rate=3,cycle=24")
+    assert ledger.peak_term(0) == (0.0, 3000.0)
+    ledger.accrue(10.0, 25.0)
+    ledger.settle(0)
+    assert ledger.peak_term(1) == (25.0, 3000.0)
+
+
+def test_component_lookup_and_flags():
+    ledger = make_ledger("energy+demand")
+    assert ledger.component_names == ("energy", "demand")
+    assert isinstance(ledger.component("demand"), DemandCharge)
+    assert ledger.component("nope") is None
+    assert not ledger.is_energy_only
+    assert make_ledger(None).is_energy_only
+
+
+def test_state_round_trip_preserves_accruals_bitwise():
+    ledger = make_ledger("energy+demand:rate=2,cycle=48")
+    ledger.accrue(123.456, 45.25, 0.7)
+    ledger.accrue(9.5, 10.0, 0.3)
+    ledger.settle(0)
+    ledger.accrue(0.1, 0.2, 0.3)  # leave a partial hour open
+
+    back = SettlementLedger.from_dict(ledger.to_dict())
+    assert back.tariff == ledger.tariff
+    assert back.component_names == ledger.component_names
+    assert back.to_dict() == ledger.to_dict()
+    # The open-hour accruals settle to the same floats.
+    assert [i.to_dict() for i in back.settle(1)] == [
+        i.to_dict() for i in ledger.settle(1)
+    ]
+
+
+def test_from_dict_rejects_unknown_version():
+    payload = make_ledger("energy").to_dict()
+    payload["v"] = 99
+    with pytest.raises(ValueError, match="ledger state version"):
+        SettlementLedger.from_dict(payload)

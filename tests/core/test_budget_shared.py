@@ -1,0 +1,192 @@
+"""Shared budget math + randomized budgeter invariants.
+
+The zero-floored ``available`` / claw-back logic used to be duplicated
+between :mod:`repro.core.budgeter` and
+:mod:`repro.core.robust_budgeter`; both now route through the shared
+helpers (:func:`month_weights`, :func:`available_budget`,
+:func:`clawed_back_carry`). The regression tests pin each consumer's
+observable behaviour through the shared path; the property tests drive
+randomized spend sequences through carry, claw-back and
+checkpoint/restore and assert the published budgets never drift.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveBudgeter, Budgeter
+from repro.core.budgeter import (
+    available_budget,
+    clawed_back_carry,
+    month_weights,
+)
+from repro.workload import (
+    HOURS_PER_WEEK,
+    HourOfWeekPredictor,
+    Trace,
+    wikipedia_like_trace,
+)
+
+
+def _predictor(seed=0, weeks=4):
+    return HourOfWeekPredictor(
+        wikipedia_like_trace(
+            HOURS_PER_WEEK * weeks, 1e6, seed=seed, start_weekday=0
+        )
+    )
+
+
+def _flat_predictor():
+    return HourOfWeekPredictor(Trace(np.full(HOURS_PER_WEEK, 100.0)))
+
+
+class TestSharedHelpers:
+    def test_month_weights_sum_to_one(self):
+        w = month_weights(_predictor(), 720, start_weekday=3)
+        assert w.shape == (720,)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_month_weights_zero_profile_uniform(self):
+        pred = HourOfWeekPredictor(Trace(np.zeros(HOURS_PER_WEEK)))
+        w = month_weights(pred, 10, start_weekday=0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_both_budgeters_use_identical_weights(self):
+        pred = _predictor(seed=3)
+        plain = Budgeter(500.0, pred, month_hours=400, start_weekday=2)
+        adaptive = AdaptiveBudgeter(
+            500.0, pred, month_hours=400, start_weekday=2
+        )
+        np.testing.assert_array_equal(plain._weights, adaptive._weights)
+
+    def test_available_budget_floor(self):
+        assert available_budget(2.0, 3.0, carryover=True) == 5.0
+        assert available_budget(2.0, 3.0, carryover=False) == 2.0
+        assert available_budget(2.0, -10.0, carryover=True) == 0.0
+        assert available_budget(-1.0, 0.0, carryover=False) == 0.0
+
+    def test_clawed_back_carry(self):
+        assert clawed_back_carry(5.0, 2.0, claw_back_deficit=False) == 3.0
+        assert clawed_back_carry(5.0, 2.0, claw_back_deficit=True) == 3.0
+        # Deficit forgotten by default, kept under claw-back.
+        assert clawed_back_carry(5.0, 9.0, claw_back_deficit=False) == 0.0
+        assert clawed_back_carry(5.0, 9.0, claw_back_deficit=True) == -4.0
+
+
+class TestPinnedConsumerBehaviour:
+    """Regression pins: the dedupe must not change either budgeter."""
+
+    def test_plain_budgeter_floor_and_claw_back(self):
+        # Pinned from the pre-dedupe implementation: a deep deficit is
+        # measured against the floored budget the capper was handed.
+        b = Budgeter(240.0, _flat_predictor(), month_hours=240,
+                     claw_back_deficit=True)  # base 1.0/hour
+        assert b.hourly_budget() == 1.0
+        b.record_spend(10.0)          # deficit of 9
+        assert b.hourly_budget() == 0.0
+        b.record_spend(0.0)           # spent exactly the floored 0
+        assert b.hourly_budget() == pytest.approx(b.base_budget(2))
+
+    def test_plain_budgeter_default_forgets_deficit(self):
+        b = Budgeter(240.0, _flat_predictor(), month_hours=240)
+        first = b.hourly_budget()
+        b.record_spend(first * 3.0)
+        assert b.hourly_budget() == pytest.approx(b.base_budget(1))
+
+    def test_adaptive_budgeter_floor(self):
+        # Overdraw the pool: the published budget floors at zero
+        # through the same shared helper.
+        b = AdaptiveBudgeter(10.0, _flat_predictor(), month_hours=10,
+                             reserve_fraction=0.0)
+        b.hourly_budget()
+        b.record_spend(50.0)  # forced premium overspend past the pool
+        assert b.hourly_budget() == 0.0
+
+    def test_adaptive_budgeter_renormalizes(self):
+        b = AdaptiveBudgeter(100.0, _flat_predictor(), month_hours=10,
+                             reserve_fraction=0.0)
+        first = b.hourly_budget()
+        assert first == pytest.approx(10.0)
+        b.record_spend(0.0)
+        # Unspent budget re-spreads over the 9 remaining hours.
+        assert b.hourly_budget() == pytest.approx(100.0 / 9)
+
+
+class TestBudgeterProperties:
+    """Randomized spend sequences; seeded random, no external deps."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("claw_back", [False, True])
+    @pytest.mark.parametrize("carryover", [False, True])
+    def test_checkpoint_restore_mid_sequence_never_drifts(
+        self, seed, claw_back, carryover
+    ):
+        """Restore at every hour: the restored budgeter's published
+        budget equals the original's exactly for the rest of the month
+        (weights, spend, carry and position all round-trip)."""
+        rng = random.Random(seed)
+        hours = 60
+        b = Budgeter(120.0, _predictor(seed=seed), month_hours=hours,
+                     start_weekday=rng.randrange(7),
+                     carryover=carryover, claw_back_deficit=claw_back)
+        for _ in range(hours):
+            budget = b.hourly_budget()
+            clone = Budgeter.restore(b.checkpoint())
+            assert clone.hourly_budget() == budget
+            # Overspends (premium-only hours) included: up to 3x budget.
+            spend = rng.uniform(0.0, max(budget, b.base_budget(0)) * 3.0)
+            b.record_spend(spend)
+            clone.record_spend(spend)
+            assert clone._carry == b._carry
+            assert clone.total_spent == b.total_spent
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_budgets_never_negative_and_bounded(self, seed):
+        rng = random.Random(1000 + seed)
+        hours = HOURS_PER_WEEK  # one full carry window
+        b = Budgeter(200.0, _predictor(seed=seed), month_hours=hours,
+                     claw_back_deficit=bool(seed % 2))
+        for h in range(hours):
+            budget = b.hourly_budget()
+            assert budget >= 0.0
+            # Within one carry window the budget can never exceed the
+            # cumulative base allocations (carry only moves money
+            # forward; it never mints any).
+            assert budget <= sum(
+                b.base_budget(i) for i in range(h + 1)
+            ) + 1e-9
+            b.record_spend(rng.uniform(0.0, budget * 1.5))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_carry_claw_back_restore_roundtrip_tolerance(self, seed):
+        """The ISSUE's invariant: carry + claw-back + checkpoint/restore
+        round-trips never change hourly_budget by more than float
+        tolerance under randomized spends (here: exactly equal)."""
+        rng = random.Random(7 + seed)
+        b = Budgeter(500.0, _predictor(seed=seed), month_hours=200,
+                     claw_back_deficit=True)
+        for _ in range(200):
+            before = b.hourly_budget()
+            b = Budgeter.restore(b.checkpoint())  # round-trip every hour
+            after = b.hourly_budget()
+            assert after == pytest.approx(before, abs=0.0, rel=0.0)
+            b.record_spend(rng.uniform(0.0, before * 2.0 + 1.0))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_adaptive_total_allocation_respects_monthly(self, seed):
+        """Spending exactly the published budget every hour never
+        allocates more than the monthly total (reserve included)."""
+        rng = random.Random(99 + seed)
+        b = AdaptiveBudgeter(
+            300.0, _predictor(seed=seed), month_hours=100,
+            reserve_fraction=rng.choice([0.0, 0.05, 0.2]),
+            release_hours=rng.choice([10, 50, 100]),
+        )
+        total = 0.0
+        for _ in range(100):
+            budget = b.hourly_budget()
+            assert budget >= 0.0
+            b.record_spend(budget)
+            total += budget
+        assert total <= 300.0 * (1 + 1e-9)
